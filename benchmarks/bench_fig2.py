@@ -1,0 +1,36 @@
+"""Fig. 2 bench -- confidence scores and POT threshold over time.
+
+Runs CAROL on the fault-injected AIoT federation and prints the
+confidence stream, the dynamic POT threshold and the fine-tune bands
+(the paper's shaded intervals), plus the parsimony statistic: the
+fraction of intervals that actually triggered fine-tuning.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import Fig2Config, format_fig2, run_fig2
+
+from conftest import bench_config
+
+
+def test_fig2_confidence_and_pot_threshold(benchmark, assets):
+    config = Fig2Config(base=bench_config(seed=2), n_intervals=60)
+
+    result = benchmark.pedantic(
+        lambda: run_fig2(config, assets=assets), rounds=1, iterations=1
+    )
+
+    print()
+    print(format_fig2(result))
+
+    assert len(result.confidences) == 60
+    assert all(0.0 <= c <= 1.0 for c in result.confidences)
+    # POT calibrates and produces finite thresholds after warm-up.
+    finite = [t for t in result.thresholds if np.isfinite(t)]
+    assert finite, "POT never calibrated"
+    # Parsimony: fine-tuning happens, but only on a minority of
+    # intervals (the paper's Fig. 2 shows sparse bands).
+    assert result.n_fine_tunes < 0.5 * len(result.fine_tuned)

@@ -1,0 +1,36 @@
+"""Fig. 4 bench -- GON training curves.
+
+Re-trains the GON from scratch on the session trace and prints the
+per-epoch loss / MSE / confidence series.  The paper's shape: loss
+falls, MSE falls, confidence rises, convergence within ~30 epochs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import GONDiscriminator, TrainingConfig, train_gon
+from repro.experiments import format_fig4
+
+
+def test_fig4_training_curves(benchmark, assets):
+    def train():
+        model = GONDiscriminator(np.random.default_rng(4), hidden=32, n_layers=3)
+        config = TrainingConfig(
+            epochs=10, batch_size=16, learning_rate=1e-3,
+            generation_steps=20, seed=4,
+        )
+        return train_gon(model, assets.samples, config)
+
+    history = benchmark.pedantic(train, rounds=1, iterations=1)
+
+    print()
+    print(format_fig4(history))
+
+    # Fig. 4 shape assertions.
+    assert history.losses[-1] < history.losses[0], "loss did not fall"
+    assert history.confidences[-1] > history.confidences[0], (
+        "confidence did not rise"
+    )
+    assert history.mses[-1] < history.mses[0], "generation MSE did not fall"

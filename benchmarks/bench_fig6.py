@@ -1,0 +1,72 @@
+"""Fig. 6 bench -- sensitivity analysis (§V-E).
+
+Three sweeps printing the paper's four series (MSE, decision time,
+energy, SLO violation rate): (a) the eq.-1 step size gamma, (b) the
+GON depth / memory footprint, (c) the tabu list size.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import (
+    Fig6Config,
+    format_sweep,
+    run_learning_rate_sweep,
+    run_memory_sweep,
+    run_tabu_sweep,
+)
+
+from conftest import bench_config
+
+
+@pytest.fixture(scope="module")
+def fig6_config():
+    return Fig6Config(
+        base=bench_config(seed=6),
+        eval_intervals=12,
+        trace_intervals=120,
+        gon_hidden=32,
+        gon_layers=2,
+    )
+
+
+def test_fig6a_learning_rate(benchmark, assets, fig6_config):
+    points = benchmark.pedantic(
+        lambda: run_learning_rate_sweep(fig6_config, assets=assets),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_sweep("-- Fig. 6(a): learning-rate sensitivity --",
+                       "gamma", points))
+    assert len(points) == 5
+    # U-shape: the extremes do not beat the best interior gamma on MSE.
+    mses = [p.mse for p in points]
+    best = int(np.argmin(mses))
+    assert 0 < best < len(points) - 1 or mses[best] <= min(mses[0], mses[-1])
+
+
+def test_fig6b_memory(benchmark, fig6_config):
+    points = benchmark.pedantic(
+        lambda: run_memory_sweep(fig6_config), rounds=1, iterations=1
+    )
+    print()
+    print(format_sweep("-- Fig. 6(b): memory-footprint sensitivity --",
+                       "layers", points))
+    # Footprint grows monotonically with depth (the paper's x-axis).
+    footprints = [p.memory_mb for p in points]
+    assert all(b > a for a, b in zip(footprints, footprints[1:]))
+
+
+def test_fig6c_tabu_list(benchmark, assets, fig6_config):
+    points = benchmark.pedantic(
+        lambda: run_tabu_sweep(fig6_config, assets=assets),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(format_sweep("-- Fig. 6(c): tabu-list-size sensitivity --",
+                       "tabu size", points))
+    assert len(points) == 5
+    for point in points:
+        assert point.energy_kwh > 0

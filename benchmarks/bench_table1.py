@@ -1,0 +1,60 @@
+"""Table I + Fig. 1 benches.
+
+Table I is the related-work capability matrix (qualitative; verified
+against the implemented classes).  The Fig. 1 bench enumerates the
+node-shift census of a failed broker -- the Type-1/2/3 options the
+figure visualises -- and times the neighbourhood generation that the
+tabu search leans on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import neighbours, repair_options
+from repro.experiments import format_table, format_table1, table1_rows, verify_against_implementation
+from repro.simulator import initial_topology
+
+
+def test_table1_related_work_matrix(benchmark):
+    """Regenerate Table I and cross-check it against the code base."""
+    rendered = benchmark(format_table1)
+    print()
+    print(rendered)
+    rows = table1_rows()
+    assert len(rows) == 11
+    consistency = verify_against_implementation()
+    assert all(consistency.values()), f"Table I inconsistent: {consistency}"
+
+
+def test_fig1_nodeshift_census(benchmark):
+    """Enumerate N(G, b) after a broker failure (the Fig. 1 options)."""
+    topology = initial_topology(16, 4)
+    failed = 1
+    orphans = list(topology.lei(failed))
+    stripped = topology.detach(failed)
+
+    options = benchmark(lambda: repair_options(stripped, orphans))
+
+    by_count = {}
+    pre_failure = len(topology.brokers)
+    for option in options:
+        delta = len(option.brokers) - pre_failure
+        by_count[delta] = by_count.get(delta, 0) + 1
+    print()
+    print(format_table(
+        headers=("broker count vs pre-failure", "n options"),
+        rows=sorted(by_count.items()),
+        title="-- Fig. 1: node-shift census for one failed broker (16 hosts, 4 LEIs) --",
+    ))
+    # Fig. 1 semantics: higher (+1), lower (-1) and same (0) broker
+    # counts are all reachable.
+    assert {-1, 0, 1} <= set(by_count)
+
+
+def test_fig1_neighbourhood_size(benchmark):
+    """Time the full single-shift neighbourhood of an intact topology."""
+    topology = initial_topology(16, 4)
+    options = benchmark(lambda: neighbours(topology))
+    print(f"\nneighbourhood size for 16 hosts / 4 LEIs: {len(options)}")
+    assert len(options) > 20

@@ -1,0 +1,50 @@
+"""CAROL vs. baselines: a miniature Fig. 5 comparison.
+
+Trains the shared assets once, then runs CAROL against DYVERSE
+(heuristic), FRAS (surrogate) and TopoMAD (reconstruction) on identical
+workload and fault seeds, printing the six paper panels.
+
+The full comparison (7 baselines + 4 ablations) lives in
+``benchmarks/bench_fig5.py``; this example keeps the model set small so
+it finishes in about a minute.
+
+Run with:  python examples/carol_vs_baselines.py
+"""
+
+from repro.config import ci_scale
+from repro.experiments import (
+    Fig5Config,
+    format_results,
+    prepare_assets,
+    run_fig5,
+)
+
+
+def main() -> None:
+    base = ci_scale(seed=3)
+    config = Fig5Config(
+        base=base,
+        trace_intervals=100,
+        models=("CAROL", "DYVERSE", "FRAS", "TopoMAD"),
+    )
+
+    print("preparing shared assets (trace + offline GON training)...")
+    assets = prepare_assets(
+        base,
+        trace_intervals=config.trace_intervals,
+        gon_hidden=config.gon_hidden,
+        gon_layers=config.gon_layers,
+    )
+
+    print(f"running {len(config.model_names())} resilience models over "
+          f"{base.n_intervals} intervals each...\n")
+    results = run_fig5(config, assets=assets)
+
+    print(format_results(results))
+
+    print("\nNote: values are absolute for this run; the `vs CAROL`")
+    print("column mirrors the paper's relative-performance axes.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""Sensitivity sweep: a miniature Fig. 6(a)/(c).
+
+Sweeps the eq.-1 ascent step size gamma and the tabu-list size,
+printing the paper's four series (MSE, decision time, energy, SLO
+violation rate) for each point.  Demonstrates the trade-off §V-E
+discusses: small gammas converge slowly (time up), large ones overshoot
+(MSE and QoS degrade); bigger tabu lists buy QoS with search time.
+
+Run with:  python examples/sensitivity_sweep.py
+"""
+
+from repro.config import ci_scale
+from repro.experiments import (
+    Fig6Config,
+    format_sweep,
+    prepare_assets,
+    run_learning_rate_sweep,
+    run_tabu_sweep,
+)
+
+
+def main() -> None:
+    config = Fig6Config(
+        base=ci_scale(seed=4),
+        eval_intervals=10,
+        trace_intervals=80,
+        gon_hidden=32,
+        gon_layers=2,
+    )
+
+    print("preparing shared assets...")
+    assets = prepare_assets(
+        config.base,
+        trace_intervals=config.trace_intervals,
+        gon_hidden=config.gon_hidden,
+        gon_layers=config.gon_layers,
+    )
+
+    print("\nsweeping gamma (Fig. 6a)...")
+    lr_points = run_learning_rate_sweep(
+        config, assets=assets, grid=(1e-4, 1e-3, 1e-2, 1e-1)
+    )
+    print(format_sweep("-- learning-rate sensitivity --", "gamma", lr_points))
+
+    print("\nsweeping tabu list size (Fig. 6c)...")
+    tabu_points = run_tabu_sweep(config, assets=assets, grid=(5, 50, 500))
+    print(format_sweep("-- tabu-list-size sensitivity --", "tabu size", tabu_points))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+The sandbox has no network and no ``wheel`` package, so PEP 660
+editable installs (``pip install -e .``) cannot build; ``python
+setup.py develop`` installs the same editable egg-link without
+needing a wheel. All metadata lives in pyproject.toml.
+"""
+from setuptools import setup
+
+setup()

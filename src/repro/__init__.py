@@ -1,0 +1,42 @@
+"""CAROL reproduction: Confidence-Aware Resilience Model for Edge Federations.
+
+A full from-scratch Python reproduction of Tuli, Casale & Jennings
+(DSN 2022): the GON surrogate and CAROL resilience loop
+(:mod:`repro.core`), a COSCO-style federated-edge co-simulator
+(:mod:`repro.simulator`), a numpy neural-network library replacing
+PyTorch (:mod:`repro.nn`), the seven baselines of the paper's Section V
+and four ablations (:mod:`repro.baselines`) and one experiment per
+paper table/figure (:mod:`repro.experiments`).
+
+Quickstart::
+
+    from repro.config import ci_scale
+    from repro.experiments import prepare_assets, build_model, run_experiment
+
+    config = ci_scale()
+    assets = prepare_assets(config)              # DeFog trace + GON training
+    carol = build_model("CAROL", assets, config) # Algorithm 2
+    result = run_experiment(carol, config)       # AIoT evaluation run
+    print(result.summary())
+"""
+
+from .config import (
+    ExperimentConfig,
+    FaultConfig,
+    FederationConfig,
+    WorkloadConfig,
+    ci_scale,
+    paper_scale,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ExperimentConfig",
+    "FederationConfig",
+    "WorkloadConfig",
+    "FaultConfig",
+    "ci_scale",
+    "paper_scale",
+    "__version__",
+]

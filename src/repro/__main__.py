@@ -1,0 +1,135 @@
+"""Command-line entry point: ``python -m repro <artifact>``.
+
+Regenerates any paper artifact from the terminal without touching the
+pytest harness:
+
+    python -m repro table1
+    python -m repro fig2 [--intervals N]
+    python -m repro fig4
+    python -m repro fig5 [--models CAROL,DYVERSE,...] [--intervals N]
+    python -m repro fig6a | fig6b | fig6c
+
+All commands accept ``--seed`` and run at CI scale by default;
+``--paper-scale`` switches to the 16-host / 4-LEI testbed shape
+(substantially slower).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import replace
+
+
+def _base_config(args):
+    from .config import ci_scale, paper_scale
+
+    config = paper_scale() if args.paper_scale else ci_scale(seed=args.seed)
+    if args.paper_scale and args.seed:
+        config = replace(config, seed=args.seed)
+    if args.intervals:
+        config = replace(config, n_intervals=args.intervals)
+    return config
+
+
+def _cmd_table1(args) -> int:
+    from .experiments import format_table1, verify_against_implementation
+
+    print(format_table1())
+    consistency = verify_against_implementation()
+    bad = [work for work, ok in consistency.items() if not ok]
+    if bad:
+        print(f"WARNING: implementation inconsistent for {bad}")
+        return 1
+    print("\nconsistency check vs implemented classes: OK")
+    return 0
+
+
+def _cmd_fig2(args) -> int:
+    from .experiments import Fig2Config, format_fig2, run_fig2
+
+    config = Fig2Config(base=_base_config(args),
+                        n_intervals=args.intervals or 60)
+    print(format_fig2(run_fig2(config)))
+    return 0
+
+
+def _cmd_fig4(args) -> int:
+    from .experiments import Fig4Config, format_fig4, run_fig4
+
+    print(format_fig4(run_fig4(Fig4Config(base=_base_config(args)))))
+    return 0
+
+
+def _cmd_fig5(args) -> int:
+    from .experiments import Fig5Config, format_results, headline_deltas, run_fig5
+
+    models = args.models.split(",") if args.models else None
+    config = Fig5Config(base=_base_config(args), models=models)
+    if args.trace_intervals:
+        config.trace_intervals = args.trace_intervals
+    results = run_fig5(config)
+    print(format_results(results))
+    if "CAROL" in results and models is None:
+        print("\nheadline deltas vs baselines:")
+        for key, value in headline_deltas(results).items():
+            print(f"  {key}: {value:+.1f}%")
+    return 0
+
+
+def _cmd_fig6(args, panel: str) -> int:
+    from .experiments import (
+        Fig6Config,
+        format_sweep,
+        run_learning_rate_sweep,
+        run_memory_sweep,
+        run_tabu_sweep,
+    )
+
+    config = Fig6Config(base=_base_config(args))
+    if panel == "a":
+        points = run_learning_rate_sweep(config)
+        print(format_sweep("-- Fig. 6(a): learning rate --", "gamma", points))
+    elif panel == "b":
+        points = run_memory_sweep(config)
+        print(format_sweep("-- Fig. 6(b): memory footprint --", "layers", points))
+    else:
+        points = run_tabu_sweep(config)
+        print(format_sweep("-- Fig. 6(c): tabu list size --", "tabu size", points))
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate CAROL (DSN 2022) paper artifacts.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=["table1", "fig2", "fig4", "fig5", "fig6a", "fig6b", "fig6c"],
+        help="which paper artifact to regenerate",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--intervals", type=int, default=0,
+                        help="override the number of evaluation intervals")
+    parser.add_argument("--models", type=str, default="",
+                        help="fig5: comma-separated model subset")
+    parser.add_argument("--trace-intervals", type=int, default=0,
+                        help="fig5: override the training-trace length")
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="16 hosts / 4 LEIs / 100 intervals (slow)")
+    args = parser.parse_args(argv)
+
+    if args.artifact == "table1":
+        return _cmd_table1(args)
+    if args.artifact == "fig2":
+        return _cmd_fig2(args)
+    if args.artifact == "fig4":
+        return _cmd_fig4(args)
+    if args.artifact == "fig5":
+        return _cmd_fig5(args)
+    return _cmd_fig6(args, args.artifact[-1])
+
+
+if __name__ == "__main__":
+    sys.exit(main())

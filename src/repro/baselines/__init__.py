@@ -1,0 +1,74 @@
+"""``repro.baselines`` -- the §V comparison set.
+
+Seven baselines re-implemented from their papers' descriptions --
+DYVERSE and ECLB (heuristic/meta-heuristic), LBOS (RL), ELBS and FRAS
+(surrogate models), TopoMAD and StepGAN (reconstruction detectors, run
+with FRAS's recovery policy as in the paper) -- plus the four §V-D
+ablations of CAROL and the fuzzy-inference / genetic-algorithm
+substrates they rely on.
+"""
+
+from .ablations import (
+    AlwaysFineTune,
+    GANSurrogate,
+    NeverFineTune,
+    TraditionalSurrogate,
+    WithGAN,
+    WithTraditionalSurrogate,
+    summary_features,
+)
+from .base import (
+    ResilienceModel,
+    combined_utilisation,
+    cpu_utilisation,
+    merge_into_least_loaded,
+    orphans_of,
+    promote_least_utilised,
+    rebalance_workers,
+)
+from .dyverse import DYVERSE
+from .eclb import ECLB, GaussianNaiveBayes
+from .elbs import ELBS, PNNSurrogate, build_priority_system
+from .fras import FRAS, RecurrentSurrogate
+from .fuzzy import FuzzyRule, FuzzySystem, FuzzyVariable, TriangularMF
+from .ga import GAConfig, GeneticAlgorithm
+from .lbos import LBOS
+from .stepgan import ConvDiscriminator, ConvGenerator, StepGAN
+from .topomad import LSTMVAE, TopoMAD
+
+__all__ = [
+    "ResilienceModel",
+    "DYVERSE",
+    "ECLB",
+    "GaussianNaiveBayes",
+    "LBOS",
+    "ELBS",
+    "PNNSurrogate",
+    "build_priority_system",
+    "FRAS",
+    "RecurrentSurrogate",
+    "TopoMAD",
+    "LSTMVAE",
+    "StepGAN",
+    "ConvDiscriminator",
+    "ConvGenerator",
+    "AlwaysFineTune",
+    "NeverFineTune",
+    "WithGAN",
+    "GANSurrogate",
+    "WithTraditionalSurrogate",
+    "TraditionalSurrogate",
+    "summary_features",
+    "FuzzySystem",
+    "FuzzyVariable",
+    "FuzzyRule",
+    "TriangularMF",
+    "GeneticAlgorithm",
+    "GAConfig",
+    "cpu_utilisation",
+    "combined_utilisation",
+    "orphans_of",
+    "promote_least_utilised",
+    "merge_into_least_loaded",
+    "rebalance_workers",
+]

@@ -1,0 +1,139 @@
+"""Shared helpers for baseline resilience models.
+
+Common topology-repair building blocks used across the §V baselines:
+least-utilisation promotions (DYVERSE's broker-failure rule), merges
+into the least-loaded broker (ECLB-style), and the utilisation-
+balancing worker redistribution of the FRAS priority policy (also
+borrowed by TopoMAD and StepGAN, which are detection-only methods the
+paper supplements with FRAS's recovery policy).
+
+Repair protocol reminder: at repair time ``view.topology`` is still the
+*previous* graph ``G_{t-1}`` -- it is where a failed broker's LEI
+membership can be read -- while ``proposal`` is the engine's default
+initialisation with failed hosts stripped and orphans parked on the
+closest surviving broker.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from ..core.interface import ResilienceModel
+from ..simulator.engine import SystemView
+from ..simulator.topology import Topology
+
+__all__ = [
+    "ResilienceModel",
+    "cpu_utilisation",
+    "combined_utilisation",
+    "orphans_of",
+    "promote_least_utilised",
+    "merge_into_least_loaded",
+    "rebalance_workers",
+]
+
+
+def cpu_utilisation(view: SystemView, host_id: int) -> float:
+    """CPU utilisation of a host as last computed by the engine."""
+    return float(view.hosts[host_id].utilisation["cpu"])
+
+
+def combined_utilisation(view: SystemView, host_id: int) -> float:
+    """CPU+RAM pressure, the load signal most baselines rank by."""
+    host = view.hosts[host_id]
+    return float(host.utilisation["cpu"] + host.utilisation["ram"])
+
+
+def orphans_of(view: SystemView, failed_broker: int) -> List[int]:
+    """Live former workers of a failed broker (from ``G_{t-1}``)."""
+    previous = view.topology
+    if failed_broker not in previous.brokers:
+        return []
+    return [
+        worker
+        for worker in previous.lei(failed_broker)
+        if view.hosts[worker].alive
+    ]
+
+
+def promote_least_utilised(
+    proposal: Topology,
+    view: SystemView,
+    orphans: Sequence[int],
+    key=cpu_utilisation,
+) -> Topology:
+    """Type-3 repair: promote the least-utilised orphan to broker its
+    siblings (DYVERSE's rule: "the worker with the least CPU
+    utilization as the next broker of the same LEI").
+    """
+    movable = [w for w in orphans if w in proposal.assignment]
+    if not movable:
+        return proposal
+    chosen = min(movable, key=lambda w: key(view, w))
+    result = proposal.promote(chosen)
+    for worker in movable:
+        if worker != chosen:
+            result = result.reassign(worker, chosen)
+    return result
+
+
+def merge_into_least_loaded(
+    proposal: Topology,
+    view: SystemView,
+    orphans: Sequence[int],
+    key=combined_utilisation,
+) -> Topology:
+    """Type-2 repair: hand all orphans to the least-loaded live broker."""
+    live_brokers = [
+        b for b in sorted(proposal.brokers) if view.hosts[b].alive
+    ]
+    if not live_brokers:
+        return proposal
+    target = min(live_brokers, key=lambda b: key(view, b))
+    result = proposal
+    for worker in orphans:
+        if worker in result.assignment:
+            if result.assignment[worker] != target:
+                result = result.reassign(worker, target)
+        elif worker not in result.attached:
+            result = result.attach_worker(worker, target)
+    return result
+
+
+def rebalance_workers(
+    topology: Topology,
+    view: SystemView,
+    max_moves: int = 2,
+    min_imbalance: float = 0.25,
+) -> Topology:
+    """Move workers from the hottest LEI to the coolest.
+
+    The FRAS-style priority load-balancing step: compare mean worker
+    load per LEI and move up to ``max_moves`` busy workers across when
+    the spread exceeds ``min_imbalance``.
+    """
+    result = topology
+    for _ in range(max_moves):
+        brokers = sorted(result.brokers)
+        if len(brokers) < 2:
+            return result
+        loads = {}
+        for broker in brokers:
+            lei = result.lei(broker)
+            loads[broker] = (
+                float(np.mean([combined_utilisation(view, w) for w in lei]))
+                if lei
+                else 0.0
+            )
+        hottest = max(brokers, key=lambda b: loads[b])
+        coolest = min(brokers, key=lambda b: loads[b])
+        if loads[hottest] - loads[coolest] < min_imbalance:
+            break
+        movable = [w for w in result.lei(hottest) if view.hosts[w].alive]
+        if len(movable) < 2:
+            break
+        mover = max(movable, key=lambda w: combined_utilisation(view, w))
+        result = result.reassign(mover, coolest)
+    return result

@@ -1,0 +1,151 @@
+"""ECLB baseline (Sharif et al., IET Communications 2020) -- meta-heuristic.
+
+Energy-efficient Checkpointing and Load Balancing: Bayesian methods
+classify hosts into **overloaded / normal / underloaded** and the
+classification drives task migrations away from overloaded hosts (§II).
+The classifier is a Gaussian naive Bayes over the utilisation vector,
+fitted online against empirically labelled intervals.
+
+Broker repair: orphans merge into the broker classified least loaded
+(a Type-2 shift); overloaded brokers additionally shed workers to
+underloaded peers.  The paper notes ECLB "only considers computational
+overloads", which is preserved: the class boundaries look at CPU only.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..simulator.detection import FailureReport
+from ..simulator.engine import SystemView
+from ..simulator.metrics import IntervalMetrics
+from ..simulator.topology import Topology
+from .base import (
+    ResilienceModel,
+    merge_into_least_loaded,
+    orphans_of,
+)
+
+__all__ = ["ECLB", "GaussianNaiveBayes"]
+
+_CLASSES = ("underloaded", "normal", "overloaded")
+
+
+class GaussianNaiveBayes:
+    """Tiny online Gaussian naive Bayes over utilisation features."""
+
+    def __init__(self, n_features: int) -> None:
+        self.n_features = n_features
+        self._sums = {c: np.zeros(n_features) for c in _CLASSES}
+        self._sq_sums = {c: np.zeros(n_features) for c in _CLASSES}
+        self._counts = {c: 0 for c in _CLASSES}
+
+    def update(self, features: np.ndarray, label: str) -> None:
+        if label not in self._counts:
+            raise KeyError(f"unknown class {label!r}")
+        features = np.asarray(features, dtype=float)
+        self._sums[label] += features
+        self._sq_sums[label] += features ** 2
+        self._counts[label] += 1
+
+    def predict(self, features: np.ndarray) -> str:
+        """MAP class; falls back to thresholding before any training."""
+        features = np.asarray(features, dtype=float)
+        total = sum(self._counts.values())
+        if total < len(_CLASSES):
+            return _threshold_label(float(features[0]))
+        best_class, best_score = _CLASSES[0], -np.inf
+        for label in _CLASSES:
+            count = self._counts[label]
+            if count == 0:
+                continue
+            mean = self._sums[label] / count
+            var = np.maximum(
+                self._sq_sums[label] / count - mean ** 2, 1e-4
+            )
+            log_prior = np.log(count / total)
+            log_likelihood = float(
+                (-0.5 * np.log(2 * np.pi * var)
+                 - 0.5 * (features - mean) ** 2 / var).sum()
+            )
+            score = log_prior + log_likelihood
+            if score > best_score:
+                best_class, best_score = label, score
+        return best_class
+
+    def memory_bytes(self) -> int:
+        arrays = 2 * len(_CLASSES) * self.n_features
+        return 8 * arrays + 64
+
+
+def _threshold_label(cpu: float) -> str:
+    if cpu > 0.8:
+        return "overloaded"
+    if cpu < 0.3:
+        return "underloaded"
+    return "normal"
+
+
+class ECLB(ResilienceModel):
+    """Bayesian host classification with Type-2 merges and shedding."""
+
+    name = "ECLB"
+
+    def __init__(self) -> None:
+        self.classifier = GaussianNaiveBayes(n_features=4)
+
+    # ------------------------------------------------------------------
+    def repair(
+        self,
+        view: SystemView,
+        report: FailureReport,
+        proposal: Topology,
+    ) -> Topology:
+        labels = self._classify_hosts(view)
+        result = proposal
+
+        # Orphans merge into the least-loaded broker (Type-2).
+        for failed in report.failed_brokers:
+            orphans = orphans_of(view, failed)
+            result = merge_into_least_loaded(result, view, orphans)
+
+        # Shed one worker from each overloaded broker to an underloaded
+        # peer, the checkpoint-and-migrate move of the original paper.
+        underloaded_brokers = [
+            b for b in sorted(result.brokers)
+            if labels.get(b) == "underloaded" and view.hosts[b].alive
+        ]
+        if underloaded_brokers:
+            for broker in sorted(result.brokers):
+                if labels.get(broker) != "overloaded":
+                    continue
+                lei = [w for w in result.lei(broker) if view.hosts[w].alive]
+                if not lei:
+                    continue
+                mover = max(
+                    lei, key=lambda w: view.hosts[w].utilisation["cpu"]
+                )
+                target = underloaded_brokers[0]
+                if target != broker:
+                    result = result.reassign(mover, target)
+        return result
+
+    def observe(self, metrics: IntervalMetrics, view: SystemView) -> None:
+        """Refit the Bayes classifier on this interval's observations."""
+        utilisation = view.utilisation_matrix()
+        for row in range(utilisation.shape[0]):
+            label = _threshold_label(float(utilisation[row, 0]))
+            self.classifier.update(utilisation[row], label)
+
+    def memory_bytes(self) -> int:
+        return 512 * 1024 + self.classifier.memory_bytes()
+
+    # ------------------------------------------------------------------
+    def _classify_hosts(self, view: SystemView) -> Dict[int, str]:
+        utilisation = view.utilisation_matrix()
+        return {
+            host.host_id: self.classifier.predict(utilisation[host.host_id])
+            for host in view.hosts
+        }

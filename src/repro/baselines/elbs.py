@@ -1,0 +1,210 @@
+"""ELBS baseline (Talaat et al., JNSM 2019) -- fuzzy + probabilistic NN.
+
+Effective Load Balancing Strategy: task priorities come from a fuzzy
+inference system over three inputs -- **SLO deadline**, **user-defined
+priority** and **estimated processing time** -- and a *probabilistic
+neural network* (PNN) acts as the QoS surrogate steering proactive task
+allocation (§II).
+
+A PNN keeps its training exemplars in memory (pattern layer = one unit
+per stored sample), which is exactly why the paper measures ELBS as the
+most memory-hungry baseline (Fig. 5e).  The surrogate here is the
+regression form: Nadaraya-Watson kernel smoothing over stored
+(state, objective) exemplars with an online-tuned bandwidth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..simulator.detection import FailureReport
+from ..simulator.engine import SystemView
+from ..simulator.metrics import IntervalMetrics
+from ..simulator.topology import Topology
+from .base import (
+    ResilienceModel,
+    combined_utilisation,
+    merge_into_least_loaded,
+    orphans_of,
+    promote_least_utilised,
+    rebalance_workers,
+)
+from .fuzzy import FuzzyRule, FuzzySystem, FuzzyVariable
+
+__all__ = ["ELBS", "PNNSurrogate", "build_priority_system"]
+
+
+def build_priority_system() -> FuzzySystem:
+    """The three-input priority FIS described by the ELBS paper."""
+    deadline = FuzzyVariable.uniform("deadline", ("tight", "medium", "loose"), 0.0, 1.0)
+    priority = FuzzyVariable.uniform("priority", ("low", "medium", "high"), 0.0, 1.0)
+    proc_time = FuzzyVariable.uniform("proc_time", ("short", "medium", "long"), 0.0, 1.0)
+    output = FuzzyVariable.uniform("score", ("low", "medium", "high"), 0.0, 1.0)
+    rules = [
+        FuzzyRule((("deadline", "tight"),), "high"),
+        FuzzyRule((("deadline", "loose"), ("priority", "low")), "low"),
+        FuzzyRule((("priority", "high"),), "high"),
+        FuzzyRule((("proc_time", "long"), ("deadline", "medium")), "high"),
+        FuzzyRule((("proc_time", "short"), ("deadline", "loose")), "low"),
+        FuzzyRule((("deadline", "medium"), ("priority", "medium")), "medium"),
+        FuzzyRule((("proc_time", "medium"),), "medium"),
+    ]
+    return FuzzySystem([deadline, priority, proc_time], output, rules)
+
+
+class PNNSurrogate:
+    """Exemplar-storing kernel regressor (probabilistic NN, regression)."""
+
+    def __init__(self, bandwidth: float = 0.3, capacity: int = 5000) -> None:
+        if bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        self.bandwidth = bandwidth
+        self.capacity = capacity
+        self._features: List[np.ndarray] = []
+        self._targets: List[float] = []
+
+    def __len__(self) -> int:
+        return len(self._features)
+
+    def add(self, features: np.ndarray, target: float) -> None:
+        self._features.append(np.asarray(features, dtype=float))
+        self._targets.append(float(target))
+        if len(self._features) > self.capacity:
+            self._features.pop(0)
+            self._targets.pop(0)
+
+    def predict(self, features: np.ndarray) -> float:
+        """Kernel-weighted mean of stored targets."""
+        if not self._features:
+            return 0.0
+        features = np.asarray(features, dtype=float)
+        stored = np.stack(self._features)
+        distances = ((stored - features) ** 2).sum(axis=1)
+        weights = np.exp(-distances / (2.0 * self.bandwidth ** 2))
+        total = weights.sum()
+        if total < 1e-12:
+            return float(np.mean(self._targets))
+        return float(weights @ np.asarray(self._targets) / total)
+
+    def tune_bandwidth(self, candidates=(0.15, 0.3, 0.6)) -> float:
+        """Pick the bandwidth minimising leave-one-out error.
+
+        This is ELBS's per-interval "fine-tuning": with a pattern layer
+        instead of weights, adapting the model means re-tuning its
+        smoothing parameter over the stored exemplars.
+        """
+        if len(self._features) < 5:
+            return self.bandwidth
+        stored = np.stack(self._features)
+        targets = np.asarray(self._targets)
+        sq_distances = ((stored[:, None, :] - stored[None, :, :]) ** 2).sum(axis=2)
+        best_bw, best_err = self.bandwidth, np.inf
+        for bandwidth in candidates:
+            weights = np.exp(-sq_distances / (2.0 * bandwidth ** 2))
+            np.fill_diagonal(weights, 0.0)
+            denom = weights.sum(axis=1)
+            valid = denom > 1e-12
+            if not valid.any():
+                continue
+            predictions = (weights @ targets)[valid] / denom[valid]
+            error = float(np.mean((predictions - targets[valid]) ** 2))
+            if error < best_err:
+                best_bw, best_err = bandwidth, error
+        self.bandwidth = best_bw
+        return best_bw
+
+    def memory_bytes(self) -> int:
+        return sum(f.nbytes + 8 for f in self._features) + 1024
+
+
+class ELBS(ResilienceModel):
+    """Fuzzy task priorities + PNN QoS surrogate, proactive balancing."""
+
+    name = "ELBS"
+
+    def __init__(self, exemplar_capacity: int = 5000) -> None:
+        self.fis = build_priority_system()
+        self.surrogate = PNNSurrogate(capacity=exemplar_capacity)
+        self._last_priorities: Dict[int, float] = {}
+
+    # ------------------------------------------------------------------
+    def repair(
+        self,
+        view: SystemView,
+        report: FailureReport,
+        proposal: Topology,
+    ) -> Topology:
+        # Fuzzy pass: per-host priority from aggregated task features
+        # (deadline tightness, configured priority, processing estimate).
+        if view.last_metrics is not None:
+            metrics = view.last_metrics.host_metrics
+            for row in range(metrics.shape[0]):
+                self._last_priorities[row] = self.fis.infer(
+                    {
+                        "deadline": float(np.clip(metrics[row, 9], 0.0, 1.0)),
+                        "priority": 0.5,
+                        "proc_time": float(np.clip(metrics[row, 7], 0.0, 1.0)),
+                    }
+                )
+
+        # Candidate set: proposal, per-failure promote/merge repairs,
+        # plus a proactive rebalance (ELBS allocates "to edge nodes or
+        # worker nodes as brokers to avoid system failures").
+        candidates: List[Topology] = [proposal]
+        current = proposal
+        for failed in report.failed_brokers:
+            orphans = orphans_of(view, failed)
+            candidates.append(promote_least_utilised(current, view, orphans))
+            candidates.append(merge_into_least_loaded(current, view, orphans))
+        candidates.append(rebalance_workers(proposal, view))
+
+        unique = {c.canonical_key(): c for c in candidates}
+        best, best_score = proposal, np.inf
+        for candidate in unique.values():
+            score = self.surrogate.predict(self._topology_features(view, candidate))
+            if score < best_score:
+                best, best_score = candidate, score
+        return best
+
+    def observe(self, metrics: IntervalMetrics, view: SystemView) -> None:
+        """Store the realised (state, objective) exemplar and re-tune."""
+        energy = float(metrics.host_metrics[:, 4].sum())
+        slo = float(metrics.host_metrics[:, 5].sum())
+        objective = 0.5 * energy + 0.5 * slo
+        self.surrogate.add(
+            self._topology_features(view, metrics.topology), objective
+        )
+        # Per-interval fine-tuning: bandwidth re-selection (the PNN's
+        # only free parameter), an O(n^2) pass over the pattern layer.
+        if len(self.surrogate) >= 5 and len(self.surrogate) <= 400:
+            self.surrogate.tune_bandwidth()
+
+    def memory_bytes(self) -> int:
+        """Pattern layer dominates -- the Fig. 5e peak."""
+        return 2 * 1024 ** 2 + self.surrogate.memory_bytes()
+
+    # ------------------------------------------------------------------
+    def _topology_features(self, view: SystemView, topology: Topology) -> np.ndarray:
+        utilisation = view.utilisation_matrix()
+        sizes = list(topology.lei_sizes().values())
+        lei_loads = []
+        for broker in topology.brokers:
+            lei = topology.lei(broker)
+            lei_loads.append(
+                float(np.mean([utilisation[w, 0] for w in lei])) if lei else 0.0
+            )
+        return np.array(
+            [
+                float(utilisation[:, 0].mean()),
+                float(utilisation[:, 0].max()),
+                float(utilisation[:, 1].mean()),
+                len(topology.brokers) / max(topology.n_hosts, 1),
+                float(np.var(sizes)) if sizes else 0.0,
+                max(lei_loads) if lei_loads else 0.0,
+                float(np.mean(list(self._last_priorities.values())))
+                if self._last_priorities
+                else 0.5,
+            ]
+        )

@@ -1,0 +1,212 @@
+"""FRAS baseline (Etemadi et al., Cluster Computing 2021) -- fuzzy RNN.
+
+Fuzzy-based Real-time Auto-Scaling: IoT applications run in virtual
+machines whose autoscaling decisions come from inferring system QoS
+with a **fuzzy recurrent neural network** surrogate (§II).  Mapped to
+broker resilience: an LSTM over the window of recent global metrics
+predicts next-interval QoS; a fuzzy layer turns the prediction and its
+trend into a scale-up / hold / scale-down decision over the broker
+layer, and failed brokers recover by restarting on the least-utilised
+worker (the VM-recovery analogue).
+
+The recurrent surrogate is re-fitted on its window *every* interval --
+the periodic fine-tuning that makes FRAS the cheapest-but-still-costly
+baseline in Fig. 5f.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import LSTM, Adam, Linear, Tensor, mse_loss
+from ..simulator.detection import FailureReport
+from ..simulator.engine import SystemView
+from ..simulator.metrics import IntervalMetrics
+from ..simulator.topology import Topology
+from .base import (
+    ResilienceModel,
+    combined_utilisation,
+    orphans_of,
+    promote_least_utilised,
+    rebalance_workers,
+)
+from .fuzzy import FuzzyRule, FuzzySystem, FuzzyVariable
+
+__all__ = ["FRAS", "RecurrentSurrogate"]
+
+_WINDOW = 16
+_N_FEATURES = 6
+
+
+class RecurrentSurrogate:
+    """LSTM regression head over the global metric window."""
+
+    def __init__(self, hidden: int = 64, seed: int = 0) -> None:
+        rng = np.random.default_rng(seed)
+        self.lstm = LSTM(_N_FEATURES, hidden, rng)
+        self.head = Linear(hidden, 1, rng, activation_hint="linear")
+        self.optimizer = Adam(
+            self.lstm.parameters() + self.head.parameters(),
+            lr=1e-3,
+            weight_decay=1e-5,
+        )
+
+    def predict(self, window: np.ndarray) -> float:
+        _, (h, _c) = self.lstm(Tensor(window))
+        return float(self.head(h).data.reshape(-1)[0])
+
+    def fit_step(self, window: np.ndarray, target: float) -> float:
+        """One gradient step on (window -> next objective)."""
+        self.optimizer.zero_grad()
+        _, (h, _c) = self.lstm(Tensor(window))
+        prediction = self.head(h).reshape(())
+        loss = mse_loss(prediction, np.array(target))
+        loss.backward()
+        self.optimizer.step()
+        return float(loss.data)
+
+    def memory_bytes(self) -> int:
+        params = self.lstm.parameter_count() + self.head.parameter_count()
+        return 3 * 8 * params
+
+
+def _build_scaling_system() -> FuzzySystem:
+    """Fuzzy layer: (predicted QoS, trend) -> scaling decision."""
+    qos = FuzzyVariable.uniform("qos", ("good", "fair", "poor"), 0.0, 1.0)
+    trend = FuzzyVariable.uniform("trend", ("falling", "flat", "rising"), -0.2, 0.2)
+    action = FuzzyVariable.uniform("action", ("scale_down", "hold", "scale_up"), 0.0, 1.0)
+    rules = [
+        FuzzyRule((("qos", "poor"),), "scale_up"),
+        FuzzyRule((("qos", "fair"), ("trend", "rising")), "scale_up"),
+        FuzzyRule((("qos", "good"), ("trend", "falling")), "scale_down"),
+        FuzzyRule((("qos", "good"), ("trend", "flat")), "hold"),
+        FuzzyRule((("qos", "fair"), ("trend", "flat")), "hold"),
+        FuzzyRule((("qos", "fair"), ("trend", "falling")), "hold"),
+    ]
+    return FuzzySystem([qos, trend], action, rules)
+
+
+class FRAS(ResilienceModel):
+    """Fuzzy-recurrent QoS surrogate driving broker-layer autoscaling."""
+
+    name = "FRAS"
+
+    def __init__(self, seed: int = 0, fit_steps_per_interval: int = 24) -> None:
+        self.surrogate = RecurrentSurrogate(seed=seed)
+        self.scaler = _build_scaling_system()
+        self.fit_steps_per_interval = fit_steps_per_interval
+        self._window: List[np.ndarray] = []
+        self._objectives: List[float] = []
+        self.rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------------
+    def repair(
+        self,
+        view: SystemView,
+        report: FailureReport,
+        proposal: Topology,
+    ) -> Topology:
+        result = proposal
+        # VM-style recovery: restart broker duties on the least-loaded
+        # orphan of each failed LEI.
+        for failed in report.failed_brokers:
+            orphans = orphans_of(view, failed)
+            result = promote_least_utilised(
+                result, view, orphans, key=combined_utilisation
+            )
+
+        # Autoscaling from the fuzzy layer over the LSTM prediction.
+        if len(self._window) >= 2:
+            window = np.stack(self._window[-_WINDOW:])
+            prediction = self.surrogate.predict(window)
+            trend = float(self._objectives[-1] - self._objectives[-2]) if (
+                len(self._objectives) >= 2
+            ) else 0.0
+            decision = self.scaler.infer({"qos": prediction, "trend": trend})
+            if decision > 0.66:
+                result = self._scale_up(result, view)
+            elif decision < 0.33:
+                result = self._scale_down(result, view)
+
+        return rebalance_workers(result, view, max_moves=1)
+
+    def observe(self, metrics: IntervalMetrics, view: SystemView) -> None:
+        """Append to the window and re-fit the recurrent surrogate."""
+        features = self._global_features(metrics, view)
+        energy = float(metrics.host_metrics[:, 4].mean())
+        slo = float(metrics.host_metrics[:, 5].mean())
+        objective = 0.5 * energy + 0.5 * slo
+        self._window.append(features)
+        self._objectives.append(objective)
+        if len(self._window) > 4 * _WINDOW:
+            self._window.pop(0)
+            self._objectives.pop(0)
+
+        # Periodic fine-tuning: a full pass of window->target pairs.
+        if len(self._window) >= 4:
+            for _ in range(self.fit_steps_per_interval):
+                end = int(self.rng.integers(3, len(self._window)))
+                start = max(0, end - _WINDOW)
+                window = np.stack(self._window[start:end])
+                self.surrogate.fit_step(window, self._objectives[end - 1])
+
+    def memory_bytes(self) -> int:
+        window_bytes = sum(w.nbytes for w in self._window)
+        return 4 * 1024 ** 2 + self.surrogate.memory_bytes() + window_bytes
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _global_features(metrics: IntervalMetrics, view: SystemView) -> np.ndarray:
+        host = metrics.host_metrics
+        return np.array(
+            [
+                float(host[:, 0].mean()),   # cpu
+                float(host[:, 1].mean()),   # ram
+                float(host[:, 4].mean()),   # energy (per-host mean)
+                float(host[:, 5].mean()),   # slo (per-host mean)
+                len(metrics.topology.brokers) / max(metrics.topology.n_hosts, 1),
+                metrics.n_active_tasks / 20.0,
+            ]
+        )
+
+    def _scale_up(self, topology: Topology, view: SystemView) -> Topology:
+        """Add a broker: split the hottest LEI at its coolest worker."""
+        candidates = [
+            b for b in sorted(topology.brokers) if len(topology.lei(b)) >= 3
+        ]
+        if not candidates:
+            return topology
+
+        def lei_load(broker: int) -> float:
+            lei = topology.lei(broker)
+            return float(
+                np.mean([combined_utilisation(view, w) for w in lei])
+            )
+
+        hottest = max(candidates, key=lei_load)
+        lei = topology.lei(hottest)
+        chosen = min(lei, key=lambda w: combined_utilisation(view, w))
+        result = topology.promote(chosen)
+        for mover in [w for w in lei if w != chosen][::2]:
+            result = result.reassign(mover, chosen)
+        return result
+
+    def _scale_down(self, topology: Topology, view: SystemView) -> Topology:
+        """Remove a broker: merge the coolest LEI into the next coolest.
+
+        Never drops below two brokers -- a single management point is
+        the bottleneck failure mode the whole system avoids (§I).
+        """
+        brokers = sorted(topology.brokers)
+        if len(brokers) < 3:
+            return topology
+
+        def broker_load(broker: int) -> float:
+            return combined_utilisation(view, broker)
+
+        coolest = min(brokers, key=broker_load)
+        others = [b for b in brokers if b != coolest]
+        target = min(others, key=broker_load)
+        return topology.demote(coolest, target)

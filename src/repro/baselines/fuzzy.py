@@ -1,0 +1,143 @@
+"""Mamdani-style fuzzy inference substrate.
+
+ELBS computes task priorities from three fuzzy inputs (SLO deadline,
+user-defined priority, estimated processing time) and FRAS drives its
+autoscaling through a fuzzy layer in front of a recurrent surrogate
+(§II).  This module provides the pieces both need: triangular
+membership functions, fuzzy variables, min-AND rules and centroid
+defuzzification.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["TriangularMF", "FuzzyVariable", "FuzzyRule", "FuzzySystem"]
+
+
+@dataclass(frozen=True)
+class TriangularMF:
+    """Triangular membership function with feet ``a, c`` and peak ``b``."""
+
+    a: float
+    b: float
+    c: float
+
+    def __post_init__(self) -> None:
+        if not self.a <= self.b <= self.c:
+            raise ValueError(f"need a <= b <= c, got ({self.a}, {self.b}, {self.c})")
+
+    def __call__(self, x: float) -> float:
+        if x <= self.a or x >= self.c:
+            # Shoulder terms: stay saturated beyond the flat peak.
+            if self.a == self.b and x <= self.a:
+                return 1.0
+            if self.b == self.c and x >= self.c:
+                return 1.0
+            return 0.0
+        if x == self.b:
+            return 1.0
+        if x < self.b:
+            return (x - self.a) / (self.b - self.a)
+        return (self.c - x) / (self.c - self.b)
+
+    def centroid(self) -> float:
+        return (self.a + self.b + self.c) / 3.0
+
+
+class FuzzyVariable:
+    """A named variable with labelled membership terms."""
+
+    def __init__(self, name: str, terms: Mapping[str, TriangularMF]) -> None:
+        if not terms:
+            raise ValueError("fuzzy variable needs at least one term")
+        self.name = name
+        self.terms = dict(terms)
+
+    def fuzzify(self, x: float) -> Dict[str, float]:
+        """Membership degree of ``x`` in every term."""
+        return {label: mf(x) for label, mf in self.terms.items()}
+
+    @classmethod
+    def uniform(cls, name: str, labels: Sequence[str], low: float, high: float) -> "FuzzyVariable":
+        """Evenly-spaced triangular terms across ``[low, high]``."""
+        if len(labels) < 2:
+            raise ValueError("need at least two labels")
+        centres = np.linspace(low, high, len(labels))
+        half = (high - low) / (len(labels) - 1)
+        terms = {}
+        for label, centre in zip(labels, centres):
+            terms[label] = TriangularMF(
+                max(low, centre - half), centre, min(high, centre + half)
+            )
+        return cls(name, terms)
+
+
+@dataclass(frozen=True)
+class FuzzyRule:
+    """IF (var1 is term1) AND ... THEN (output is term)."""
+
+    antecedents: Tuple[Tuple[str, str], ...]
+    consequent: str
+
+    def strength(self, memberships: Mapping[str, Dict[str, float]]) -> float:
+        """Min-AND firing strength given fuzzified inputs."""
+        degrees = []
+        for variable, term in self.antecedents:
+            degrees.append(memberships[variable][term])
+        return min(degrees) if degrees else 0.0
+
+
+class FuzzySystem:
+    """Rule base over input variables with a fuzzy output variable.
+
+    Inference: fuzzify crisp inputs, fire every rule with min-AND,
+    aggregate per output term with max, defuzzify by the weighted
+    centroid of output-term centroids (a standard fast Mamdani
+    approximation).
+    """
+
+    def __init__(
+        self,
+        inputs: Sequence[FuzzyVariable],
+        output: FuzzyVariable,
+        rules: Sequence[FuzzyRule],
+    ) -> None:
+        if not rules:
+            raise ValueError("fuzzy system needs at least one rule")
+        self.inputs = {var.name: var for var in inputs}
+        self.output = output
+        self.rules = list(rules)
+        for rule in self.rules:
+            for variable, term in rule.antecedents:
+                if variable not in self.inputs:
+                    raise KeyError(f"unknown input variable {variable!r}")
+                if term not in self.inputs[variable].terms:
+                    raise KeyError(f"unknown term {term!r} of {variable!r}")
+            if rule.consequent not in output.terms:
+                raise KeyError(f"unknown output term {rule.consequent!r}")
+
+    def infer(self, crisp_inputs: Mapping[str, float]) -> float:
+        """Crisp output for crisp inputs."""
+        memberships = {
+            name: variable.fuzzify(float(crisp_inputs[name]))
+            for name, variable in self.inputs.items()
+        }
+        activation: Dict[str, float] = {term: 0.0 for term in self.output.terms}
+        for rule in self.rules:
+            strength = rule.strength(memberships)
+            activation[rule.consequent] = max(activation[rule.consequent], strength)
+
+        total = sum(activation.values())
+        if total <= 0.0:
+            # No rule fired: fall back to the output mid-point.
+            centroids = [mf.centroid() for mf in self.output.terms.values()]
+            return float(np.mean(centroids))
+        weighted = sum(
+            strength * self.output.terms[term].centroid()
+            for term, strength in activation.items()
+        )
+        return weighted / total

@@ -1,0 +1,110 @@
+"""Genetic algorithm substrate.
+
+LBOS (Talaat et al., 2020) computes its reinforcement-learning reward
+as a weighted average of QoS metrics whose weights are "determined
+using genetic algorithms" (§II).  This is a small real-vector GA with
+tournament selection, blend crossover and Gaussian mutation, run by
+LBOS over recorded QoS history to re-derive the weights.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+import numpy as np
+
+__all__ = ["GAConfig", "GeneticAlgorithm"]
+
+
+@dataclass(frozen=True)
+class GAConfig:
+    """Evolution parameters."""
+
+    population_size: int = 20
+    generations: int = 10
+    tournament_size: int = 3
+    crossover_rate: float = 0.9
+    mutation_rate: float = 0.2
+    mutation_scale: float = 0.1
+    #: Search box for every gene.
+    lower: float = 0.0
+    upper: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.population_size < 2:
+            raise ValueError("population_size must be >= 2")
+        if self.generations < 1:
+            raise ValueError("generations must be >= 1")
+        if not 2 <= self.tournament_size <= self.population_size:
+            raise ValueError("tournament_size out of range")
+        if self.lower >= self.upper:
+            raise ValueError("need lower < upper")
+
+
+class GeneticAlgorithm:
+    """Maximise ``fitness(vector)`` over a box-constrained real vector."""
+
+    def __init__(
+        self,
+        n_genes: int,
+        fitness: Callable[[np.ndarray], float],
+        rng: np.random.Generator,
+        config: Optional[GAConfig] = None,
+    ) -> None:
+        if n_genes < 1:
+            raise ValueError("n_genes must be >= 1")
+        self.n_genes = n_genes
+        self.fitness = fitness
+        self.rng = rng
+        self.config = config or GAConfig()
+
+    # ------------------------------------------------------------------
+    def run(self) -> tuple[np.ndarray, float]:
+        """Evolve and return ``(best_vector, best_fitness)``."""
+        cfg = self.config
+        population = self.rng.uniform(
+            cfg.lower, cfg.upper, size=(cfg.population_size, self.n_genes)
+        )
+        scores = np.array([self.fitness(ind) for ind in population])
+
+        for _ in range(cfg.generations):
+            children = []
+            while len(children) < cfg.population_size:
+                mother = self._tournament(population, scores)
+                father = self._tournament(population, scores)
+                child = self._crossover(mother, father)
+                child = self._mutate(child)
+                children.append(child)
+            # Elitism: keep the incumbent best.
+            best_index = int(np.argmax(scores))
+            children[0] = population[best_index].copy()
+            population = np.stack(children)
+            scores = np.array([self.fitness(ind) for ind in population])
+
+        best_index = int(np.argmax(scores))
+        return population[best_index].copy(), float(scores[best_index])
+
+    # ------------------------------------------------------------------
+    def _tournament(self, population: np.ndarray, scores: np.ndarray) -> np.ndarray:
+        indices = self.rng.choice(
+            len(population), size=self.config.tournament_size, replace=False
+        )
+        winner = indices[int(np.argmax(scores[indices]))]
+        return population[winner]
+
+    def _crossover(self, mother: np.ndarray, father: np.ndarray) -> np.ndarray:
+        if self.rng.random() > self.config.crossover_rate:
+            return mother.copy()
+        # Blend (BLX-alpha) crossover.
+        mix = self.rng.uniform(-0.25, 1.25, size=self.n_genes)
+        child = mix * mother + (1.0 - mix) * father
+        return np.clip(child, self.config.lower, self.config.upper)
+
+    def _mutate(self, individual: np.ndarray) -> np.ndarray:
+        mask = self.rng.random(self.n_genes) < self.config.mutation_rate
+        noise = self.rng.normal(
+            0.0, self.config.mutation_scale, size=self.n_genes
+        )
+        mutated = individual + mask * noise
+        return np.clip(mutated, self.config.lower, self.config.upper)

@@ -1,0 +1,199 @@
+"""StepGAN baseline (Feng et al., IoT-J 2021) -- stepwise conv GAN.
+
+StepGAN "converts the input time-series into matrices and executes
+convolution operations to capture temporal trends", trained with a
+stepwise process (§II): the discriminator learns on progressively
+longer window prefixes, which stabilises GAN training on streams.  The
+discriminator's score on the latest window is the anomaly signal; low
+likelihood means the window looks unlike normal operation.
+
+Like TopoMAD it is detection-only, so the paper pairs it with FRAS's
+priority load-balancing recovery -- reproduced here.  Carrying both a
+generator and a conv discriminator makes it one of the heavier models
+(Fig. 5e) and its per-interval adversarial updates are costly
+(Fig. 5f).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..nn import Adam, Conv1d, Linear, Tensor, max_pool1d
+from ..simulator.detection import FailureReport
+from ..simulator.engine import SystemView
+from ..simulator.metrics import IntervalMetrics
+from ..simulator.topology import Topology
+from .base import (
+    ResilienceModel,
+    combined_utilisation,
+    orphans_of,
+    promote_least_utilised,
+    rebalance_workers,
+)
+
+__all__ = ["StepGAN", "ConvDiscriminator", "ConvGenerator"]
+
+_WINDOW = 12
+_N_FEATURES = 6
+_NOISE = 8
+_EPS = 1e-8
+
+
+class ConvDiscriminator:
+    """Conv1d stack over [features, window] matrices -> likelihood."""
+
+    def __init__(self, channels: int = 24, seed: int = 0) -> None:
+        rng = np.random.default_rng(seed)
+        self.conv1 = Conv1d(_N_FEATURES, channels, 3, rng, padding=1)
+        self.conv2 = Conv1d(channels, channels, 3, rng, padding=1)
+        self.head = Linear(channels, 1, rng, activation_hint="linear")
+
+    def forward(self, window_matrix) -> Tensor:
+        """``window_matrix``: [features, window_len] (any length >= 2)."""
+        x = Tensor(window_matrix) if isinstance(window_matrix, np.ndarray) else window_matrix
+        x = self.conv1(x).relu()
+        x = self.conv2(x).relu()
+        pooled = x.mean(axis=1)
+        return self.head(pooled).sigmoid()
+
+    def parameters(self):
+        return (
+            self.conv1.parameters()
+            + self.conv2.parameters()
+            + self.head.parameters()
+        )
+
+    def parameter_count(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+
+class ConvGenerator:
+    """Noise -> [features, window] matrix through a deconv-ish MLP."""
+
+    def __init__(self, hidden: int = 96, seed: int = 1) -> None:
+        rng = np.random.default_rng(seed)
+        self.fc1 = Linear(_NOISE, hidden, rng)
+        self.fc2 = Linear(hidden, hidden, rng)
+        self.fc3 = Linear(hidden, _N_FEATURES * _WINDOW, rng, activation_hint="linear")
+
+    def forward(self, noise: np.ndarray) -> Tensor:
+        x = self.fc1(Tensor(noise)).relu()
+        x = self.fc2(x).relu()
+        return self.fc3(x).sigmoid().reshape(_N_FEATURES, _WINDOW)
+
+    def parameters(self):
+        return self.fc1.parameters() + self.fc2.parameters() + self.fc3.parameters()
+
+    def parameter_count(self) -> int:
+        return sum(p.size for p in self.parameters())
+
+
+class StepGAN(ResilienceModel):
+    """Stepwise-trained conv GAN detector + reactive FRAS recovery."""
+
+    name = "StepGAN"
+
+    def __init__(self, seed: int = 0, adversarial_steps: int = 6) -> None:
+        self.discriminator = ConvDiscriminator(seed=seed)
+        self.generator = ConvGenerator(seed=seed + 1)
+        self.d_optimizer = Adam(self.discriminator.parameters(), lr=1e-3, weight_decay=1e-5)
+        self.g_optimizer = Adam(self.generator.parameters(), lr=1e-3, weight_decay=1e-5)
+        self.adversarial_steps = adversarial_steps
+        self.rng = np.random.default_rng(seed)
+        self._window: List[np.ndarray] = []
+        self._scores: List[float] = []
+        #: Stepwise curriculum: current training prefix length.
+        self._prefix = 4
+
+    # ------------------------------------------------------------------
+    def repair(
+        self,
+        view: SystemView,
+        report: FailureReport,
+        proposal: Topology,
+    ) -> Topology:
+        result = proposal
+        for failed in report.failed_brokers:
+            orphans = orphans_of(view, failed)
+            result = promote_least_utilised(
+                result, view, orphans, key=combined_utilisation
+            )
+        if self._anomalous():
+            result = rebalance_workers(result, view, max_moves=2)
+        return result
+
+    def observe(self, metrics: IntervalMetrics, view: SystemView) -> None:
+        features = _global_features(metrics)
+        self._window.append(features)
+        if len(self._window) > 6 * _WINDOW:
+            self._window.pop(0)
+        if len(self._window) < 4:
+            return
+
+        matrix = np.stack(self._window[-_WINDOW:]).T  # [features, window]
+        score = float(self.discriminator.forward(matrix).data.reshape(-1)[0])
+        self._scores.append(score)
+        if len(self._scores) > 200:
+            self._scores.pop(0)
+
+        # Stepwise adversarial updates on growing prefixes.
+        self._prefix = min(self._prefix + 1, min(_WINDOW, len(self._window)))
+        for _ in range(self.adversarial_steps):
+            self._adversarial_step(prefix=self._prefix)
+
+    def memory_bytes(self) -> int:
+        params = (
+            self.discriminator.parameter_count()
+            + self.generator.parameter_count()
+        )
+        window_bytes = sum(w.nbytes for w in self._window)
+        return 8 * 1024 ** 2 + 3 * 8 * params + window_bytes
+
+    # ------------------------------------------------------------------
+    def _adversarial_step(self, prefix: int) -> None:
+        end = int(self.rng.integers(prefix, len(self._window) + 1))
+        real = np.stack(self._window[end - prefix:end]).T
+
+        # Discriminator step.
+        noise = self.rng.normal(size=_NOISE)
+        fake_full = self.generator.forward(noise).detach()
+        fake = Tensor(fake_full.data[:, :prefix])
+        self.d_optimizer.zero_grad()
+        d_real = self.discriminator.forward(real).clip(_EPS, 1 - _EPS)
+        d_fake = self.discriminator.forward(fake).clip(_EPS, 1 - _EPS)
+        d_loss = -(d_real.log() + (1.0 - d_fake).log()).mean()
+        d_loss.backward()
+        self.d_optimizer.step()
+
+        # Generator step (non-saturating loss).
+        self.g_optimizer.zero_grad()
+        generated = self.generator.forward(self.rng.normal(size=_NOISE))
+        g_score = self.discriminator.forward(
+            generated[:, :prefix]
+        ).clip(_EPS, 1 - _EPS)
+        g_loss = -g_score.log().mean()
+        g_loss.backward()
+        self.g_optimizer.step()
+
+    def _anomalous(self) -> bool:
+        """Low discriminator likelihood vs the empirical 10th percentile."""
+        if len(self._scores) < 10:
+            return False
+        threshold = float(np.quantile(self._scores[:-1], 0.1))
+        return self._scores[-1] < threshold
+
+
+def _global_features(metrics: IntervalMetrics) -> np.ndarray:
+    host = metrics.host_metrics
+    return np.array(
+        [
+            float(host[:, 0].mean()),
+            float(host[:, 1].mean()),
+            float(host[:, 4].sum()),
+            float(host[:, 5].sum()),
+            len(metrics.topology.brokers) / max(metrics.topology.n_hosts, 1),
+            metrics.n_active_tasks / 20.0,
+        ]
+    )

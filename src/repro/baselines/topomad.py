@@ -1,0 +1,188 @@
+"""TopoMAD baseline (He et al., TNNLS 2020) -- LSTM + VAE reconstruction.
+
+A topology-aware unsupervised anomaly detector: an LSTM encoder maps
+the window of system metrics to a latent Gaussian, a variational
+autoencoder samples it, and an LSTM decoder reconstructs the window;
+high reconstruction error on the *latest* state flags a fault.  As the
+paper notes, "the reconstruction error is only obtained for the latest
+state, limiting them to using reactive fault recovery policies" (§II)
+-- so, like the paper's experiments, the recovery policy here is the
+FRAS priority load balancing.
+
+The detector retrains on its sliding window every interval (overhead),
+and its threshold is an empirical quantile of past scores (the KDE
+thresholding family cited in §II).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..nn import LSTM, Adam, Linear, Tensor, kl_gaussian, mse_loss
+from ..simulator.detection import FailureReport
+from ..simulator.engine import SystemView
+from ..simulator.metrics import IntervalMetrics
+from ..simulator.topology import Topology
+from .base import (
+    ResilienceModel,
+    combined_utilisation,
+    orphans_of,
+    promote_least_utilised,
+    rebalance_workers,
+)
+
+__all__ = ["TopoMAD", "LSTMVAE"]
+
+_WINDOW = 12
+_N_FEATURES = 6
+_LATENT = 8
+
+
+class LSTMVAE:
+    """LSTM encoder -> Gaussian latent -> LSTM decoder."""
+
+    def __init__(self, hidden: int = 48, seed: int = 0) -> None:
+        rng = np.random.default_rng(seed)
+        self.rng = rng
+        self.encoder = LSTM(_N_FEATURES, hidden, rng)
+        self.mu_head = Linear(hidden, _LATENT, rng, activation_hint="linear")
+        self.logvar_head = Linear(hidden, _LATENT, rng, activation_hint="linear")
+        self.latent_to_hidden = Linear(_LATENT, hidden, rng)
+        self.decoder = LSTM(_N_FEATURES, hidden, rng)
+        self.out_head = Linear(hidden, _N_FEATURES, rng, activation_hint="linear")
+        parameters = (
+            self.encoder.parameters()
+            + self.mu_head.parameters()
+            + self.logvar_head.parameters()
+            + self.latent_to_hidden.parameters()
+            + self.decoder.parameters()
+            + self.out_head.parameters()
+        )
+        self.optimizer = Adam(parameters, lr=1e-3, weight_decay=1e-5)
+
+    # ------------------------------------------------------------------
+    def _encode(self, window: np.ndarray):
+        _, (h, _c) = self.encoder(Tensor(window))
+        return self.mu_head(h), self.logvar_head(h)
+
+    def _decode(self, z, seq_len: int):
+        h0 = self.latent_to_hidden(z).tanh()
+        c0 = Tensor(np.zeros(h0.shape))
+        zeros = Tensor(np.zeros((seq_len, _N_FEATURES)))
+        hidden, _ = self.decoder(zeros, (h0, c0))
+        from ..nn import stack
+
+        return stack([self.out_head(hidden[t]) for t in range(seq_len)], axis=0)
+
+    def reconstruct(self, window: np.ndarray) -> np.ndarray:
+        """Mean reconstruction (latent = mu, no sampling)."""
+        mu, _logvar = self._encode(window)
+        return self._decode(mu, window.shape[0]).data
+
+    def reconstruction_error(self, window: np.ndarray) -> float:
+        """Squared error on the latest state (the TopoMAD score)."""
+        reconstruction = self.reconstruct(window)
+        return float(np.mean((reconstruction[-1] - window[-1]) ** 2))
+
+    def fit_step(self, window: np.ndarray, beta: float = 0.1) -> float:
+        """One ELBO gradient step (reconstruction + beta * KL)."""
+        self.optimizer.zero_grad()
+        mu, logvar = self._encode(window)
+        noise = Tensor(self.rng.normal(size=mu.shape))
+        z = mu + (logvar * 0.5).exp() * noise
+        reconstruction = self._decode(z, window.shape[0])
+        loss = mse_loss(reconstruction, window) + kl_gaussian(mu, logvar) * beta
+        loss.backward()
+        self.optimizer.step()
+        return float(loss.data)
+
+    def parameter_count(self) -> int:
+        modules = (
+            self.encoder,
+            self.mu_head,
+            self.logvar_head,
+            self.latent_to_hidden,
+            self.decoder,
+            self.out_head,
+        )
+        return sum(m.parameter_count() for m in modules)
+
+    def memory_bytes(self) -> int:
+        return 3 * 8 * self.parameter_count()
+
+
+class TopoMAD(ResilienceModel):
+    """Reconstruction-based anomaly detection + reactive FRAS recovery."""
+
+    name = "TopoMAD"
+
+    def __init__(self, seed: int = 0, fit_steps_per_interval: int = 12) -> None:
+        self.vae = LSTMVAE(seed=seed)
+        self.fit_steps_per_interval = fit_steps_per_interval
+        self.rng = np.random.default_rng(seed)
+        self._window: List[np.ndarray] = []
+        self._scores: List[float] = []
+
+    # ------------------------------------------------------------------
+    def repair(
+        self,
+        view: SystemView,
+        report: FailureReport,
+        proposal: Topology,
+    ) -> Topology:
+        result = proposal
+        for failed in report.failed_brokers:
+            orphans = orphans_of(view, failed)
+            result = promote_least_utilised(
+                result, view, orphans, key=combined_utilisation
+            )
+
+        # Reactive response to a detected anomaly: shed load off the
+        # hottest LEI even without a confirmed broker death.
+        if self._anomalous():
+            result = rebalance_workers(result, view, max_moves=2)
+        return result
+
+    def observe(self, metrics: IntervalMetrics, view: SystemView) -> None:
+        features = _global_features(metrics)
+        self._window.append(features)
+        if len(self._window) > 6 * _WINDOW:
+            self._window.pop(0)
+        if len(self._window) >= 3:
+            window = np.stack(self._window[-_WINDOW:])
+            self._scores.append(self.vae.reconstruction_error(window))
+            if len(self._scores) > 200:
+                self._scores.pop(0)
+            # Per-interval retraining on random sub-windows.
+            for _ in range(self.fit_steps_per_interval):
+                end = int(self.rng.integers(2, len(self._window)))
+                start = max(0, end - _WINDOW)
+                self.vae.fit_step(np.stack(self._window[start:end + 1]))
+
+    def memory_bytes(self) -> int:
+        window_bytes = sum(w.nbytes for w in self._window)
+        return 6 * 1024 ** 2 + self.vae.memory_bytes() + window_bytes
+
+    # ------------------------------------------------------------------
+    def _anomalous(self) -> bool:
+        """Latest score above the empirical 90th percentile."""
+        if len(self._scores) < 10:
+            return False
+        threshold = float(np.quantile(self._scores[:-1], 0.9))
+        return self._scores[-1] > threshold
+
+
+def _global_features(metrics: IntervalMetrics) -> np.ndarray:
+    host = metrics.host_metrics
+    return np.array(
+        [
+            float(host[:, 0].mean()),
+            float(host[:, 1].mean()),
+            float(host[:, 4].sum()),
+            float(host[:, 5].sum()),
+            len(metrics.topology.brokers) / max(metrics.topology.n_hosts, 1),
+            metrics.n_active_tasks / 20.0,
+        ]
+    )

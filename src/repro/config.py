@@ -1,0 +1,128 @@
+"""Experiment configuration dataclasses.
+
+Every experiment in the reproduction is parameterised through these
+configs rather than module-level constants, so the paper-scale setup
+(16 Raspberry-Pi hosts, 4 LEIs, 100 five-minute evaluation intervals,
+1000 trace intervals) and the fast CI-scale setup coexist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+__all__ = ["FederationConfig", "WorkloadConfig", "FaultConfig", "ExperimentConfig"]
+
+
+@dataclass(frozen=True)
+class FederationConfig:
+    """Shape of the federated edge testbed (§IV-C of the paper)."""
+
+    n_hosts: int = 16
+    n_leis: int = 4
+    #: Number of 8GB Pi-4B nodes; the rest are the 4GB variant.
+    n_large_hosts: int = 8
+    #: Scheduling-interval length in seconds (five minutes).
+    interval_seconds: float = 300.0
+    #: LAN / WAN link speed in Mbit/s (all links are 1 Gbps).
+    link_mbps: float = 1000.0
+
+    def __post_init__(self) -> None:
+        if self.n_hosts < 2:
+            raise ValueError("need at least two hosts (one broker, one worker)")
+        if not 1 <= self.n_leis <= self.n_hosts // 2:
+            raise ValueError(
+                f"n_leis={self.n_leis} infeasible for {self.n_hosts} hosts"
+            )
+        if not 0 <= self.n_large_hosts <= self.n_hosts:
+            raise ValueError("n_large_hosts out of range")
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """Bag-of-tasks arrival process (§V-A)."""
+
+    #: Which suite generates tasks: ``"defog"`` (training) or ``"aiot"`` (test).
+    suite: str = "aiot"
+    #: Poisson rate of new tasks per LEI per interval.
+    arrival_rate: float = 1.2
+    #: Global demand drift: scale of the random-walk non-stationarity.
+    drift_scale: float = 0.02
+    #: Probability per interval of a regime jump in workload statistics.
+    jump_probability: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.suite not in ("defog", "aiot"):
+            raise ValueError(f"unknown workload suite {self.suite!r}")
+        if self.arrival_rate <= 0:
+            raise ValueError("arrival_rate must be positive")
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection process (§IV-F)."""
+
+    #: Poisson rate of attacks per interval.
+    rate: float = 0.5
+    #: Attack types sampled uniformly at random.
+    attack_types: Tuple[str, ...] = (
+        "cpu_overload",
+        "ram_contention",
+        "disk_attack",
+        "ddos_attack",
+    )
+    #: Recovery (reboot) time bounds in seconds (1-5 minutes, §IV-I).
+    recovery_seconds: Tuple[float, float] = (60.0, 300.0)
+    #: Fraction of resource over-utilisation above which a node becomes
+    #: unresponsive within the interval.
+    failure_threshold: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate < 0:
+            raise ValueError("fault rate must be non-negative")
+        low, high = self.recovery_seconds
+        if not 0 < low <= high:
+            raise ValueError("recovery_seconds must satisfy 0 < low <= high")
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """Top-level experiment description."""
+
+    federation: FederationConfig = field(default_factory=FederationConfig)
+    workload: WorkloadConfig = field(default_factory=WorkloadConfig)
+    faults: FaultConfig = field(default_factory=FaultConfig)
+    #: Number of scheduling intervals to simulate.
+    n_intervals: int = 100
+    #: QoS mixing weights, O(M) = alpha * energy + beta * slo (eq. 7).
+    alpha: float = 0.5
+    beta: float = 0.5
+    #: Seed for every RNG in the run.
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_intervals < 1:
+            raise ValueError("n_intervals must be >= 1")
+        if abs(self.alpha + self.beta - 1.0) > 1e-9:
+            raise ValueError("alpha + beta must equal 1 (paper, eq. 7)")
+
+
+def paper_scale() -> ExperimentConfig:
+    """The configuration used for headline results in the paper."""
+    return ExperimentConfig(
+        federation=FederationConfig(n_hosts=16, n_leis=4, n_large_hosts=8),
+        workload=WorkloadConfig(suite="aiot", arrival_rate=1.2),
+        faults=FaultConfig(rate=0.5),
+        n_intervals=100,
+    )
+
+
+def ci_scale(seed: int = 0) -> ExperimentConfig:
+    """A reduced-but-faithful configuration for fast test runs."""
+    return ExperimentConfig(
+        federation=FederationConfig(n_hosts=8, n_leis=2, n_large_hosts=4),
+        workload=WorkloadConfig(suite="aiot", arrival_rate=1.2),
+        faults=FaultConfig(rate=0.5),
+        n_intervals=20,
+        seed=seed,
+    )

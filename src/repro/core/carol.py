@@ -1,0 +1,236 @@
+"""CAROL: the Confidence-Aware Resilience model (Algorithm 2).
+
+Per scheduling interval:
+
+1. start from the engine's topology initialisation (line 4);
+2. for each failed broker, apply a random node-shift and run tabu
+   search over the node-shift neighbourhood, scoring candidates with
+   the GON surrogate through the QoS objective (lines 5-8);
+3. when no broker failed, bank the interval's datapoint in the running
+   dataset Γ (line 10);
+4. compute the confidence ``C = D(M_t, S_t, G_t)``, update the POT
+   threshold and fine-tune the GON on Γ only when ``C`` dips below it
+   (lines 11-16) -- the parsimonious fine-tuning that gives CAROL its
+   low overheads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..simulator.detection import FailureReport
+from ..simulator.engine import SystemView
+from ..simulator.metrics import IntervalMetrics
+from ..simulator.topology import Topology
+from .features import GONInput, from_interval
+from .gon import GONDiscriminator
+from .interface import ResilienceModel
+from .nodeshift import neighbours, random_node_shift, reassignment_neighbours
+from .objectives import QoSObjective
+from .pot import PeakOverThreshold
+from .surrogate import predict_qos
+from .tabu import tabu_search
+from .training import TrainingConfig, fine_tune
+
+__all__ = ["CAROLConfig", "CAROL"]
+
+
+@dataclass(frozen=True)
+class CAROLConfig:
+    """CAROL hyper-parameters (paper values as defaults)."""
+
+    #: Surrogate ascent step size, gamma of eq. 1 (paper's best: 1e-3;
+    #: one decade higher here -- see TrainingConfig.generation_gamma).
+    gamma: float = 1e-2
+    #: Ascent iterations per surrogate evaluation during the search.
+    surrogate_steps: int = 8
+    #: Tabu list size L (paper: 100, Fig. 6c).
+    tabu_size: int = 100
+    #: Tabu iterations / non-improving patience per failed broker.
+    tabu_iterations: int = 4
+    tabu_patience: int = 2
+    #: Neighbourhood subsample per tabu iteration (tractability bound;
+    #: the full neighbourhood is evaluated when smaller than this).
+    neighbourhood_sample: int = 24
+    #: POT risk and calibration (§III-B).
+    pot_risk: float = 2e-2
+    pot_calibration: int = 20
+    #: Running-dataset capacity and the minimum needed to fine-tune.
+    buffer_capacity: int = 200
+    min_buffer: int = 8
+    #: Fine-tuning passes over Γ per trigger.
+    fine_tune_iterations: int = 2
+    #: Per-interval topology maintenance (§V-C: "allowing node-shift at
+    #: each interval"): on failure-free intervals, up to this many
+    #: cheap worker-reassignment candidates are scored against the
+    #: incumbent.  0 disables maintenance (strict failure-only repair).
+    maintenance_candidates: int = 6
+    seed: int = 0
+
+
+@dataclass
+class CAROLDiagnostics:
+    """Telemetry for the Fig. 2 confidence/threshold visualisation."""
+
+    confidences: List[float] = field(default_factory=list)
+    thresholds: List[float] = field(default_factory=list)
+    fine_tuned: List[bool] = field(default_factory=list)
+    tabu_evaluations: List[int] = field(default_factory=list)
+
+    @property
+    def n_fine_tunes(self) -> int:
+        return sum(self.fine_tuned)
+
+
+class CAROL(ResilienceModel):
+    """Confidence-aware resilience model over a trained GON."""
+
+    name = "CAROL"
+
+    def __init__(
+        self,
+        model: GONDiscriminator,
+        alpha: float = 0.5,
+        beta: float = 0.5,
+        config: Optional[CAROLConfig] = None,
+    ) -> None:
+        self.model = model
+        self.config = config or CAROLConfig()
+        self.objective = QoSObjective(alpha, beta)
+        self.pot = PeakOverThreshold(
+            risk=self.config.pot_risk,
+            calibration_size=self.config.pot_calibration,
+        )
+        self.rng = np.random.default_rng(self.config.seed)
+        self.buffer: List[GONInput] = []
+        self.diagnostics = CAROLDiagnostics()
+        self._training_config = TrainingConfig(
+            generation_gamma=self.config.gamma,
+            generation_steps=self.config.surrogate_steps,
+            seed=self.config.seed,
+        )
+
+    # ------------------------------------------------------------------
+    # Alg. 2 lines 4-8: topology repair
+    # ------------------------------------------------------------------
+    def repair(
+        self,
+        view: SystemView,
+        report: FailureReport,
+        proposal: Topology,
+    ) -> Topology:
+        if view.last_metrics is None:
+            # No observations yet (interval 1): nothing to optimise.
+            self.diagnostics.tabu_evaluations.append(0)
+            return proposal
+
+        last = view.last_metrics
+        cache: Dict[tuple, float] = {}
+
+        def omega(candidate: Topology) -> float:
+            """Objective score of a graph (the paper's Omega)."""
+            key = candidate.canonical_key()
+            if key not in cache:
+                sample = GONInput(
+                    metrics=np.asarray(last.host_metrics, dtype=float),
+                    schedule=np.asarray(last.schedule_encoding, dtype=float),
+                    adjacency=candidate.adjacency(),
+                )
+                score, _result = predict_qos(
+                    self.model,
+                    sample,
+                    self.objective,
+                    gamma=self.config.gamma,
+                    max_steps=self.config.surrogate_steps,
+                )
+                cache[key] = score
+            return cache[key]
+
+        def sampled_neighbours(topology: Topology) -> List[Topology]:
+            options = neighbours(topology)
+            limit = self.config.neighbourhood_sample
+            if len(options) > limit:
+                chosen = self.rng.choice(len(options), size=limit, replace=False)
+                options = [options[i] for i in chosen]
+            return options
+
+        if report.failed_brokers:
+            # Lines 7-8: random node-shift as the search start, once
+            # per failed broker, then tabu search.  The engine's
+            # initialisation stays the incumbent: a weakly-trained
+            # surrogate must beat it to move the topology.
+            current = proposal
+            for _failed in report.failed_brokers:
+                start = random_node_shift(current, self.rng)
+                result = tabu_search(
+                    start,
+                    objective=omega,
+                    neighbourhood=sampled_neighbours,
+                    tabu_size=self.config.tabu_size,
+                    max_iterations=self.config.tabu_iterations,
+                    patience=self.config.tabu_patience,
+                )
+                current = result.best
+            chosen = current if omega(current) <= omega(proposal) else proposal
+        elif self.config.maintenance_candidates > 0:
+            # Line 4 / §V-C: per-interval node-shift maintenance.
+            # Cheap reassignment moves only; the incumbent competes.
+            options = reassignment_neighbours(proposal)
+            limit = self.config.maintenance_candidates
+            if len(options) > limit:
+                picks = self.rng.choice(len(options), size=limit, replace=False)
+                options = [options[i] for i in picks]
+            chosen = min([proposal, *options], key=omega)
+        else:
+            chosen = proposal
+        self.diagnostics.tabu_evaluations.append(len(cache))
+        return chosen
+
+    # ------------------------------------------------------------------
+    # Alg. 2 lines 10-16: confidence tracking and fine-tuning
+    # ------------------------------------------------------------------
+    def observe(self, metrics: IntervalMetrics, view: SystemView) -> None:
+        sample = from_interval(metrics)
+        report = metrics.failure_report
+        broker_failed = bool(report and report.failed_brokers)
+        if not broker_failed:
+            # Line 10: save healthy datapoints into Γ.
+            self.buffer.append(sample)
+            if len(self.buffer) > self.config.buffer_capacity:
+                self.buffer.pop(0)
+
+        # Line 11: confidence score of the realised state.
+        confidence = self.model.score(sample)
+        # Line 12: POT threshold update.
+        threshold = self.pot.update(confidence)
+
+        fine_tuned = False
+        if confidence < threshold and len(self.buffer) >= self.config.min_buffer:
+            # Lines 14-16: fine-tune on Γ, then clear it.
+            fine_tune(
+                self.model,
+                self.buffer,
+                config=self._training_config,
+                iterations=self.config.fine_tune_iterations,
+                rng=self.rng,
+            )
+            self.buffer.clear()
+            fine_tuned = True
+
+        self.diagnostics.confidences.append(confidence)
+        self.diagnostics.thresholds.append(
+            threshold if np.isfinite(threshold) else float("nan")
+        )
+        self.diagnostics.fine_tuned.append(fine_tuned)
+
+    # ------------------------------------------------------------------
+    def memory_bytes(self) -> int:
+        """GON parameters + optimiser moments + the Γ buffer."""
+        buffer_bytes = sum(
+            s.metrics.nbytes + s.schedule.nbytes + s.adjacency.nbytes
+            for s in self.buffer
+        )
+        return self.model.footprint_bytes() + buffer_bytes

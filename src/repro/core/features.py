@@ -1,0 +1,90 @@
+"""Assemble GON inputs from simulator observables.
+
+The discriminator ``D(M, S, G; theta)`` of §IV-A consumes three inputs:
+the per-host metric matrix ``M`` (utilisations, QoS, task demands), the
+per-host aggregated scheduling decision ``S`` and the topology graph
+``G`` whose node features are the resource utilisations ``u_i``.
+
+The canonical encodings are defined simulator-side
+(:mod:`repro.simulator.metrics`); this module bundles them into a
+single :class:`GONInput` and exposes the column indices the objective
+function needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..simulator.metrics import IntervalMetrics, M_FEATURES, S_FEATURES
+from ..simulator.topology import Topology
+
+__all__ = [
+    "GONInput",
+    "N_M_FEATURES",
+    "N_S_FEATURES",
+    "N_NODE_FEATURES",
+    "ENERGY_COLUMN",
+    "SLO_COLUMN",
+    "from_interval",
+    "node_features",
+]
+
+N_M_FEATURES = len(M_FEATURES)
+N_S_FEATURES = len(S_FEATURES)
+#: Graph node features are the utilisation block u_i = M[:, :4].
+N_NODE_FEATURES = 4
+ENERGY_COLUMN = M_FEATURES.index("energy_norm")
+SLO_COLUMN = M_FEATURES.index("slo_rate")
+
+
+@dataclass(frozen=True)
+class GONInput:
+    """One (M, S, G) tuple ready for the discriminator."""
+
+    metrics: np.ndarray      # [n_hosts, N_M_FEATURES]
+    schedule: np.ndarray     # [n_hosts, N_S_FEATURES]
+    adjacency: np.ndarray    # [n_hosts, n_hosts]
+
+    def __post_init__(self) -> None:
+        n_hosts = self.metrics.shape[0]
+        if self.metrics.ndim != 2 or self.metrics.shape[1] != N_M_FEATURES:
+            raise ValueError(
+                f"metrics must be [n_hosts, {N_M_FEATURES}], got {self.metrics.shape}"
+            )
+        if self.schedule.shape != (n_hosts, N_S_FEATURES):
+            raise ValueError(
+                f"schedule must be [{n_hosts}, {N_S_FEATURES}], got {self.schedule.shape}"
+            )
+        if self.adjacency.shape != (n_hosts, n_hosts):
+            raise ValueError(
+                f"adjacency must be [{n_hosts}, {n_hosts}], got {self.adjacency.shape}"
+            )
+
+    @property
+    def n_hosts(self) -> int:
+        return self.metrics.shape[0]
+
+
+def node_features(metrics: np.ndarray) -> np.ndarray:
+    """Graph node features: the utilisation block of ``M`` (§IV-A)."""
+    return metrics[:, :N_NODE_FEATURES]
+
+
+def from_interval(
+    interval_metrics: IntervalMetrics,
+    topology: Topology | None = None,
+) -> GONInput:
+    """Build a :class:`GONInput` from one simulated interval.
+
+    ``topology`` overrides the interval's own graph -- used when
+    scoring *candidate* topologies against the latest metrics during
+    the tabu search.
+    """
+    graph = topology if topology is not None else interval_metrics.topology
+    return GONInput(
+        metrics=np.asarray(interval_metrics.host_metrics, dtype=float),
+        schedule=np.asarray(interval_metrics.schedule_encoding, dtype=float),
+        adjacency=graph.adjacency(),
+    )

@@ -1,0 +1,120 @@
+"""The GON discriminator network (Fig. 3 of the paper).
+
+A composite network over three inputs, matching §IV-A:
+
+* ``E_MS = ReLU(FeedForward([M, S]))`` applied per host and mean-pooled
+  (eq. 3) -- pooling keeps the encoder agnostic to the host count,
+  like the paper's stacked representation;
+* ``E_G``: a graph attention network over the topology whose node
+  features are the utilisations ``u_i`` (eq. 4), mean-pooled;
+* ``D(M,S,G) = Sigmoid(FeedForward([E_MS, E_G]))`` (eq. 5), a scalar
+  likelihood in [0, 1] that doubles as the *confidence score*.
+
+Because GONs drop the GAN generator entirely, the discriminator is the
+whole model -- the memory-efficiency argument of the paper.  Layer
+width is fixed at 128 and the layer count is the knob grid-searched in
+§V-E (Fig. 6b).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import FeedForward, GraphEncoder, Module, Tensor, as_tensor, concatenate
+from .features import GONInput, N_M_FEATURES, N_NODE_FEATURES, N_S_FEATURES
+
+__all__ = ["GONDiscriminator"]
+
+
+class GONDiscriminator(Module):
+    """``D(M, S, G; theta)`` returning a likelihood/confidence scalar.
+
+    Parameters
+    ----------
+    rng:
+        Generator for weight init.
+    hidden:
+        Layer width (paper: 128).
+    n_layers:
+        Feed-forward depth of the [M,S] encoder; the paper's deployed
+        model uses 3 layers (~1 GB footprint on its inputs, §IV-E).
+        Swept by the Fig. 6(b) sensitivity experiment.
+    n_m_features / n_s_features:
+        Input dimensionalities (default: the canonical encodings).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        hidden: int = 128,
+        n_layers: int = 3,
+        n_m_features: int = N_M_FEATURES,
+        n_s_features: int = N_S_FEATURES,
+    ) -> None:
+        super().__init__()
+        if n_layers < 1:
+            raise ValueError("n_layers must be >= 1")
+        self.hidden = hidden
+        self.n_layers = n_layers
+        self.n_m_features = n_m_features
+        self.n_s_features = n_s_features
+        # Eq. 3: E_{M,S} = ReLU(FeedForward([M, S])).
+        self.ms_encoder = FeedForward(
+            n_m_features + n_s_features,
+            hidden,
+            rng,
+            hidden=hidden,
+            layers=n_layers,
+            activation="relu",
+            final_activation="relu",
+        )
+        # Eq. 4: graph attention over node features u_i.
+        self.graph_encoder = GraphEncoder(N_NODE_FEATURES, hidden, rng, layers=1)
+        # Eq. 5: sigmoid head over the concatenated embeddings.
+        self.head = FeedForward(
+            2 * hidden,
+            1,
+            rng,
+            hidden=hidden,
+            layers=2,
+            activation="relu",
+            final_activation="identity",
+        )
+
+    # ------------------------------------------------------------------
+    def forward(self, metrics, schedule, adjacency) -> Tensor:
+        """Likelihood of ``(M, S, G)`` under the learned distribution.
+
+        ``metrics`` may be a Tensor with ``requires_grad=True``; the
+        surrogate's input-space optimisation (eq. 1) relies on the
+        gradient flowing through both encoders (graph node features are
+        a slice of ``M``).
+        """
+        metrics = as_tensor(metrics)
+        schedule = as_tensor(schedule)
+        joint = concatenate([metrics, schedule], axis=1)
+        e_ms = self.ms_encoder(joint).mean(axis=0)
+        e_g = self.graph_encoder(metrics[:, :N_NODE_FEATURES], np.asarray(adjacency))
+        logits = self.head(concatenate([e_ms, e_g], axis=0))
+        return logits.sigmoid().reshape(())
+
+    def score(self, sample: GONInput) -> float:
+        """Confidence of a concrete sample (no gradients kept)."""
+        value = self.forward(sample.metrics, sample.schedule, sample.adjacency)
+        return float(value.data)
+
+    def footprint_bytes(self) -> int:
+        """Resident memory: parameters plus optimiser moments."""
+        return self.memory_bytes()
+
+    def clone_architecture(self, rng: np.random.Generator) -> "GONDiscriminator":
+        """Fresh network with identical hyper-parameters."""
+        return GONDiscriminator(
+            rng,
+            hidden=self.hidden,
+            n_layers=self.n_layers,
+            n_m_features=self.n_m_features,
+            n_s_features=self.n_s_features,
+        )

@@ -1,0 +1,59 @@
+"""Resilience-model interface.
+
+Every fault-resilience scheme in the reproduction -- CAROL, the seven
+baselines of §V and the four ablations -- implements this contract.
+The experiment runner drives the same four-phase interval protocol for
+all of them and *measures* decision time, fine-tuning overhead and
+memory footprint from the outside, so the Fig. 5 comparisons never rely
+on self-reported numbers.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from ..simulator.detection import FailureReport
+from ..simulator.engine import SystemView
+from ..simulator.metrics import IntervalMetrics
+from ..simulator.topology import Topology
+
+__all__ = ["ResilienceModel"]
+
+
+class ResilienceModel(ABC):
+    """Broker-resilience policy driven once per scheduling interval."""
+
+    #: Human-readable identifier used in result tables.
+    name: str = "base"
+
+    @abstractmethod
+    def repair(
+        self,
+        view: SystemView,
+        report: FailureReport,
+        proposal: Topology,
+    ) -> Topology:
+        """Return the topology for the upcoming interval.
+
+        ``proposal`` is the engine's default initialisation (failed
+        hosts stripped, recovered hosts reattached -- Alg. 2 line 4);
+        models without an opinion return it unchanged.  The runner
+        times this call: it is the Fig. 5(d) *decision time*.
+        """
+
+    def observe(self, metrics: IntervalMetrics, view: SystemView) -> None:
+        """Digest the finished interval; fine-tune/update internal state.
+
+        The runner times this call: it is the Fig. 5(f) *fine-tuning /
+        model-update overhead*.  Default: no-op (stateless heuristics).
+        """
+
+    def memory_bytes(self) -> int:
+        """Resident memory of the model (parameters, buffers, tables).
+
+        Default: a nominal container footprint for stateless policies.
+        """
+        return 1 * 1024 ** 2
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}(name={self.name!r})"

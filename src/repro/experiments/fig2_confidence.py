@@ -1,0 +1,101 @@
+"""Fig. 2 -- confidence scores and POT thresholds over time (§III-B).
+
+The paper visualises 1000 scheduling intervals of CAROL's confidence
+stream with the dynamic POT threshold underneath and shaded bands where
+confidence dipped below it and the GON was fine-tuned.  This experiment
+re-creates the run and reports the series plus summary statistics (how
+many intervals triggered fine-tuning -- the parsimony claim).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..config import ExperimentConfig, ci_scale
+from ..core import CAROL, CAROLConfig
+from .calibration import TrainedAssets, prepare_assets
+from .report import sparkline
+from .runner import run_experiment
+
+__all__ = ["Fig2Config", "Fig2Result", "run_fig2", "format_fig2"]
+
+
+@dataclass
+class Fig2Config:
+    base: ExperimentConfig = field(default_factory=ci_scale)
+    #: Evaluation length (paper: 1000 intervals).
+    n_intervals: int = 60
+    trace_intervals: int = 120
+    gon_hidden: int = 48
+    gon_layers: int = 3
+
+
+@dataclass
+class Fig2Result:
+    confidences: List[float]
+    thresholds: List[float]
+    fine_tuned: List[bool]
+
+    @property
+    def n_fine_tunes(self) -> int:
+        return int(sum(self.fine_tuned))
+
+    @property
+    def fine_tune_fraction(self) -> float:
+        if not self.fine_tuned:
+            return 0.0
+        return self.n_fine_tunes / len(self.fine_tuned)
+
+
+def run_fig2(
+    config: Optional[Fig2Config] = None,
+    assets: Optional[TrainedAssets] = None,
+) -> Fig2Result:
+    config = config or Fig2Config()
+    assets = assets or prepare_assets(
+        config.base,
+        trace_intervals=config.trace_intervals,
+        gon_hidden=config.gon_hidden,
+        gon_layers=config.gon_layers,
+    )
+    from dataclasses import replace
+
+    base = replace(config.base, n_intervals=config.n_intervals)
+    carol = CAROL(
+        assets.fresh_gon(),
+        base.alpha,
+        base.beta,
+        CAROLConfig(seed=base.seed),
+    )
+    run_experiment(carol, base)
+    diag = carol.diagnostics
+    return Fig2Result(
+        confidences=list(diag.confidences),
+        thresholds=list(diag.thresholds),
+        fine_tuned=list(diag.fine_tuned),
+    )
+
+
+def format_fig2(result: Fig2Result) -> str:
+    """Sparkline view of the confidence stream with trigger statistics."""
+    finite_thresholds = [t for t in result.thresholds if np.isfinite(t)]
+    bands = "".join("#" if f else "." for f in result.fine_tuned)
+    lines = [
+        "-- Fig. 2: confidence scores and POT threshold --",
+        f"confidence: {sparkline(result.confidences)}",
+        f"threshold : {sparkline(finite_thresholds)}",
+        f"fine-tune bands (#): {bands}",
+        (
+            f"intervals={len(result.confidences)} fine_tunes={result.n_fine_tunes} "
+            f"({100 * result.fine_tune_fraction:.1f}% of intervals)"
+        ),
+        (
+            f"mean confidence={np.mean(result.confidences):.3f} "
+            f"min={np.min(result.confidences):.3f} "
+            f"max={np.max(result.confidences):.3f}"
+        ),
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Fig. 5 -- comparison with baselines and ablations (§V-C, §V-D).
+
+Every resilience scheme runs on the *same* federation configuration --
+AIoT workloads (unseen at training time), Poisson(1.2) arrivals,
+fault injection at rate 0.5, 5-minute intervals, alpha = beta = 0.5 --
+and six metrics are collected per run:
+
+(a) total energy consumption, (b) mean response time, (c) SLO violation
+rate, (d) mean decision time, (e) model memory consumption and
+(f) total fine-tuning overhead.  The paper plots absolute values plus
+each method's performance relative to CAROL; :func:`format_results`
+prints the same panels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..config import ExperimentConfig, ci_scale
+from ..core import CAROLConfig
+from .calibration import (
+    ABLATION_NAMES,
+    BASELINE_NAMES,
+    TrainedAssets,
+    build_model,
+    prepare_assets,
+)
+from .report import format_relative_table
+from .runner import ExperimentResult, run_experiment
+
+__all__ = ["Fig5Config", "run_fig5", "format_results", "METRIC_PANELS"]
+
+#: (panel, summary key, label, lower-is-better) for each Fig. 5 subplot.
+METRIC_PANELS = (
+    ("a", "energy_kwh", "energy consumption (kWh)", True),
+    ("b", "response_time_s", "response time (s)", True),
+    ("c", "slo_violation_rate", "SLO violation rate", True),
+    ("d", "decision_time_s", "decision time (s)", True),
+    ("e", "memory_percent", "memory consumption (%)", True),
+    ("f", "fine_tune_overhead_s", "fine-tuning overhead (s)", True),
+)
+
+
+@dataclass
+class Fig5Config:
+    """Scales for the comparison experiment."""
+
+    base: ExperimentConfig = field(default_factory=ci_scale)
+    trace_intervals: int = 150
+    gon_hidden: int = 48
+    gon_layers: int = 3
+    include_ablations: bool = True
+    models: Optional[Sequence[str]] = None
+
+    def model_names(self) -> List[str]:
+        if self.models is not None:
+            return list(self.models)
+        names = ["CAROL", *BASELINE_NAMES]
+        if self.include_ablations:
+            names.extend(ABLATION_NAMES)
+        return names
+
+
+def run_fig5(
+    config: Optional[Fig5Config] = None,
+    assets: Optional[TrainedAssets] = None,
+) -> Dict[str, ExperimentResult]:
+    """Run every scheme and return ``{model_name: result}``."""
+    config = config or Fig5Config()
+    assets = assets or prepare_assets(
+        config.base,
+        trace_intervals=config.trace_intervals,
+        gon_hidden=config.gon_hidden,
+        gon_layers=config.gon_layers,
+    )
+    results: Dict[str, ExperimentResult] = {}
+    for name in config.model_names():
+        model = build_model(name, assets, config.base)
+        results[name] = run_experiment(model, config.base)
+    return results
+
+
+def format_results(results: Dict[str, ExperimentResult]) -> str:
+    """Render the six Fig. 5 panels as relative tables."""
+    summaries = {name: r.summary() for name, r in results.items()}
+    reference = "CAROL" if "CAROL" in summaries else next(iter(summaries))
+    panels = []
+    for panel, key, label, lower_better in METRIC_PANELS:
+        values = {name: s[key] for name, s in summaries.items()}
+        panels.append(
+            format_relative_table(
+                f"Fig. 5({panel}) {label}",
+                values,
+                reference=reference,
+                lower_is_better=lower_better,
+            )
+        )
+    return "\n\n".join(panels)
+
+
+#: Baselines that carry a trainable model (the paper's AI category).
+AI_BASELINE_NAMES = ("LBOS", "ELBS", "FRAS", "TopoMAD", "StepGAN")
+
+
+def headline_deltas(results: Dict[str, ExperimentResult]) -> Dict[str, float]:
+    """The paper's headline percentages, recomputed from this run.
+
+    Energy / response / SLO reductions compare CAROL against the best
+    *baseline* (ablations excluded), as in §V-C.  The overhead
+    reduction compares against the cheapest *AI* baseline -- the
+    paper's reference there is FRAS, the AI method with the lowest
+    overhead; heuristics' score updates are near-free in this
+    reproduction (see EXPERIMENTS.md) so including them would make the
+    ratio meaningless.
+    """
+    summaries = {name: r.summary() for name, r in results.items()}
+    carol = summaries["CAROL"]
+    baselines = {
+        name: s for name, s in summaries.items() if name in BASELINE_NAMES
+    }
+    if not baselines:
+        raise ValueError("no baselines in the result set")
+    ai_baselines = {
+        name: s for name, s in summaries.items() if name in AI_BASELINE_NAMES
+    }
+
+    def reduction(key: str, pool: Dict[str, Dict[str, float]]) -> float:
+        best = min(s[key] for s in pool.values())
+        if best <= 0:
+            return 0.0
+        return 100.0 * (best - carol[key]) / best
+
+    return {
+        "energy_reduction_pct": reduction("energy_kwh", baselines),
+        "response_time_reduction_pct": reduction("response_time_s", baselines),
+        "slo_violation_reduction_pct": reduction("slo_violation_rate", baselines),
+        "overhead_reduction_pct": reduction(
+            "fine_tune_overhead_s", ai_baselines or baselines
+        ),
+    }

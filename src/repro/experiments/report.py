@@ -1,0 +1,101 @@
+"""Plain-text reporting: tables and sparklines for every figure.
+
+The benches print the same rows/series the paper's figures plot; these
+helpers keep the formatting consistent and terminal-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["format_table", "sparkline", "format_relative_table"]
+
+_SPARK_CHARS = "▁▂▃▄▅▆▇█"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table."""
+    rendered_rows = [
+        [_render_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(width) for cell, width in zip(cells, widths))
+
+    parts: List[str] = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append(line(["-" * width for width in widths]))
+    parts.extend(line(row) for row in rendered_rows)
+    return "\n".join(parts)
+
+
+def _render_cell(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000 or abs(cell) < 1e-3:
+            return f"{cell:.3e}"
+        return f"{cell:.4g}"
+    return str(cell)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Compress a series into a unicode sparkline."""
+    values = [v for v in values if np.isfinite(v)]
+    if not values:
+        return ""
+    series = np.asarray(values, dtype=float)
+    if len(series) > width:
+        # Downsample by averaging buckets.
+        edges = np.linspace(0, len(series), width + 1).astype(int)
+        series = np.array(
+            [series[a:b].mean() for a, b in zip(edges[:-1], edges[1:]) if b > a]
+        )
+    low, high = float(series.min()), float(series.max())
+    if high - low < 1e-12:
+        return _SPARK_CHARS[0] * len(series)
+    scaled = (series - low) / (high - low)
+    indices = np.minimum(
+        (scaled * len(_SPARK_CHARS)).astype(int), len(_SPARK_CHARS) - 1
+    )
+    return "".join(_SPARK_CHARS[i] for i in indices)
+
+
+def format_relative_table(
+    metric_label: str,
+    values: Mapping[str, float],
+    reference: str = "CAROL",
+    lower_is_better: bool = True,
+) -> str:
+    """One Fig. 5 panel: absolute values plus performance relative to CAROL.
+
+    The paper's right-hand axes plot each method's value divided by
+    CAROL's; the same ratio appears here in the ``vs CAROL`` column.
+    """
+    if reference not in values:
+        raise KeyError(f"reference model {reference!r} missing from results")
+    base = values[reference]
+    rows = []
+    ordering = sorted(
+        values.items(), key=lambda item: item[1], reverse=not lower_is_better
+    )
+    for name, value in ordering:
+        ratio = value / base if base not in (0.0,) else float("nan")
+        rows.append((name, value, f"{ratio:.3f}x"))
+    return format_table(
+        headers=("model", metric_label, "vs CAROL"),
+        rows=rows,
+        title=f"-- {metric_label} --",
+    )

@@ -1,0 +1,36 @@
+"""Inverted dropout.
+
+Used by the LSTM-with-dropout anomaly-detection baselines cited in
+related work (§II) and available for regularising any model here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .module import Module
+from .tensor import Tensor, as_tensor
+
+
+class Dropout(Module):
+    """Zero activations with probability ``p`` during training.
+
+    Activations are rescaled by ``1/(1-p)`` so evaluation requires no
+    correction (inverted dropout).  The mask is drawn from the module's
+    own generator so training runs stay reproducible.
+    """
+
+    def __init__(self, p: float, rng: np.random.Generator) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = p
+        self._rng = rng
+
+    def forward(self, x) -> Tensor:
+        x = as_tensor(x)
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(float) / keep
+        return x * Tensor(mask)

@@ -1,0 +1,112 @@
+"""Functional interface over :mod:`repro.nn.tensor`.
+
+Stateless functions used throughout the neural models: activations,
+losses and a numerically-stable softmax/log-likelihood family.  The GON
+training loop (Algorithm 1 of the paper) uses :func:`binary_cross_entropy`
+over discriminator scores, and the surrogate optimisation of eq. (1)
+ascends :func:`log` of the discriminator output.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .tensor import ArrayLike, Tensor, as_tensor, concatenate, stack, where
+
+__all__ = [
+    "relu",
+    "sigmoid",
+    "tanh",
+    "softmax",
+    "log_softmax",
+    "mse_loss",
+    "l1_loss",
+    "binary_cross_entropy",
+    "bce_with_logits",
+    "kl_gaussian",
+    "concatenate",
+    "stack",
+    "where",
+]
+
+_EPS = 1e-12
+
+
+def relu(x: ArrayLike) -> Tensor:
+    """Rectified linear unit."""
+    return as_tensor(x).relu()
+
+
+def sigmoid(x: ArrayLike) -> Tensor:
+    """Logistic sigmoid, clipped for numerical stability."""
+    return as_tensor(x).sigmoid()
+
+
+def tanh(x: ArrayLike) -> Tensor:
+    """Hyperbolic tangent."""
+    return as_tensor(x).tanh()
+
+
+def softmax(x: ArrayLike, axis: int = -1) -> Tensor:
+    """Numerically-stable softmax along ``axis``."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: ArrayLike, axis: int = -1) -> Tensor:
+    """``log(softmax(x))`` computed stably."""
+    x = as_tensor(x)
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def mse_loss(prediction: ArrayLike, target: ArrayLike) -> Tensor:
+    """Mean squared error."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    diff = prediction - target.detach()
+    return (diff * diff).mean()
+
+
+def l1_loss(prediction: ArrayLike, target: ArrayLike) -> Tensor:
+    """Mean absolute error."""
+    prediction = as_tensor(prediction)
+    target = as_tensor(target)
+    return (prediction - target.detach()).abs().mean()
+
+
+def binary_cross_entropy(prediction: ArrayLike, target: ArrayLike) -> Tensor:
+    """BCE over probabilities in (0, 1).
+
+    Inputs are clipped away from {0, 1} so the log never sees an exact
+    zero; this mirrors the log-likelihood trick the paper uses for
+    training stability (§III-B).
+    """
+    prediction = as_tensor(prediction).clip(_EPS, 1.0 - _EPS)
+    target = as_tensor(target).detach()
+    term = target * prediction.log() + (1.0 - target) * (1.0 - prediction).log()
+    return -term.mean()
+
+
+def bce_with_logits(logits: ArrayLike, target: ArrayLike) -> Tensor:
+    """BCE straight from logits (more stable than sigmoid + BCE)."""
+    logits = as_tensor(logits)
+    target = as_tensor(target).detach()
+    # max(x, 0) - x*t + log(1 + exp(-|x|))
+    positive = logits.relu()
+    return (positive - logits * target + ((-logits.abs()).exp() + 1.0).log()).mean()
+
+
+def kl_gaussian(mu: ArrayLike, log_var: ArrayLike) -> Tensor:
+    """KL(N(mu, sigma^2) || N(0, 1)) summed over latent dims, meaned over batch.
+
+    Used by the TopoMAD baseline's variational autoencoder.
+    """
+    mu = as_tensor(mu)
+    log_var = as_tensor(log_var)
+    per_dim = (log_var.exp() + mu * mu - log_var - 1.0) * 0.5
+    if per_dim.ndim > 1:
+        return per_dim.sum(axis=-1).mean()
+    return per_dim.sum()

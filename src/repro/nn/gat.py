@@ -1,0 +1,122 @@
+"""Graph attention layer (eq. 4 of the paper).
+
+The GON encodes the federation topology with a graph attention
+network so the model is agnostic to the number of hosts (§IV-A):
+
+    e_i = sigma( sum_{j in n(i)} W_q . tanh(W u_j + b) )
+
+where ``W_q`` produces dot-product self-attention coefficients over the
+neighbourhood and ``n(i)`` are the neighbours of host ``i`` in the
+topology graph ``G``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from . import init
+from .module import Module, Parameter
+from .tensor import Tensor, as_tensor
+
+__all__ = ["GraphAttention", "adjacency_with_self_loops"]
+
+
+def adjacency_with_self_loops(adjacency: np.ndarray) -> np.ndarray:
+    """Return a copy of ``adjacency`` with ones on the diagonal.
+
+    Self-loops let every node attend to its own features, which keeps
+    isolated nodes (e.g. a just-rebooted host not yet reattached) from
+    producing zero embeddings.
+    """
+    adjacency = np.asarray(adjacency, dtype=float)
+    if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+        raise ValueError(f"adjacency must be square, got {adjacency.shape}")
+    out = adjacency.copy()
+    np.fill_diagonal(out, 1.0)
+    return out
+
+
+class GraphAttention(Module):
+    """Single-head graph attention over node features.
+
+    Parameters
+    ----------
+    in_features:
+        Per-node input feature dimension (resource utilisations ``u_i``).
+    out_features:
+        Per-node embedding dimension ``e_i``.
+    rng:
+        Generator for weight initialisation.
+
+    Forward signature: ``layer(features, adjacency)`` where ``features``
+    is ``[n_nodes, in_features]`` and ``adjacency`` a constant 0/1
+    matrix.  The attention coefficients are masked dot-product scores
+    normalised over each node's neighbourhood (self-loops included).
+    """
+
+    def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = Parameter(init.xavier_uniform((in_features, out_features), rng))
+        self.bias = Parameter(init.zeros((out_features,)))
+        self.attention = Parameter(init.xavier_uniform((out_features, out_features), rng))
+
+    def forward(self, features, adjacency: np.ndarray) -> Tensor:
+        features = as_tensor(features)
+        mask = adjacency_with_self_loops(np.asarray(adjacency))
+        if mask.shape[0] != features.shape[0]:
+            raise ValueError(
+                f"adjacency has {mask.shape[0]} nodes but features has "
+                f"{features.shape[0]} rows"
+            )
+
+        # Per-node message: tanh(W u_j + b), eq. (4) inner term.
+        messages = (features @ self.weight + self.bias).tanh()
+
+        # Dot-product self-attention scores between transformed nodes.
+        queries = messages @ self.attention
+        scores = queries @ messages.T  # [n, n]
+
+        # Mask non-edges with a large negative before softmax.
+        neg_inf = Tensor(np.where(mask > 0, 0.0, -1e9))
+        masked = scores + neg_inf
+        shifted = masked - Tensor(masked.data.max(axis=-1, keepdims=True))
+        weights = shifted.exp()
+        weights = weights * Tensor(mask)
+        weights = weights / (weights.sum(axis=-1, keepdims=True) + 1e-12)
+
+        # Aggregate messages over neighbourhoods, then squash (sigma).
+        aggregated = weights @ messages
+        return aggregated.sigmoid()
+
+
+class GraphEncoder(Module):
+    """Stack of :class:`GraphAttention` layers with mean pooling.
+
+    Produces a fixed-size graph embedding ``E_G`` regardless of host
+    count, as required for the GON head (eq. 5).
+    """
+
+    def __init__(
+        self,
+        in_features: int,
+        hidden: int,
+        rng: np.random.Generator,
+        layers: int = 1,
+    ) -> None:
+        super().__init__()
+        if layers < 1:
+            raise ValueError("GraphEncoder needs at least one layer")
+        dims = [in_features] + [hidden] * layers
+        self.layers = [
+            GraphAttention(dims[i], dims[i + 1], rng) for i in range(layers)
+        ]
+
+    def forward(self, features, adjacency: np.ndarray) -> Tensor:
+        x = as_tensor(features)
+        for layer in self.layers:
+            x = layer(x, adjacency)
+        return x.mean(axis=0)

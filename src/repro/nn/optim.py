@@ -1,0 +1,122 @@
+"""Optimisers.
+
+The paper trains and fine-tunes the GON with Adam (learning rate 1e-4,
+weight decay 1e-5, §IV-E); the same implementation also serves every
+baseline model.  Weight decay is applied in the decoupled (AdamW)
+form so it acts as true L2 shrinkage regardless of gradient scale.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+import numpy as np
+
+from .module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base class holding a parameter list."""
+
+    def __init__(self, parameters: Iterable[Parameter]) -> None:
+        self.parameters: List[Parameter] = list(parameters)
+        if not self.parameters:
+            raise ValueError("optimizer received no parameters")
+
+    def zero_grad(self) -> None:
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-2,
+        momentum: float = 0.0,
+        weight_decay: float = 0.0,
+    ) -> None:
+        super().__init__(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self.weight_decay = weight_decay
+        self._velocity = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.data
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                grad = velocity
+            parameter.data = parameter.data - self.lr * grad
+
+
+class Adam(Optimizer):
+    """Adam with decoupled weight decay.
+
+    Defaults follow the paper's training setup (§IV-E): lr = 1e-4,
+    weight decay = 1e-5.
+    """
+
+    def __init__(
+        self,
+        parameters: Iterable[Parameter],
+        lr: float = 1e-4,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 1e-5,
+    ) -> None:
+        super().__init__(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.parameters]
+        self._v = [np.zeros_like(p.data) for p in self.parameters]
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        bias1 = 1.0 - self.beta1 ** t
+        bias2 = 1.0 - self.beta2 ** t
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            if parameter.grad is None:
+                continue
+            grad = parameter.grad
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            update = m_hat / (np.sqrt(v_hat) + self.eps)
+            if self.weight_decay:
+                update = update + self.weight_decay * parameter.data
+            parameter.data = parameter.data - self.lr * update
+
+
+def clip_grad_norm(parameters: Iterable[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm (useful for logging training health).
+    """
+    parameters = [p for p in parameters if p.grad is not None]
+    total = float(np.sqrt(sum(float((p.grad ** 2).sum()) for p in parameters)))
+    if total > max_norm and total > 0.0:
+        scale = max_norm / total
+        for parameter in parameters:
+            parameter.grad = parameter.grad * scale
+    return total

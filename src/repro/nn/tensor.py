@@ -1,0 +1,466 @@
+"""Reverse-mode automatic differentiation over numpy arrays.
+
+The :class:`Tensor` class records a dynamic computation graph as
+operations are applied, and :meth:`Tensor.backward` propagates gradients
+through that graph in reverse topological order.
+
+This substrate replaces PyTorch (which the paper uses) for every neural
+model in the reproduction.  Two properties matter for CAROL in
+particular:
+
+* gradients are available with respect to *inputs* as well as
+  parameters -- the GON generates samples by gradient ascent in the
+  input space (eq. 1 of the paper);
+* broadcasting follows numpy semantics, with gradients correctly
+  reduced back to the operand shapes.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union["Tensor", np.ndarray, float, int, Sequence]
+
+_DEFAULT_DTYPE = np.float64
+
+
+def _as_array(value: ArrayLike) -> np.ndarray:
+    """Coerce ``value`` into a float numpy array without copying tensors."""
+    if isinstance(value, Tensor):
+        return value.data
+    return np.asarray(value, dtype=_DEFAULT_DTYPE)
+
+
+def _unbroadcast(grad: np.ndarray, shape: tuple) -> np.ndarray:
+    """Sum ``grad`` down to ``shape``, undoing numpy broadcasting.
+
+    Broadcasting may have (a) prepended axes and (b) stretched size-1
+    axes.  The adjoint of broadcasting is summation over exactly those
+    axes.
+    """
+    if grad.shape == shape:
+        return grad
+    # Remove prepended axes.
+    extra = grad.ndim - len(shape)
+    if extra > 0:
+        grad = grad.sum(axis=tuple(range(extra)))
+    # Sum over stretched axes.
+    axes = tuple(i for i, n in enumerate(shape) if n == 1 and grad.shape[i] != 1)
+    if axes:
+        grad = grad.sum(axis=axes, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed array node in a dynamic autodiff graph.
+
+    Parameters
+    ----------
+    data:
+        Array content (coerced to ``float64``).
+    requires_grad:
+        If true, gradients accumulate into :attr:`grad` on
+        :meth:`backward`.
+    name:
+        Optional debugging label.
+    """
+
+    __slots__ = ("data", "grad", "requires_grad", "name", "_backward", "_parents")
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        name: Optional[str] = None,
+    ) -> None:
+        self.data = _as_array(data)
+        self.requires_grad = bool(requires_grad)
+        self.grad: Optional[np.ndarray] = None
+        self.name = name
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: tuple = ()
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def shape(self) -> tuple:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def item(self) -> float:
+        return float(self.data.reshape(-1)[0]) if self.data.size == 1 else float(self.data)
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying array (no copy)."""
+        return self.data
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def copy(self) -> "Tensor":
+        return Tensor(self.data.copy(), requires_grad=self.requires_grad)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" name={self.name!r}" if self.name else ""
+        return f"Tensor(shape={self.shape}, requires_grad={self.requires_grad}{label})"
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _make(
+        data: np.ndarray,
+        parents: Iterable["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        parents = tuple(parents)
+        out = Tensor(data, requires_grad=any(p.requires_grad for p in parents))
+        if out.requires_grad:
+            out._parents = parents
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = _unbroadcast(np.asarray(grad, dtype=_DEFAULT_DTYPE), self.data.shape)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad = self.grad + grad
+
+    def backward(self, grad: Optional[ArrayLike] = None) -> None:
+        """Backpropagate from this tensor.
+
+        ``grad`` defaults to ones (standard for scalar losses).
+        """
+        if grad is None:
+            grad = np.ones_like(self.data)
+        else:
+            grad = _as_array(grad)
+            if grad.shape != self.data.shape:
+                grad = np.broadcast_to(grad, self.data.shape).copy()
+
+        # Topological order over the reachable subgraph.
+        order: list[Tensor] = []
+        seen: set[int] = set()
+        stack: list[tuple[Tensor, bool]] = [(self, False)]
+        while stack:
+            node, processed = stack.pop()
+            if processed:
+                order.append(node)
+                continue
+            if id(node) in seen:
+                continue
+            seen.add(id(node))
+            stack.append((node, True))
+            for parent in node._parents:
+                if id(parent) not in seen and parent.requires_grad:
+                    stack.append((parent, False))
+
+        grads: dict[int, np.ndarray] = {id(self): grad}
+        self._accumulate(grad)
+        for node in reversed(order):
+            node_grad = grads.pop(id(node), None)
+            if node_grad is None or node._backward is None:
+                continue
+            node._backward_into(node_grad, grads)
+
+    def _backward_into(self, grad: np.ndarray, grads: dict) -> None:
+        """Invoke the local backward fn, routing parent grads via ``grads``."""
+        contributions: list[tuple[Tensor, np.ndarray]] = []
+
+        def send(parent: "Tensor", g: np.ndarray) -> None:
+            contributions.append((parent, g))
+
+        self._backward(grad, send)  # type: ignore[call-arg]
+        for parent, g in contributions:
+            if not parent.requires_grad:
+                continue
+            g = _unbroadcast(np.asarray(g, dtype=_DEFAULT_DTYPE), parent.data.shape)
+            parent._accumulate(g)
+            key = id(parent)
+            if key in grads:
+                grads[key] = grads[key] + g
+            else:
+                grads[key] = g
+
+    # ------------------------------------------------------------------
+    # Arithmetic
+    # ------------------------------------------------------------------
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+
+        def backward(grad, send):
+            send(self, grad)
+            send(other_t, grad)
+
+        return Tensor._make(self.data + other_t.data, (self, other_t), backward)
+
+    __radd__ = __add__
+
+    def __neg__(self) -> "Tensor":
+        def backward(grad, send):
+            send(self, -grad)
+
+        return Tensor._make(-self.data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        return self + (-as_tensor(other))
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) + (-self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+
+        def backward(grad, send):
+            send(self, grad * other_t.data)
+            send(other_t, grad * self.data)
+
+        return Tensor._make(self.data * other_t.data, (self, other_t), backward)
+
+    __rmul__ = __mul__
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+
+        def backward(grad, send):
+            send(self, grad / other_t.data)
+            send(other_t, -grad * self.data / (other_t.data ** 2))
+
+        return Tensor._make(self.data / other_t.data, (self, other_t), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return as_tensor(other) / self
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("Tensor.__pow__ supports scalar exponents only")
+
+        def backward(grad, send):
+            send(self, grad * exponent * self.data ** (exponent - 1))
+
+        return Tensor._make(self.data ** exponent, (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other_t = as_tensor(other)
+
+        def backward(grad, send):
+            a, b = self.data, other_t.data
+            if a.ndim == 1 and b.ndim == 1:
+                send(self, grad * b)
+                send(other_t, grad * a)
+            elif a.ndim == 1:
+                # (k,) @ (k, n) -> (n,)
+                send(self, grad @ b.T)
+                send(other_t, np.outer(a, grad))
+            elif b.ndim == 1:
+                # (m, k) @ (k,) -> (m,)
+                send(self, np.outer(grad, b))
+                send(other_t, a.T @ grad)
+            else:
+                send(self, grad @ np.swapaxes(b, -1, -2))
+                send(other_t, np.swapaxes(a, -1, -2) @ grad)
+
+        return Tensor._make(self.data @ other_t.data, (self, other_t), backward)
+
+    # ------------------------------------------------------------------
+    # Shape ops
+    # ------------------------------------------------------------------
+    def reshape(self, *shape) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original = self.data.shape
+
+        def backward(grad, send):
+            send(self, grad.reshape(original))
+
+        return Tensor._make(self.data.reshape(shape), (self,), backward)
+
+    def flatten(self) -> "Tensor":
+        return self.reshape(-1)
+
+    def transpose(self, *axes) -> "Tensor":
+        if not axes:
+            axes = tuple(reversed(range(self.data.ndim)))
+        elif len(axes) == 1 and isinstance(axes[0], (tuple, list)):
+            axes = tuple(axes[0])
+        inverse = tuple(np.argsort(axes))
+
+        def backward(grad, send):
+            send(self, grad.transpose(inverse))
+
+        return Tensor._make(self.data.transpose(axes), (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":
+        return self.transpose()
+
+    def __getitem__(self, index) -> "Tensor":
+        def backward(grad, send):
+            full = np.zeros_like(self.data)
+            np.add.at(full, index, grad)
+            send(self, full)
+
+        return Tensor._make(self.data[index], (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+    def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
+        def backward(grad, send):
+            g = np.asarray(grad)
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+            send(self, np.broadcast_to(g, self.data.shape))
+
+        return Tensor._make(self.data.sum(axis=axis, keepdims=keepdims), (self,), backward)
+
+    def mean(self, axis=None, keepdims: bool = False) -> "Tensor":
+        if axis is None:
+            count = self.data.size
+        elif isinstance(axis, tuple):
+            count = int(np.prod([self.data.shape[a] for a in axis]))
+        else:
+            count = self.data.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis=None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad, send):
+            g = np.asarray(grad)
+            expanded = out_data
+            if axis is not None and not keepdims:
+                g = np.expand_dims(g, axis)
+                expanded = np.expand_dims(out_data, axis)
+            mask = (self.data == expanded).astype(_DEFAULT_DTYPE)
+            # Split gradient between ties, matching subgradient convention.
+            mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+            send(self, mask * g)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------
+    # Elementwise nonlinearities
+    # ------------------------------------------------------------------
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad, send):
+            send(self, grad * out_data)
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        def backward(grad, send):
+            send(self, grad / self.data)
+
+        return Tensor._make(np.log(self.data), (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        return self ** 0.5
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad, send):
+            send(self, grad * (1.0 - out_data ** 2))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-np.clip(self.data, -60.0, 60.0)))
+
+        def backward(grad, send):
+            send(self, grad * out_data * (1.0 - out_data))
+
+        return Tensor._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = (self.data > 0).astype(_DEFAULT_DTYPE)
+
+        def backward(grad, send):
+            send(self, grad * mask)
+
+        return Tensor._make(self.data * mask, (self,), backward)
+
+    def abs(self) -> "Tensor":
+        sign = np.sign(self.data)
+
+        def backward(grad, send):
+            send(self, grad * sign)
+
+        return Tensor._make(np.abs(self.data), (self,), backward)
+
+    def clip(self, low: float, high: float) -> "Tensor":
+        mask = ((self.data >= low) & (self.data <= high)).astype(_DEFAULT_DTYPE)
+
+        def backward(grad, send):
+            send(self, grad * mask)
+
+        return Tensor._make(np.clip(self.data, low, high), (self,), backward)
+
+
+def as_tensor(value: ArrayLike) -> Tensor:
+    """Return ``value`` as a :class:`Tensor` (constants get no grad)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value)
+
+
+def concatenate(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable ``np.concatenate``."""
+    tensors = [as_tensor(t) for t in tensors]
+    sizes = [t.data.shape[axis] for t in tensors]
+    offsets = np.cumsum([0] + sizes)
+
+    def backward(grad, send):
+        for tensor, start, stop in zip(tensors, offsets[:-1], offsets[1:]):
+            index = [slice(None)] * grad.ndim
+            index[axis] = slice(start, stop)
+            send(tensor, grad[tuple(index)])
+
+    data = np.concatenate([t.data for t in tensors], axis=axis)
+    return Tensor._make(data, tensors, backward)
+
+
+def stack(tensors: Sequence[Tensor], axis: int = 0) -> Tensor:
+    """Differentiable ``np.stack``."""
+    tensors = [as_tensor(t) for t in tensors]
+
+    def backward(grad, send):
+        for i, tensor in enumerate(tensors):
+            index = [slice(None)] * grad.ndim
+            index[axis] = i
+            send(tensor, grad[tuple(index)])
+
+    data = np.stack([t.data for t in tensors], axis=axis)
+    return Tensor._make(data, tensors, backward)
+
+
+def where(condition: np.ndarray, a: ArrayLike, b: ArrayLike) -> Tensor:
+    """Differentiable ``np.where`` with a constant condition."""
+    condition = np.asarray(condition, dtype=bool)
+    a_t, b_t = as_tensor(a), as_tensor(b)
+
+    def backward(grad, send):
+        send(a_t, grad * condition)
+        send(b_t, grad * (~condition))
+
+    return Tensor._make(np.where(condition, a_t.data, b_t.data), (a_t, b_t), backward)

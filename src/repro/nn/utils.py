@@ -1,0 +1,72 @@
+"""Training utilities: minibatching, early stopping, train/test splits."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["minibatches", "train_test_split", "EarlyStopping"]
+
+
+def minibatches(
+    n_items: int,
+    batch_size: int,
+    rng: np.random.Generator,
+    shuffle: bool = True,
+) -> Iterator[np.ndarray]:
+    """Yield index arrays covering ``range(n_items)`` in batches.
+
+    The final batch may be smaller; order is shuffled per epoch when
+    ``shuffle`` is set (the paper uses minibatch SGD with batch 32).
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be >= 1")
+    order = np.arange(n_items)
+    if shuffle:
+        rng.shuffle(order)
+    for start in range(0, n_items, batch_size):
+        yield order[start:start + batch_size]
+
+
+def train_test_split(
+    n_items: int,
+    test_fraction: float,
+    rng: np.random.Generator,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Random 80/20-style split over item indices.
+
+    Mirrors the paper's §IV-E split (80% train / 20% test).
+    """
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be in (0, 1)")
+    order = rng.permutation(n_items)
+    n_test = max(1, int(round(n_items * test_fraction)))
+    return order[n_test:], order[:n_test]
+
+
+class EarlyStopping:
+    """Stop when a monitored loss fails to improve for ``patience`` epochs.
+
+    The paper trains the GON with an early-stopping criterion (§IV-E);
+    converged runs land around 30 epochs (Fig. 4).
+    """
+
+    def __init__(self, patience: int = 5, min_delta: float = 1e-4) -> None:
+        if patience < 1:
+            raise ValueError("patience must be >= 1")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best: Optional[float] = None
+        self.best_epoch: int = -1
+        self._epochs_since_best = 0
+
+    def update(self, value: float, epoch: int) -> bool:
+        """Record ``value``; return ``True`` if training should stop."""
+        if self.best is None or value < self.best - self.min_delta:
+            self.best = value
+            self.best_epoch = epoch
+            self._epochs_since_best = 0
+            return False
+        self._epochs_since_best += 1
+        return self._epochs_since_best >= self.patience

@@ -1,0 +1,95 @@
+"""``repro.simulator`` -- COSCO-style co-simulator of an edge federation.
+
+Substitutes the paper's 16-node Raspberry-Pi testbed (see DESIGN.md):
+heterogeneous Pi-4B host models with measured power curves, a broker-
+worker topology over LEIs, distance-derived network latencies, mobile
+gateways, DeFog/AIoTBench workload generators, the four-attack fault
+injector, quorum failure detection, reboot recovery and a GOBI-style
+underlying scheduler, all driven in five-minute scheduling intervals.
+"""
+
+from .detection import DetectionProtocol, FailureReport
+from .engine import EdgeFederation, SystemView
+from .faults import AttackEvent, FaultInjector
+from .gateway import Gateway, GatewayFleet
+from .host import Host, HostSpec, RESOURCES, make_pi_cluster
+from .metrics import (
+    IntervalMetrics,
+    M_FEATURES,
+    RunMetrics,
+    S_FEATURES,
+    encode_host_metrics,
+    encode_schedule,
+)
+from .network import NetworkModel
+from .power import InterpolatedPowerModel, LinearPowerModel, PI4B_POWER, PowerModel
+from .recovery import ensure_brokered, reattach_recovered, strip_failed
+from .scheduler import (
+    GOBIScheduler,
+    LeastUtilScheduler,
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    SchedulingDecision,
+)
+from .task import Task, TaskSpec
+from .topology import Topology, initial_topology
+from .trace import Trace, TraceSample, collect_trace
+from .workloads import (
+    AIOT_PROFILES,
+    ApplicationProfile,
+    DEFOG_PROFILES,
+    WorkloadGenerator,
+    make_aiot_generator,
+    make_defog_generator,
+    make_generator,
+)
+
+__all__ = [
+    "EdgeFederation",
+    "SystemView",
+    "DetectionProtocol",
+    "FailureReport",
+    "FaultInjector",
+    "AttackEvent",
+    "Gateway",
+    "GatewayFleet",
+    "Host",
+    "HostSpec",
+    "RESOURCES",
+    "make_pi_cluster",
+    "IntervalMetrics",
+    "RunMetrics",
+    "M_FEATURES",
+    "S_FEATURES",
+    "encode_host_metrics",
+    "encode_schedule",
+    "NetworkModel",
+    "PowerModel",
+    "LinearPowerModel",
+    "InterpolatedPowerModel",
+    "PI4B_POWER",
+    "ensure_brokered",
+    "reattach_recovered",
+    "strip_failed",
+    "Scheduler",
+    "SchedulingDecision",
+    "GOBIScheduler",
+    "LeastUtilScheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "Task",
+    "TaskSpec",
+    "Topology",
+    "initial_topology",
+    "Trace",
+    "TraceSample",
+    "collect_trace",
+    "WorkloadGenerator",
+    "ApplicationProfile",
+    "DEFOG_PROFILES",
+    "AIOT_PROFILES",
+    "make_defog_generator",
+    "make_aiot_generator",
+    "make_generator",
+]

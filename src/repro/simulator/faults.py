@@ -1,0 +1,160 @@
+"""Fault-injection module (§IV-F).
+
+Reimplements the observable behaviour of the container-cloud fault
+injector of Ye et al. used by the paper: four attack types --
+**CPU overload** (hog application), **RAM contention** (continuous
+read/write), **Disk attack** (IOZone-style bandwidth consumption) and
+**DDOS attack** (HTTP connection floods contending the NIC) -- arriving
+as a Poisson process with rate ``lambda_f = 0.5`` per interval, the
+attack drawn uniformly at random.
+
+Every attack manifests as resource over-utilisation on its target (the
+paper restricts attention to exactly this fault class, §III-A); a node
+whose utilisation crosses the failure threshold becomes byzantine-
+unresponsive and must reboot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from ..config import FaultConfig
+from .host import Host
+from .topology import Topology
+
+__all__ = ["AttackEvent", "FaultInjector"]
+
+#: Resource axis stressed by each attack type.
+ATTACK_AXIS = {
+    "cpu_overload": "cpu",
+    "ram_contention": "ram",
+    "disk_attack": "disk",
+    "ddos_attack": "net",
+}
+
+#: Injected extra utilisation range per attack (fraction of capacity).
+ATTACK_INTENSITY = {
+    "cpu_overload": (0.5, 1.1),
+    "ram_contention": (0.5, 1.0),
+    "disk_attack": (0.6, 1.3),
+    "ddos_attack": (0.6, 1.3),
+}
+
+
+@dataclass(frozen=True)
+class AttackEvent:
+    """One injected attack."""
+
+    interval: int
+    target: int
+    attack_type: str
+    axis: str
+    intensity: float
+    #: Number of intervals the synthetic load persists.
+    duration: int
+
+
+class FaultInjector:
+    """Samples attacks and applies/decays their load on hosts.
+
+    Parameters
+    ----------
+    config:
+        Fault process parameters (rate, recovery bounds, threshold).
+    rng:
+        Random source.
+    broker_bias:
+        Probability that an attack targets a broker rather than an
+        arbitrary host; the paper's experiments direct attacks so as to
+        cause *broker* byzantine failures, which this reproduces while
+        still exercising worker-failure paths.
+    """
+
+    def __init__(
+        self,
+        config: FaultConfig,
+        rng: np.random.Generator,
+        broker_bias: float = 0.6,
+    ) -> None:
+        if not 0.0 <= broker_bias <= 1.0:
+            raise ValueError("broker_bias must be in [0, 1]")
+        self.config = config
+        self.rng = rng
+        self.broker_bias = broker_bias
+        #: Active attacks, target -> list of (axis, intensity, ttl).
+        self._active: Dict[int, List[List]] = {}
+        self.history: List[AttackEvent] = []
+
+    # ------------------------------------------------------------------
+    def inject(self, interval: int, topology: Topology, hosts: Sequence[Host]) -> List[AttackEvent]:
+        """Sample this interval's attacks and register them."""
+        events: List[AttackEvent] = []
+        n_attacks = int(self.rng.poisson(self.config.rate))
+        live = [h.host_id for h in hosts if h.alive and h.host_id in topology.attached]
+        if not live:
+            return events
+        live_brokers = [h for h in live if h in topology.brokers]
+        for _ in range(n_attacks):
+            attack_type = str(self.rng.choice(self.config.attack_types))
+            axis = ATTACK_AXIS[attack_type]
+            low, high = ATTACK_INTENSITY[attack_type]
+            intensity = float(self.rng.uniform(low, high))
+            if live_brokers and self.rng.random() < self.broker_bias:
+                target = int(self.rng.choice(live_brokers))
+            else:
+                target = int(self.rng.choice(live))
+            duration = int(self.rng.integers(1, 3))  # 1 or 2 intervals
+            event = AttackEvent(interval, target, attack_type, axis, intensity, duration)
+            events.append(event)
+            self.history.append(event)
+            self._active.setdefault(target, []).append([axis, intensity, duration])
+        return events
+
+    def apply_loads(self, hosts: Sequence[Host]) -> None:
+        """Write current attack loads into ``host.fault_load``."""
+        for host in hosts:
+            load = {axis: 0.0 for axis in host.fault_load}
+            for axis, intensity, _ttl in self._active.get(host.host_id, []):
+                load[axis] += intensity
+            host.fault_load = load
+
+    def decay(self) -> None:
+        """Age active attacks by one interval; expired ones vanish."""
+        for target in list(self._active):
+            remaining = []
+            for axis, intensity, ttl in self._active[target]:
+                if ttl > 1:
+                    remaining.append([axis, intensity, ttl - 1])
+            if remaining:
+                self._active[target] = remaining
+            else:
+                del self._active[target]
+
+    def clear_host(self, host_id: int) -> None:
+        """Drop attacks on a host (it rebooted to a clean snapshot)."""
+        self._active.pop(host_id, None)
+
+    def draw_recovery_seconds(self) -> float:
+        """Reboot duration for a crashed node (1-5 minutes, §IV-I)."""
+        low, high = self.config.recovery_seconds
+        return float(self.rng.uniform(low, high))
+
+    def check_failures(self, hosts: Sequence[Host], topology: Topology) -> List[int]:
+        """Crash hosts whose utilisation exceeds the failure threshold.
+
+        Returns the ids of hosts that became unresponsive.  Utilisation
+        must already have been computed for the interval.
+        """
+        failed = []
+        threshold = self.config.failure_threshold
+        for host in hosts:
+            if not host.alive or host.host_id not in topology.attached:
+                continue
+            if host.is_overloaded(threshold):
+                host.crash(self.draw_recovery_seconds())
+                self.clear_host(host.host_id)
+                failed.append(host.host_id)
+        return failed

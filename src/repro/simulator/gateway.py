@@ -1,0 +1,114 @@
+"""Gateway devices and their mobility model.
+
+Users submit tasks through gateway devices that forward them to the
+*closest broker in terms of network latency*, breaking ties uniformly
+at random (§III-A).  To emulate shifting load across LEIs the paper
+drives gateways with a mobility model (§IV-C); we use a random-waypoint
+walk over the same 2-D region as the network model, which produces the
+load-imbalance dynamics the resilience models must cope with.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+import numpy as np
+
+from .network import NetworkModel
+from .task import Task, TaskSpec
+
+__all__ = ["Gateway", "GatewayFleet"]
+
+
+class Gateway:
+    """A mobile gateway performing a random-waypoint walk."""
+
+    def __init__(
+        self,
+        gateway_id: int,
+        position: np.ndarray,
+        rng: np.random.Generator,
+        region_size: float,
+        speed: float = 0.6,
+    ) -> None:
+        self.gateway_id = gateway_id
+        self.position = np.asarray(position, dtype=float)
+        self.rng = rng
+        self.region_size = region_size
+        self.speed = speed
+        self._waypoint = self._new_waypoint()
+
+    def _new_waypoint(self) -> np.ndarray:
+        return self.rng.uniform(0.0, self.region_size, size=2)
+
+    def move(self) -> None:
+        """One mobility step toward the current waypoint."""
+        direction = self._waypoint - self.position
+        distance = float(np.linalg.norm(direction))
+        if distance < self.speed:
+            self.position = self._waypoint.copy()
+            self._waypoint = self._new_waypoint()
+            return
+        self.position = self.position + direction / distance * self.speed
+
+    def choose_broker(self, network: NetworkModel, brokers: Sequence[int]) -> int:
+        """Pick the latency-closest live broker, random tie-breaks.
+
+        A small positional jitter implements the paper's uniform
+        tie-breaking without needing exact-equality checks.
+        """
+        jitter = self.rng.normal(0.0, 1e-3, size=2)
+        return network.closest_host(self.position + jitter, brokers)
+
+
+class GatewayFleet:
+    """All gateways of the federation; routes a task bag to brokers."""
+
+    def __init__(
+        self,
+        n_gateways: int,
+        network: NetworkModel,
+        rng: np.random.Generator,
+    ) -> None:
+        if n_gateways < 1:
+            raise ValueError("need at least one gateway")
+        self.network = network
+        self.rng = rng
+        self.gateways = [
+            Gateway(
+                gateway_id=i,
+                position=rng.uniform(0.0, NetworkModel.REGION_SIZE, size=2),
+                rng=rng,
+                region_size=NetworkModel.REGION_SIZE,
+            )
+            for i in range(n_gateways)
+        ]
+
+    def route_tasks(
+        self,
+        specs: Sequence[TaskSpec],
+        brokers: Sequence[int],
+        now: float,
+    ) -> Dict[int, List[Task]]:
+        """Move gateways one step and route ``specs`` to brokers.
+
+        Returns ``{broker_id: [tasks]}``.  Each task records its entry
+        broker; the network latency of the gateway-to-broker hop is
+        charged as initial stall time.
+        """
+        if not brokers:
+            raise ValueError("cannot route tasks: no live brokers")
+        for gateway in self.gateways:
+            gateway.move()
+
+        routed: Dict[int, List[Task]] = {broker: [] for broker in brokers}
+        for spec in specs:
+            gateway = self.gateways[int(self.rng.integers(len(self.gateways)))]
+            broker = gateway.choose_broker(self.network, brokers)
+            task = Task(spec, created_at=now, lei_broker=broker)
+            # Gateway-to-broker ingress: latency + payload serialisation.
+            task.stall_seconds += self.network.transfer_seconds(
+                broker, broker, 0.0
+            ) + self.network.BASE_LATENCY
+            routed[broker].append(task)
+        return routed

@@ -1,0 +1,229 @@
+"""Metric collection and the canonical per-host feature encoding.
+
+The paper's model consumes, per host ``i``, the vector
+``M_i = [u_i, q_i, t_i]`` (§IV-A): resource utilisations ``u_i`` (CPU,
+RAM, disk, network), QoS metrics ``q_i`` (energy, SLO violation rate)
+and aggregate task demands ``t_i`` (with SLO deadlines).  The
+scheduling decision ``S`` is a task-to-host one-hot matrix, which we
+aggregate per host so every encoding stays agnostic to the task count.
+
+These encodings are *simulator-level* (raw observables); the GON and
+baseline surrogates assemble their own inputs from them in
+``repro.core.features``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .detection import FailureReport
+from .host import RESOURCES, Host
+from .scheduler import SchedulingDecision
+from .task import Task
+from .topology import Topology
+
+__all__ = [
+    "M_FEATURES",
+    "S_FEATURES",
+    "IntervalMetrics",
+    "RunMetrics",
+    "encode_host_metrics",
+    "encode_schedule",
+]
+
+#: Columns of the per-host metric matrix M.
+M_FEATURES = (
+    "cpu_util",
+    "ram_util",
+    "disk_util",
+    "net_util",
+    "energy_norm",
+    "slo_rate",
+    "n_tasks_norm",
+    "task_cpu_norm",
+    "task_ram_norm",
+    "task_deadline_norm",
+)
+
+#: Columns of the per-host schedule encoding S.
+S_FEATURES = ("new_tasks_norm", "active_tasks_norm", "incoming_mi_norm")
+
+#: Normalisation constants.
+_TASK_COUNT_SCALE = 10.0
+_DEADLINE_SCALE = 600.0
+
+
+@dataclass
+class IntervalMetrics:
+    """Everything observed during one scheduling interval."""
+
+    interval: int
+    topology: Topology
+    #: Per-host metric matrix, shape [n_hosts, len(M_FEATURES)].
+    host_metrics: np.ndarray
+    #: Per-host schedule encoding, shape [n_hosts, len(S_FEATURES)].
+    schedule_encoding: np.ndarray
+    #: Total energy drawn this interval (kWh).
+    energy_kwh: float
+    #: Response times of tasks completed this interval (seconds).
+    response_times: List[float] = field(default_factory=list)
+    #: SLO violation flags aligned with ``response_times``.
+    slo_violations: List[bool] = field(default_factory=list)
+    n_active_tasks: int = 0
+    n_new_tasks: int = 0
+    failure_report: Optional[FailureReport] = None
+    #: Seconds of resilience downtime suffered by orphaned LEIs.
+    downtime_seconds: float = 0.0
+    #: Attack events injected this interval.
+    attacks: Tuple = ()
+
+    @property
+    def n_completed(self) -> int:
+        return len(self.response_times)
+
+    @property
+    def mean_response_time(self) -> float:
+        if not self.response_times:
+            return 0.0
+        return float(np.mean(self.response_times))
+
+    @property
+    def slo_violation_rate(self) -> float:
+        if not self.slo_violations:
+            return 0.0
+        return float(np.mean(self.slo_violations))
+
+
+@dataclass
+class RunMetrics:
+    """Aggregates over a full experiment run (the Fig. 5 metrics)."""
+
+    intervals: List[IntervalMetrics] = field(default_factory=list)
+    #: Wall-clock seconds spent in resilience decisions, per interval.
+    decision_times: List[float] = field(default_factory=list)
+    #: Wall-clock seconds spent fine-tuning models, per interval.
+    fine_tune_times: List[float] = field(default_factory=list)
+    #: Resident memory of the resilience model (bytes).
+    model_memory_bytes: int = 0
+
+    def add(self, metrics: IntervalMetrics) -> None:
+        self.intervals.append(metrics)
+
+    # -- Fig. 5(a): total energy -------------------------------------
+    @property
+    def total_energy_kwh(self) -> float:
+        return float(sum(m.energy_kwh for m in self.intervals))
+
+    # -- Fig. 5(b): mean response time -------------------------------
+    @property
+    def mean_response_time(self) -> float:
+        times = [t for m in self.intervals for t in m.response_times]
+        return float(np.mean(times)) if times else 0.0
+
+    # -- Fig. 5(c): SLO violation rate --------------------------------
+    @property
+    def slo_violation_rate(self) -> float:
+        flags = [v for m in self.intervals for v in m.slo_violations]
+        return float(np.mean(flags)) if flags else 0.0
+
+    # -- Fig. 5(d): mean decision time --------------------------------
+    @property
+    def mean_decision_time(self) -> float:
+        return float(np.mean(self.decision_times)) if self.decision_times else 0.0
+
+    # -- Fig. 5(f): total fine-tuning overhead ------------------------
+    @property
+    def total_fine_tune_seconds(self) -> float:
+        return float(sum(self.fine_tune_times))
+
+    # -- Fig. 5(e): memory consumption as % of an 8 GB broker ---------
+    def memory_percent(self, node_ram_gb: float = 8.0) -> float:
+        return 100.0 * self.model_memory_bytes / (node_ram_gb * 1024 ** 3)
+
+    @property
+    def n_completed(self) -> int:
+        return sum(m.n_completed for m in self.intervals)
+
+    @property
+    def total_downtime_seconds(self) -> float:
+        return float(sum(m.downtime_seconds for m in self.intervals))
+
+    def summary(self) -> Dict[str, float]:
+        """Flat dict of the headline metrics (one Fig. 5 bar group)."""
+        return {
+            "energy_kwh": self.total_energy_kwh,
+            "response_time_s": self.mean_response_time,
+            "slo_violation_rate": self.slo_violation_rate,
+            "decision_time_s": self.mean_decision_time,
+            "memory_percent": self.memory_percent(),
+            "fine_tune_overhead_s": self.total_fine_tune_seconds,
+            "completed_tasks": float(self.n_completed),
+            "downtime_s": self.total_downtime_seconds,
+        }
+
+
+def encode_host_metrics(
+    hosts: Sequence[Host],
+    tasks_by_host: Dict[int, List[Task]],
+    energy_joules_by_host: np.ndarray,
+    slo_rate_by_host: np.ndarray,
+    interval_seconds: float,
+) -> np.ndarray:
+    """Build the per-host metric matrix ``M`` (eq. 3's input)."""
+    n_hosts = len(hosts)
+    matrix = np.zeros((n_hosts, len(M_FEATURES)))
+    for row, host in enumerate(hosts):
+        utilisation = host.utilisation
+        resident = tasks_by_host.get(host.host_id, [])
+        peak_joules = host.spec.power_model.watts(1.0) * interval_seconds
+        matrix[row, 0:4] = [utilisation[axis] for axis in RESOURCES]
+        matrix[row, 4] = energy_joules_by_host[row] / max(peak_joules, 1e-9)
+        matrix[row, 5] = slo_rate_by_host[row]
+        matrix[row, 6] = len(resident) / _TASK_COUNT_SCALE
+        if resident:
+            capacity_mi = host.spec.cpu_mips * interval_seconds
+            matrix[row, 7] = float(
+                np.mean([t.remaining_mi for t in resident])
+            ) / max(capacity_mi, 1e-9)
+            matrix[row, 8] = float(
+                np.mean([t.spec.ram_gb for t in resident])
+            ) / host.spec.ram_gb
+            matrix[row, 9] = float(
+                np.mean([t.spec.slo_seconds for t in resident])
+            ) / _DEADLINE_SCALE
+    return matrix
+
+
+def encode_schedule(
+    decision: SchedulingDecision,
+    tasks: Sequence[Task],
+    new_task_ids: set,
+    hosts: Sequence[Host],
+    interval_seconds: float,
+) -> np.ndarray:
+    """Aggregate the one-hot schedule matrix ``S`` per host.
+
+    The paper encodes ``S`` as a [p x |H|] one-hot matrix; summing the
+    rows per host (split into new/active, plus incoming work volume)
+    preserves the information the surrogate needs while keeping the
+    encoding independent of the task count ``p``.
+    """
+    index_of = {host.host_id: i for i, host in enumerate(hosts)}
+    matrix = np.zeros((len(hosts), len(S_FEATURES)))
+    task_by_id = {task.task_id: task for task in tasks}
+    for task_id, host_id in decision.placements.items():
+        row = index_of.get(host_id)
+        task = task_by_id.get(task_id)
+        if row is None or task is None:
+            continue
+        host = hosts[row]
+        if task_id in new_task_ids:
+            matrix[row, 0] += 1.0 / _TASK_COUNT_SCALE
+        else:
+            matrix[row, 1] += 1.0 / _TASK_COUNT_SCALE
+        capacity_mi = host.spec.cpu_mips * interval_seconds
+        matrix[row, 2] += task.remaining_mi / max(capacity_mi, 1e-9)
+    return matrix

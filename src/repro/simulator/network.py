@@ -1,0 +1,102 @@
+"""Network model: inter-host latencies and transfer times.
+
+The testbed emulates geographically distant LEIs by shaping broker-to-
+broker latency with NetLimiter, following an urban edge-mobility model
+(§IV-C).  We reproduce the observable effect: hosts live at fixed 2-D
+positions grouped into geographic sites; latency grows with distance,
+and all links carry 1 Gbps.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["NetworkModel"]
+
+
+class NetworkModel:
+    """Distance-derived latency matrix plus bandwidth accounting.
+
+    Parameters
+    ----------
+    n_hosts:
+        Number of edge nodes.
+    n_sites:
+        Number of geographic clusters (matches the initial LEI count;
+        LEI membership may later drift from geography as node-shifts
+        reassign workers -- exactly as on the real testbed).
+    rng:
+        Source of randomness for site placement.
+    link_mbps:
+        Link bandwidth (1 Gbps on the testbed).
+    """
+
+    #: Propagation latency per unit of distance (seconds).
+    LATENCY_PER_UNIT = 0.002
+    #: Base switching latency for any hop (seconds).
+    BASE_LATENCY = 0.001
+    #: Side of the square region sites are scattered over.
+    REGION_SIZE = 10.0
+    #: Spread of hosts around their site centre.
+    SITE_SPREAD = 0.4
+
+    def __init__(
+        self,
+        n_hosts: int,
+        n_sites: int,
+        rng: np.random.Generator,
+        link_mbps: float = 1000.0,
+    ) -> None:
+        if n_hosts < 1 or n_sites < 1:
+            raise ValueError("need at least one host and one site")
+        if link_mbps <= 0:
+            raise ValueError("link_mbps must be positive")
+        self.n_hosts = n_hosts
+        self.n_sites = n_sites
+        self.link_mbps = link_mbps
+
+        centres = rng.uniform(0.0, self.REGION_SIZE, size=(n_sites, 2))
+        sites = np.arange(n_hosts) % n_sites
+        jitter = rng.normal(0.0, self.SITE_SPREAD, size=(n_hosts, 2))
+        self.positions = centres[sites] + jitter
+        self.site_of_host = sites
+
+        deltas = self.positions[:, None, :] - self.positions[None, :, :]
+        distances = np.sqrt((deltas ** 2).sum(axis=-1))
+        self.latency = self.BASE_LATENCY + self.LATENCY_PER_UNIT * distances
+        np.fill_diagonal(self.latency, 0.0)
+
+    # ------------------------------------------------------------------
+    def latency_seconds(self, a: int, b: int) -> float:
+        """One-way latency between hosts ``a`` and ``b``."""
+        return float(self.latency[a, b])
+
+    def transfer_seconds(self, a: int, b: int, megabytes: float) -> float:
+        """Time to move ``megabytes`` from ``a`` to ``b``.
+
+        Latency plus serialisation delay at the link bandwidth; loopback
+        transfers are free.
+        """
+        if megabytes < 0:
+            raise ValueError("megabytes must be non-negative")
+        if a == b:
+            return 0.0
+        serialisation = (megabytes * 8.0) / self.link_mbps
+        return self.latency_seconds(a, b) + serialisation
+
+    def closest_host(self, position: np.ndarray, candidates: Sequence[int]) -> int:
+        """Candidate host with lowest latency from ``position``.
+
+        Used by gateways to pick their broker ("closest broker in terms
+        of network latency", §III-A).  Ties broken by host id for
+        determinism; callers inject randomness by perturbing positions.
+        """
+        candidates = list(candidates)
+        if not candidates:
+            raise ValueError("no candidate hosts")
+        position = np.asarray(position, dtype=float)
+        deltas = self.positions[candidates] - position
+        distances = np.sqrt((deltas ** 2).sum(axis=-1))
+        return candidates[int(np.argmin(distances))]

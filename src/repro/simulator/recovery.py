@@ -1,0 +1,86 @@
+"""Broker/worker recovery (§IV-I).
+
+Failures are recoverable: a crashed node reboots (1-5 minutes) from its
+last snapshot.  On the testbed a VRRP virtual-IP pool (keepalived)
+keeps the broker endpoints stable; once a failed node is back online it
+rejoins as a *worker* of the closest active broker by network latency,
+applied during topology initialisation at the interval start (line 4 of
+Algorithm 2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .host import Host
+from .network import NetworkModel
+from .topology import Topology
+
+__all__ = ["reattach_recovered", "strip_failed", "ensure_brokered"]
+
+
+def strip_failed(topology: Topology, hosts: Sequence[Host]) -> Topology:
+    """Detach every dead host from ``topology``.
+
+    Detaching a dead broker orphans its workers; callers then hand the
+    orphans to the resilience model (or :func:`ensure_brokered`).
+    Callers must guarantee at least one live broker remains -- a
+    topology cannot exist broker-less -- which :func:`ensure_brokered`
+    arranges by promoting a live node first.
+    """
+    result = topology
+    for host in hosts:
+        if not host.alive and host.host_id in result.attached:
+            result = result.detach(host.host_id)
+    return result
+
+
+def reattach_recovered(
+    topology: Topology,
+    hosts: Sequence[Host],
+    network: NetworkModel,
+) -> Topology:
+    """Attach every live unattached host as a worker of its closest broker.
+
+    Mirrors the keepalived-based rejoin: "as soon as a failed node comes
+    back online, we add it to the graph topology and assign it as a
+    worker in the closest active broker as per network latency".
+    """
+    result = topology
+    live = {host.host_id for host in hosts if host.alive}
+    brokers = [b for b in sorted(result.brokers) if b in live]
+    if not brokers:
+        return result
+    for host_id in result.unattached:
+        if host_id not in live:
+            continue
+        closest = network.closest_host(network.positions[host_id], brokers)
+        result = result.attach_worker(host_id, closest)
+    return result
+
+
+def ensure_brokered(
+    topology: Topology,
+    hosts: Sequence[Host],
+    network: NetworkModel,
+) -> Topology:
+    """Guarantee at least one live broker and no stranded live workers.
+
+    This is the engine's safety net beneath any resilience model: if a
+    model returns a topology whose brokers are all dead (or fails to
+    place live hosts), the federation would halt, which the VRRP layer
+    prevents on the real testbed by promoting a live node.
+    """
+    live = {host.host_id for host in hosts if host.alive}
+    result = topology
+    live_brokers = [b for b in result.brokers if b in live]
+    if not live_brokers:
+        # Promote before stripping: a topology must always keep at
+        # least one broker, so the dead ones cannot be detached first.
+        candidates = sorted(live - set(result.brokers))
+        if not candidates:
+            # Whole federation down; keep structure, nothing can run.
+            return result
+        result = result.promote(candidates[0])
+    result = strip_failed(result, hosts)
+    return reattach_recovered(result, hosts, network)

@@ -1,0 +1,120 @@
+"""Task (container) model.
+
+The workload is bag-of-tasks: independent containers entering each LEI
+at interval starts, each with a soft SLO deadline (§III-A).  A task's
+compute demand is expressed in millions of instructions (MI); hosts
+serve resident tasks proportionally to their demands, so progress per
+interval follows from the host's effective MIPS share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["TaskSpec", "Task"]
+
+
+@dataclass(frozen=True)
+class TaskSpec:
+    """Static requirements of one task."""
+
+    #: Application name (e.g. ``"yolo"`` or ``"resnet18"``).
+    application: str
+    #: Total work in millions of instructions.
+    total_mi: float
+    #: Resident-set size in GB while running.
+    ram_gb: float
+    #: Disk traffic generated over the task's life, MB.
+    disk_mb: float
+    #: Network traffic generated over the task's life, MB.
+    net_mb: float
+    #: Soft SLO deadline in seconds from creation.
+    slo_seconds: float
+    #: Nominal CPU parallelism the container can exploit, as a fraction
+    #: of one host's cores it can saturate (0, 1].  The benchmark
+    #: containers are pinned to two of the Pi's four cores.
+    cpu_share: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.total_mi <= 0:
+            raise ValueError("total_mi must be positive")
+        if self.ram_gb < 0 or self.disk_mb < 0 or self.net_mb < 0:
+            raise ValueError("resource demands must be non-negative")
+        if self.slo_seconds <= 0:
+            raise ValueError("slo_seconds must be positive")
+        if not 0 < self.cpu_share <= 1:
+            raise ValueError("cpu_share must be in (0, 1]")
+
+
+class Task:
+    """Runtime state of a task instance."""
+
+    _COUNTER = 0
+
+    def __init__(self, spec: TaskSpec, created_at: float, lei_broker: int) -> None:
+        Task._COUNTER += 1
+        self.task_id = Task._COUNTER
+        self.spec = spec
+        #: Simulation time (seconds) of creation at the gateway.
+        self.created_at = created_at
+        #: Broker that received the task from the gateway.
+        self.entry_broker = lei_broker
+        #: Host currently executing the task (None while queued).
+        self.host: Optional[int] = None
+        self.remaining_mi = spec.total_mi
+        #: Extra latency accrued from queueing, stalls and migrations.
+        self.stall_seconds = 0.0
+        self.finished_at: Optional[float] = None
+        self.migrations = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def finished(self) -> bool:
+        return self.finished_at is not None
+
+    @property
+    def response_time(self) -> float:
+        """Seconds from creation to result delivery (only when finished).
+
+        Includes queueing/migration/ingress stalls, which delay the
+        result even though they do not consume compute.
+        """
+        if self.finished_at is None:
+            raise RuntimeError("task has not finished")
+        return self.finished_at - self.created_at + self.stall_seconds
+
+    @property
+    def violates_slo(self) -> bool:
+        """Soft-deadline violation indicator for a finished task."""
+        return self.response_time > self.spec.slo_seconds
+
+    def progress(self, mips_share: float, seconds: float, now: float) -> None:
+        """Advance execution given an effective MIPS allocation.
+
+        Completion inside the window is timestamped by linear
+        interpolation, so response times are not quantised to interval
+        boundaries.
+        """
+        if self.finished:
+            return
+        if mips_share <= 0 or seconds <= 0:
+            return
+        work = mips_share * seconds
+        if work >= self.remaining_mi:
+            fraction = self.remaining_mi / work
+            self.finished_at = now + seconds * fraction
+            self.remaining_mi = 0.0
+        else:
+            self.remaining_mi -= work
+
+    def migrate(self, new_host: int, migration_seconds: float) -> None:
+        """Move the task to ``new_host``, charging migration stall time."""
+        if self.host is not None and self.host != new_host:
+            self.migrations += 1
+            self.stall_seconds += migration_seconds
+        self.host = new_host
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.finished else f"{self.remaining_mi:.0f}MI left"
+        return f"Task(#{self.task_id} {self.spec.application} {state})"

@@ -1,0 +1,139 @@
+"""Execution-trace collection: the training dataset Λ = {M_t, S_t, G_t}.
+
+To train the GON the paper runs DeFog benchmarks for 1000 five-minute
+intervals on the testbed, "periodically chang[ing] the graph topology
+every ten intervals" so the dataset covers ~100 distinct topologies
+(§IV-D).  :func:`collect_trace` reproduces that protocol on the
+co-simulator and :class:`Trace` gives the dataset an npz round-trip.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..config import ExperimentConfig, FederationConfig, WorkloadConfig
+from .engine import EdgeFederation
+from .metrics import M_FEATURES, S_FEATURES
+from .topology import Topology
+
+__all__ = ["TraceSample", "Trace", "collect_trace"]
+
+
+@dataclass(frozen=True)
+class TraceSample:
+    """One datapoint (M_t, S_t, G_t) plus its realised QoS."""
+
+    metrics: np.ndarray          # [n_hosts, len(M_FEATURES)]
+    schedule: np.ndarray         # [n_hosts, len(S_FEATURES)]
+    adjacency: np.ndarray        # [n_hosts, n_hosts]
+    #: Realised objective O(M_t) under the run's alpha/beta weights.
+    objective: float
+
+
+@dataclass
+class Trace:
+    """The dataset Λ: a sequence of trace samples."""
+
+    samples: List[TraceSample] = field(default_factory=list)
+    n_topologies: int = 0
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def __getitem__(self, index: int) -> TraceSample:
+        return self.samples[index]
+
+    # ------------------------------------------------------------------
+    def as_arrays(self) -> dict:
+        """Stack the trace into dense arrays for training."""
+        if not self.samples:
+            raise ValueError("trace is empty")
+        return {
+            "metrics": np.stack([s.metrics for s in self.samples]),
+            "schedule": np.stack([s.schedule for s in self.samples]),
+            "adjacency": np.stack([s.adjacency for s in self.samples]),
+            "objective": np.array([s.objective for s in self.samples]),
+        }
+
+    def save(self, path: str) -> None:
+        """Persist as npz."""
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        arrays = self.as_arrays()
+        arrays["n_topologies"] = np.array(self.n_topologies)
+        np.savez(path, **arrays)
+
+    @classmethod
+    def load(cls, path: str) -> "Trace":
+        with np.load(path) as archive:
+            metrics = archive["metrics"]
+            schedule = archive["schedule"]
+            adjacency = archive["adjacency"]
+            objective = archive["objective"]
+            n_topologies = int(archive["n_topologies"])
+        samples = [
+            TraceSample(
+                metrics=metrics[i],
+                schedule=schedule[i],
+                adjacency=adjacency[i],
+                objective=float(objective[i]),
+            )
+            for i in range(metrics.shape[0])
+        ]
+        return cls(samples=samples, n_topologies=n_topologies)
+
+
+def collect_trace(
+    config: ExperimentConfig,
+    n_intervals: Optional[int] = None,
+    topology_mutator: Optional[Callable[[Topology, np.random.Generator], Topology]] = None,
+    mutate_every: int = 10,
+) -> Trace:
+    """Run the simulator and record Λ.
+
+    Parameters
+    ----------
+    config:
+        Experiment configuration; the paper uses the DeFog suite here.
+    n_intervals:
+        Trace length (paper: 1000); defaults to ``config.n_intervals``.
+    topology_mutator:
+        Callable applying a random topology change (the experiments
+        wire in a random node-shift from ``repro.core.nodeshift``).
+        ``None`` keeps the topology fixed.
+    mutate_every:
+        Apply the mutator every this many intervals (paper: 10).
+    """
+    n_intervals = n_intervals or config.n_intervals
+    federation = EdgeFederation(config)
+    mutation_rng = np.random.default_rng(config.seed + 9999)
+    trace = Trace()
+    seen_topologies = set()
+
+    for t in range(n_intervals):
+        federation.begin_interval()
+        proposal = federation.propose_topology()
+        if topology_mutator is not None and t > 0 and t % mutate_every == 0:
+            proposal = topology_mutator(proposal, mutation_rng)
+        federation.set_topology(proposal)
+        metrics = federation.run_interval()
+        seen_topologies.add(metrics.topology.canonical_key())
+
+        energy = float(metrics.host_metrics[:, M_FEATURES.index("energy_norm")].sum())
+        slo = float(metrics.host_metrics[:, M_FEATURES.index("slo_rate")].sum())
+        objective = config.alpha * energy + config.beta * slo
+        trace.samples.append(
+            TraceSample(
+                metrics=metrics.host_metrics.copy(),
+                schedule=metrics.schedule_encoding.copy(),
+                adjacency=metrics.topology.adjacency(),
+                objective=objective,
+            )
+        )
+
+    trace.n_topologies = len(seen_topologies)
+    return trace

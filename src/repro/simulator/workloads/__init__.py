@@ -1,0 +1,25 @@
+"""Workload suites: DeFog (training) and AIoTBench (evaluation)."""
+
+from .aiot import AIOT_PROFILES, HEAVY_APPS, LIGHT_APPS, make_aiot_generator
+from .base import ApplicationProfile, WorkloadGenerator
+from .defog import DEFOG_PROFILES, make_defog_generator
+
+__all__ = [
+    "ApplicationProfile",
+    "WorkloadGenerator",
+    "DEFOG_PROFILES",
+    "make_defog_generator",
+    "AIOT_PROFILES",
+    "make_aiot_generator",
+    "HEAVY_APPS",
+    "LIGHT_APPS",
+]
+
+
+def make_generator(suite: str, rng, arrival_rate: float = 1.2, **kwargs):
+    """Factory keyed by suite name (``"defog"`` or ``"aiot"``)."""
+    if suite == "defog":
+        return make_defog_generator(rng, arrival_rate=arrival_rate, **kwargs)
+    if suite == "aiot":
+        return make_aiot_generator(rng, arrival_rate=arrival_rate, **kwargs)
+    raise ValueError(f"unknown workload suite {suite!r}")

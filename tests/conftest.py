@@ -1,0 +1,84 @@
+"""Shared fixtures.
+
+Expensive assets (traces, trained GONs) are session-scoped: the tiny
+models they produce are deterministic for a fixed seed, so every test
+observing them sees identical state.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import ExperimentConfig, FaultConfig, FederationConfig, WorkloadConfig
+from repro.core import GONDiscriminator, GONInput, TrainingConfig, train_gon
+from repro.core.nodeshift import random_node_shift
+from repro.simulator import EdgeFederation, Topology, collect_trace, initial_topology
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+@pytest.fixture
+def small_config():
+    """8 hosts, 2 LEIs, 10 intervals -- fast but exercises everything."""
+    return ExperimentConfig(
+        federation=FederationConfig(n_hosts=8, n_leis=2, n_large_hosts=4),
+        workload=WorkloadConfig(suite="aiot", arrival_rate=1.2),
+        faults=FaultConfig(rate=0.5),
+        n_intervals=10,
+        seed=7,
+    )
+
+
+@pytest.fixture
+def small_topology():
+    return initial_topology(n_hosts=8, n_leis=2)
+
+
+@pytest.fixture
+def federation(small_config):
+    return EdgeFederation(small_config)
+
+
+@pytest.fixture(scope="session")
+def session_trace():
+    """A 40-interval DeFog trace shared by training-dependent tests."""
+    config = ExperimentConfig(
+        federation=FederationConfig(n_hosts=8, n_leis=2, n_large_hosts=4),
+        workload=WorkloadConfig(suite="defog", arrival_rate=1.2),
+        faults=FaultConfig(rate=0.5),
+        n_intervals=40,
+        seed=3,
+    )
+    return collect_trace(
+        config, n_intervals=40,
+        topology_mutator=random_node_shift, mutate_every=10,
+    )
+
+
+@pytest.fixture(scope="session")
+def session_samples(session_trace):
+    return [
+        GONInput(s.metrics, s.schedule, s.adjacency)
+        for s in session_trace.samples
+    ]
+
+
+@pytest.fixture(scope="session")
+def trained_gon(session_samples):
+    """A tiny GON trained for a handful of epochs."""
+    model = GONDiscriminator(np.random.default_rng(0), hidden=16, n_layers=2)
+    config = TrainingConfig(
+        epochs=4, batch_size=8, learning_rate=1e-3,
+        generation_steps=10, seed=0,
+    )
+    train_gon(model, session_samples, config)
+    return model
+
+
+@pytest.fixture
+def sample_input(session_samples):
+    return session_samples[0]

@@ -1,0 +1,272 @@
+"""All seven baselines plus the shared fuzzy/GA substrates."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DYVERSE,
+    ECLB,
+    ELBS,
+    FRAS,
+    FuzzyRule,
+    FuzzySystem,
+    FuzzyVariable,
+    GAConfig,
+    GaussianNaiveBayes,
+    GeneticAlgorithm,
+    LBOS,
+    PNNSurrogate,
+    StepGAN,
+    TopoMAD,
+    TriangularMF,
+    build_priority_system,
+)
+from repro.experiments import run_experiment
+from repro.simulator import EdgeFederation
+
+
+class TestFuzzySubstrate:
+    def test_triangular_peak_and_feet(self):
+        mf = TriangularMF(0.0, 0.5, 1.0)
+        assert mf(0.5) == 1.0
+        assert mf(0.0) == 0.0
+        assert mf(0.25) == pytest.approx(0.5)
+
+    def test_shoulder_saturation(self):
+        left = TriangularMF(0.0, 0.0, 1.0)
+        assert left(-5.0) == 1.0
+        right = TriangularMF(0.0, 1.0, 1.0)
+        assert right(5.0) == 1.0
+
+    def test_mf_validation(self):
+        with pytest.raises(ValueError):
+            TriangularMF(1.0, 0.5, 0.0)
+
+    def test_uniform_variable_covers_range(self):
+        var = FuzzyVariable.uniform("x", ("low", "mid", "high"), 0.0, 1.0)
+        memberships = var.fuzzify(0.5)
+        assert memberships["mid"] == pytest.approx(1.0)
+        assert var.fuzzify(0.0)["low"] == pytest.approx(1.0)
+
+    def test_rule_strength_min_and(self):
+        var = FuzzyVariable.uniform("x", ("low", "high"), 0.0, 1.0)
+        rule = FuzzyRule((("x", "low"), ("x", "high")), "out")
+        memberships = {"x": {"low": 0.3, "high": 0.8}}
+        assert rule.strength(memberships) == pytest.approx(0.3)
+
+    def test_inference_bounded_by_output_range(self):
+        system = build_priority_system()
+        for d in (0.0, 0.5, 1.0):
+            score = system.infer({"deadline": d, "priority": 0.5, "proc_time": 0.5})
+            assert 0.0 <= score <= 1.0
+
+    def test_tight_deadline_scores_higher(self):
+        system = build_priority_system()
+        tight = system.infer({"deadline": 0.05, "priority": 0.5, "proc_time": 0.5})
+        loose = system.infer({"deadline": 0.95, "priority": 0.1, "proc_time": 0.1})
+        assert tight > loose
+
+    def test_unknown_rule_terms_rejected(self):
+        var = FuzzyVariable.uniform("x", ("low", "high"), 0, 1)
+        out = FuzzyVariable.uniform("y", ("a", "b"), 0, 1)
+        with pytest.raises(KeyError):
+            FuzzySystem([var], out, [FuzzyRule((("x", "bogus"),), "a")])
+        with pytest.raises(KeyError):
+            FuzzySystem([var], out, [FuzzyRule((("x", "low"),), "bogus")])
+
+
+class TestGeneticAlgorithm:
+    def test_maximises_simple_function(self, rng):
+        target = np.array([0.7, 0.2, 0.9])
+
+        def fitness(v):
+            return -float(((v - target) ** 2).sum())
+
+        ga = GeneticAlgorithm(
+            3, fitness, rng, GAConfig(population_size=24, generations=20)
+        )
+        best, score = ga.run()
+        assert score > -0.05
+        np.testing.assert_allclose(best, target, atol=0.25)
+
+    def test_respects_bounds(self, rng):
+        ga = GeneticAlgorithm(
+            4, lambda v: float(v.sum()), rng,
+            GAConfig(population_size=10, generations=5, lower=0.0, upper=1.0),
+        )
+        best, _ = ga.run()
+        assert np.all(best >= 0.0) and np.all(best <= 1.0)
+
+    def test_elitism_keeps_best(self, rng):
+        calls = []
+
+        def fitness(v):
+            calls.append(v.copy())
+            return float(v[0])
+
+        ga = GeneticAlgorithm(1, fitness, rng,
+                              GAConfig(population_size=8, generations=6))
+        _, score = ga.run()
+        best_seen = max(float(c[0]) for c in calls)
+        assert score == pytest.approx(best_seen)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            GAConfig(population_size=1)
+        with pytest.raises(ValueError):
+            GAConfig(lower=1.0, upper=0.0)
+
+
+class TestNaiveBayes:
+    def test_threshold_fallback_before_training(self):
+        clf = GaussianNaiveBayes(4)
+        assert clf.predict(np.array([0.9, 0, 0, 0])) == "overloaded"
+        assert clf.predict(np.array([0.1, 0, 0, 0])) == "underloaded"
+        assert clf.predict(np.array([0.5, 0, 0, 0])) == "normal"
+
+    def test_learns_from_labels(self):
+        clf = GaussianNaiveBayes(2)
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            clf.update(np.array([0.9, 0.8]) + 0.05 * rng.normal(2), "overloaded")
+            clf.update(np.array([0.1, 0.2]) + 0.05 * rng.normal(2), "underloaded")
+            clf.update(np.array([0.5, 0.5]) + 0.05 * rng.normal(2), "normal")
+        assert clf.predict(np.array([0.92, 0.85])) == "overloaded"
+        assert clf.predict(np.array([0.05, 0.15])) == "underloaded"
+
+    def test_rejects_unknown_label(self):
+        with pytest.raises(KeyError):
+            GaussianNaiveBayes(2).update(np.zeros(2), "bogus")
+
+
+class TestPNN:
+    def test_prediction_interpolates(self):
+        pnn = PNNSurrogate(bandwidth=0.5)
+        pnn.add(np.zeros(3), 0.0)
+        pnn.add(np.ones(3), 1.0)
+        mid = pnn.predict(np.full(3, 0.5))
+        assert 0.2 < mid < 0.8
+
+    def test_empty_predicts_zero(self):
+        assert PNNSurrogate().predict(np.zeros(3)) == 0.0
+
+    def test_capacity_evicts_oldest(self):
+        pnn = PNNSurrogate(capacity=5)
+        for i in range(10):
+            pnn.add(np.full(2, float(i)), float(i))
+        assert len(pnn) == 5
+
+    def test_bandwidth_tuning_picks_candidate(self):
+        pnn = PNNSurrogate(bandwidth=99.0)
+        rng = np.random.default_rng(0)
+        for _ in range(30):
+            x = rng.uniform(size=2)
+            pnn.add(x, float(x.sum()))
+        chosen = pnn.tune_bandwidth(candidates=(0.1, 0.5))
+        assert chosen in (0.1, 0.5)
+
+    def test_memory_grows_with_exemplars(self):
+        pnn = PNNSurrogate()
+        before = pnn.memory_bytes()
+        pnn.add(np.zeros(8), 1.0)
+        assert pnn.memory_bytes() > before
+
+
+def _drive(model, config, n=12):
+    """Run a model through n intervals and sanity-check invariants."""
+    federation = EdgeFederation(config)
+    for _ in range(n):
+        report = federation.begin_interval()
+        proposal = federation.propose_topology()
+        topology = model.repair(federation.view, report, proposal)
+        live = {h.host_id for h in federation.hosts if h.alive}
+        assert live <= topology.attached, f"{model.name} stranded live hosts"
+        federation.set_topology(topology)
+        metrics = federation.run_interval()
+        model.observe(metrics, federation.view)
+    return federation
+
+
+@pytest.mark.parametrize("factory", [
+    lambda: DYVERSE(),
+    lambda: ECLB(),
+    lambda: LBOS(seed=0),
+    lambda: ELBS(),
+    lambda: FRAS(seed=0, fit_steps_per_interval=2),
+    lambda: TopoMAD(seed=0, fit_steps_per_interval=2),
+    lambda: StepGAN(seed=0, adversarial_steps=1),
+])
+class TestBaselineContract:
+    def test_valid_topologies_and_state(self, factory, small_config):
+        model = factory()
+        _drive(model, small_config)
+        assert model.memory_bytes() > 0
+
+    def test_full_run_summary(self, factory, small_config):
+        from dataclasses import replace
+
+        model = factory()
+        config = replace(small_config, n_intervals=6)
+        result = run_experiment(model, config)
+        summary = result.summary()
+        assert summary["energy_kwh"] > 0
+        assert summary["decision_time_s"] >= 0
+        assert summary["memory_percent"] > 0
+
+
+class TestBaselineSpecifics:
+    def test_dyverse_promotes_least_cpu_worker(self, small_config):
+        model = DYVERSE()
+        federation = _drive(model, small_config, n=8)
+        assert model.priorities  # ensemble scores maintained
+
+    def test_eclb_classifier_trains(self, small_config):
+        model = ECLB()
+        _drive(model, small_config, n=8)
+        total = sum(model.classifier._counts.values())
+        assert total >= 8 * small_config.federation.n_hosts
+
+    def test_lbos_q_table_grows_and_weights_simplex(self, small_config):
+        model = LBOS(seed=0, ga_period=3)
+        _drive(model, small_config, n=10)
+        assert len(model.q_table) >= 1
+        assert model.weights.sum() == pytest.approx(1.0, abs=1e-6)
+        assert np.all(model.weights >= 0)
+
+    def test_elbs_accumulates_exemplars(self, small_config):
+        model = ELBS()
+        _drive(model, small_config, n=10)
+        assert len(model.surrogate) == 10
+
+    def test_fras_window_grows(self, small_config):
+        model = FRAS(seed=0, fit_steps_per_interval=1)
+        _drive(model, small_config, n=10)
+        assert len(model._window) == 10
+
+    def test_topomad_scores_recorded(self, small_config):
+        model = TopoMAD(seed=0, fit_steps_per_interval=1)
+        _drive(model, small_config, n=10)
+        assert len(model._scores) >= 5
+
+    def test_topomad_training_reduces_reconstruction_error(self):
+        from repro.baselines.topomad import LSTMVAE
+
+        vae = LSTMVAE(hidden=16, seed=0)
+        rng = np.random.default_rng(0)
+        window = rng.uniform(0.2, 0.4, size=(8, 6))
+        before = vae.reconstruction_error(window)
+        for _ in range(60):
+            vae.fit_step(window)
+        after = vae.reconstruction_error(window)
+        assert after < before
+
+    def test_stepgan_scores_bounded(self, small_config):
+        model = StepGAN(seed=0, adversarial_steps=1)
+        _drive(model, small_config, n=10)
+        assert all(0.0 <= s <= 1.0 for s in model._scores)
+
+    def test_stepgan_prefix_curriculum_grows(self, small_config):
+        model = StepGAN(seed=0, adversarial_steps=1)
+        start = model._prefix
+        _drive(model, small_config, n=10)
+        assert model._prefix > start

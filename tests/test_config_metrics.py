@@ -1,0 +1,161 @@
+"""Configuration dataclasses and the metric/schedule encodings."""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    ExperimentConfig,
+    FaultConfig,
+    FederationConfig,
+    WorkloadConfig,
+    ci_scale,
+    paper_scale,
+)
+from repro.simulator import (
+    EdgeFederation,
+    IntervalMetrics,
+    M_FEATURES,
+    RunMetrics,
+    S_FEATURES,
+)
+
+
+class TestFederationConfig:
+    def test_paper_scale_matches_testbed(self):
+        config = paper_scale()
+        assert config.federation.n_hosts == 16
+        assert config.federation.n_leis == 4
+        assert config.federation.n_large_hosts == 8
+        assert config.federation.interval_seconds == 300.0
+        assert config.n_intervals == 100
+        assert config.workload.suite == "aiot"
+        assert config.faults.rate == 0.5
+
+    def test_ci_scale_seedable(self):
+        assert ci_scale(seed=9).seed == 9
+
+    def test_rejects_too_few_hosts(self):
+        with pytest.raises(ValueError):
+            FederationConfig(n_hosts=1)
+
+    def test_rejects_infeasible_leis(self):
+        with pytest.raises(ValueError):
+            FederationConfig(n_hosts=8, n_leis=5)
+
+    def test_rejects_bad_large_count(self):
+        with pytest.raises(ValueError):
+            FederationConfig(n_hosts=8, n_large_hosts=9)
+
+
+class TestWorkloadFaultConfig:
+    def test_rejects_unknown_suite(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(suite="bogus")
+
+    def test_rejects_zero_rate(self):
+        with pytest.raises(ValueError):
+            WorkloadConfig(arrival_rate=0.0)
+
+    def test_fault_recovery_bounds(self):
+        with pytest.raises(ValueError):
+            FaultConfig(recovery_seconds=(300.0, 60.0))
+        with pytest.raises(ValueError):
+            FaultConfig(rate=-1.0)
+
+    def test_paper_attack_set(self):
+        assert set(FaultConfig().attack_types) == {
+            "cpu_overload", "ram_contention", "disk_attack", "ddos_attack",
+        }
+
+
+class TestExperimentConfig:
+    def test_alpha_beta_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(alpha=0.6, beta=0.6)
+
+    def test_rejects_zero_intervals(self):
+        with pytest.raises(ValueError):
+            ExperimentConfig(n_intervals=0)
+
+    def test_defaults_match_paper(self):
+        config = ExperimentConfig()
+        assert config.alpha == 0.5 and config.beta == 0.5
+
+
+class TestEncodings:
+    def test_m_feature_layout_matches_paper(self):
+        """M_i = [u_i, q_i, t_i] (§IV-A): utilisations, QoS, task stats."""
+        assert M_FEATURES[:4] == ("cpu_util", "ram_util", "disk_util", "net_util")
+        assert M_FEATURES[4:6] == ("energy_norm", "slo_rate")
+        assert len(M_FEATURES) == 10
+        assert len(S_FEATURES) == 3
+
+    def test_metrics_bounded_sane(self, federation):
+        federation.begin_interval()
+        federation.set_topology(federation.propose_topology())
+        record = federation.run_interval()
+        matrix = record.host_metrics
+        assert np.all(matrix >= 0.0)
+        assert np.all(matrix[:, 4] <= 1.5)  # energy_norm near [0, 1]
+        assert np.all(matrix[:, 5] <= 1.0)  # slo rate is a fraction
+
+    def test_schedule_encoding_counts_tasks(self, federation):
+        federation.begin_interval()
+        federation.set_topology(federation.propose_topology())
+        record = federation.run_interval()
+        if record.n_new_tasks:
+            assert record.schedule_encoding[:, 0].sum() > 0
+
+
+class TestRunMetrics:
+    def _interval(self, energy=0.01, responses=(10.0,), violations=(False,)):
+        from repro.simulator import initial_topology
+
+        return IntervalMetrics(
+            interval=1,
+            topology=initial_topology(4, 1),
+            host_metrics=np.zeros((4, len(M_FEATURES))),
+            schedule_encoding=np.zeros((4, len(S_FEATURES))),
+            energy_kwh=energy,
+            response_times=list(responses),
+            slo_violations=list(violations),
+        )
+
+    def test_totals_accumulate(self):
+        run = RunMetrics()
+        run.add(self._interval(energy=0.01))
+        run.add(self._interval(energy=0.02))
+        assert run.total_energy_kwh == pytest.approx(0.03)
+        assert run.n_completed == 2
+
+    def test_slo_rate_over_all_tasks(self):
+        run = RunMetrics()
+        run.add(self._interval(responses=(1.0, 2.0), violations=(True, False)))
+        run.add(self._interval(responses=(3.0,), violations=(False,)))
+        assert run.slo_violation_rate == pytest.approx(1 / 3)
+
+    def test_empty_run_zero_rates(self):
+        run = RunMetrics()
+        assert run.mean_response_time == 0.0
+        assert run.slo_violation_rate == 0.0
+        assert run.mean_decision_time == 0.0
+
+    def test_memory_percent(self):
+        run = RunMetrics()
+        run.model_memory_bytes = int(0.8 * 1024 ** 3)
+        assert run.memory_percent(node_ram_gb=8.0) == pytest.approx(10.0)
+
+    def test_summary_complete(self):
+        run = RunMetrics()
+        run.add(self._interval())
+        run.decision_times.append(0.5)
+        run.fine_tune_times.append(1.5)
+        summary = run.summary()
+        assert summary["decision_time_s"] == pytest.approx(0.5)
+        assert summary["fine_tune_overhead_s"] == pytest.approx(1.5)
+
+    def test_interval_metrics_properties(self):
+        metrics = self._interval(responses=(2.0, 4.0), violations=(True, True))
+        assert metrics.mean_response_time == pytest.approx(3.0)
+        assert metrics.slo_violation_rate == 1.0
+        assert metrics.n_completed == 2

@@ -1,0 +1,126 @@
+"""End-to-end integration: the full paper pipeline at miniature scale."""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.config import ExperimentConfig, FaultConfig, FederationConfig, WorkloadConfig
+from repro.core import CAROLConfig, GONInput, TrainingConfig
+from repro.experiments import (
+    Fig2Config,
+    Fig4Config,
+    build_model,
+    format_fig2,
+    format_fig4,
+    format_results,
+    prepare_assets,
+    run_experiment,
+    run_fig2,
+    run_fig4,
+)
+from repro.experiments.calibration import collect_defog_trace
+
+
+@pytest.fixture(scope="module")
+def mini_config():
+    return ExperimentConfig(
+        federation=FederationConfig(n_hosts=8, n_leis=2, n_large_hosts=4),
+        workload=WorkloadConfig(suite="aiot", arrival_rate=1.2),
+        faults=FaultConfig(rate=0.5),
+        n_intervals=8,
+        seed=11,
+    )
+
+
+@pytest.fixture(scope="module")
+def mini_assets(mini_config):
+    return prepare_assets(
+        mini_config,
+        trace_intervals=40,
+        gon_hidden=16,
+        gon_layers=2,
+        training=TrainingConfig(
+            epochs=3, batch_size=8, learning_rate=1e-3,
+            generation_steps=8, seed=11,
+        ),
+    )
+
+
+class TestPipeline:
+    def test_trace_uses_defog_and_mutates_topology(self, mini_config):
+        trace = collect_defog_trace(mini_config, n_intervals=25)
+        assert len(trace) == 25
+        assert trace.n_topologies >= 2
+
+    def test_assets_trained(self, mini_assets):
+        history = mini_assets.training_history
+        assert history.losses[-1] <= history.losses[0]
+        gon = mini_assets.fresh_gon()
+        # Weights restored exactly.
+        sample = mini_assets.samples[0]
+        assert 0.0 <= gon.score(sample) <= 1.0
+
+    def test_carol_and_baseline_run_same_world(self, mini_assets, mini_config):
+        carol = build_model(
+            "CAROL", mini_assets, mini_config,
+            carol_config=CAROLConfig(
+                surrogate_steps=3, tabu_iterations=1, neighbourhood_sample=6,
+                pot_calibration=6, min_buffer=3, seed=11,
+            ),
+        )
+        dyverse = build_model("DYVERSE", mini_assets, mini_config)
+        carol_result = run_experiment(carol, mini_config)
+        dyverse_result = run_experiment(dyverse, mini_config)
+        # Identical workload/fault seeds -> identical arrival statistics.
+        carol_new = sum(m.n_new_tasks for m in carol_result.metrics.intervals)
+        dyverse_new = sum(m.n_new_tasks for m in dyverse_result.metrics.intervals)
+        assert carol_new == dyverse_new
+        for result in (carol_result, dyverse_result):
+            summary = result.summary()
+            assert summary["energy_kwh"] > 0
+            assert 0 <= summary["slo_violation_rate"] <= 1
+
+    def test_fig2_pipeline(self, mini_assets, mini_config):
+        result = run_fig2(
+            Fig2Config(base=mini_config, n_intervals=8),
+            assets=mini_assets,
+        )
+        assert len(result.confidences) == 8
+        rendered = format_fig2(result)
+        assert "Fig. 2" in rendered
+        assert "fine_tunes=" in rendered
+
+    def test_fig4_pipeline(self, mini_config):
+        history = run_fig4(
+            Fig4Config(
+                base=mini_config,
+                trace_intervals=30,
+                gon_hidden=16,
+                gon_layers=1,
+                training=TrainingConfig(
+                    epochs=2, batch_size=8, learning_rate=1e-3,
+                    generation_steps=5, seed=11,
+                ),
+            )
+        )
+        assert len(history.losses) == 2
+        rendered = format_fig4(history)
+        assert "Fig. 4" in rendered
+
+    def test_format_results_panels(self, mini_assets, mini_config):
+        config = replace(mini_config, n_intervals=4)
+        results = {}
+        for name in ("CAROL", "DYVERSE"):
+            model = build_model(
+                name, mini_assets, config,
+                carol_config=CAROLConfig(
+                    surrogate_steps=3, tabu_iterations=1,
+                    neighbourhood_sample=4, seed=11,
+                ),
+            )
+            results[name] = run_experiment(model, config)
+        rendered = format_results(results)
+        for panel in ("5(a)", "5(b)", "5(c)", "5(d)", "5(e)", "5(f)"):
+            assert panel in rendered
+        assert "vs CAROL" in rendered

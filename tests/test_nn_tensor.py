@@ -1,0 +1,314 @@
+"""Autodiff engine tests: every op's gradient against finite differences."""
+
+import numpy as np
+import pytest
+
+from repro.nn import Tensor, as_tensor, concatenate, stack, where
+
+
+def numeric_gradient(fn, x, eps=1e-6):
+    """Central-difference gradient of scalar fn at x."""
+    grad = np.zeros_like(x)
+    flat = grad.reshape(-1)
+    x_flat = x.reshape(-1)
+    for i in range(x_flat.size):
+        original = x_flat[i]
+        x_flat[i] = original + eps
+        up = fn(x.copy())
+        x_flat[i] = original - eps
+        down = fn(x.copy())
+        x_flat[i] = original
+        flat[i] = (up - down) / (2 * eps)
+    return grad
+
+
+def check_op(op, shape=(3, 4), positive=False, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=shape)
+    if positive:
+        x = np.abs(x) + 0.5
+
+    def scalar_fn(values):
+        return float(op(Tensor(values)).sum().data)
+
+    t = Tensor(x.copy(), requires_grad=True)
+    out = op(t).sum()
+    out.backward()
+    numeric = numeric_gradient(scalar_fn, x.copy())
+    assert t.grad is not None
+    np.testing.assert_allclose(t.grad, numeric, rtol=1e-4, atol=1e-6)
+
+
+class TestElementwiseGradients:
+    def test_add_scalar(self):
+        check_op(lambda t: t + 3.0)
+
+    def test_mul_scalar(self):
+        check_op(lambda t: t * 2.5)
+
+    def test_neg(self):
+        check_op(lambda t: -t)
+
+    def test_sub(self):
+        check_op(lambda t: t - 1.5)
+
+    def test_rsub(self):
+        check_op(lambda t: 1.5 - t)
+
+    def test_div(self):
+        check_op(lambda t: t / 2.0)
+
+    def test_rdiv(self):
+        check_op(lambda t: 2.0 / t, positive=True)
+
+    def test_pow(self):
+        check_op(lambda t: t ** 3)
+
+    def test_exp(self):
+        check_op(lambda t: t.exp())
+
+    def test_log(self):
+        check_op(lambda t: t.log(), positive=True)
+
+    def test_sqrt(self):
+        check_op(lambda t: t.sqrt(), positive=True)
+
+    def test_tanh(self):
+        check_op(lambda t: t.tanh())
+
+    def test_sigmoid(self):
+        check_op(lambda t: t.sigmoid())
+
+    def test_relu(self):
+        # Shift away from the kink for finite differences.
+        check_op(lambda t: (t + 0.05).relu())
+
+    def test_abs(self):
+        check_op(lambda t: (t + 0.05).abs())
+
+    def test_clip_interior_gradient(self):
+        x = np.array([0.5, -2.0, 2.0])
+        t = Tensor(x, requires_grad=True)
+        t.clip(-1.0, 1.0).sum().backward()
+        np.testing.assert_array_equal(t.grad, [1.0, 0.0, 0.0])
+
+
+class TestMatmulGradients:
+    def test_matrix_matrix(self):
+        rng = np.random.default_rng(1)
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        b = Tensor(rng.normal(size=(4, 5)), requires_grad=True)
+        (a @ b).sum().backward()
+        np.testing.assert_allclose(a.grad, np.ones((3, 5)) @ b.data.T)
+        np.testing.assert_allclose(b.grad, a.data.T @ np.ones((3, 5)))
+
+    def test_vector_vector(self):
+        a = Tensor(np.array([1.0, 2.0]), requires_grad=True)
+        b = Tensor(np.array([3.0, 4.0]), requires_grad=True)
+        (a @ b).backward()
+        np.testing.assert_allclose(a.grad, b.data)
+        np.testing.assert_allclose(b.grad, a.data)
+
+    def test_matrix_vector(self):
+        rng = np.random.default_rng(2)
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        v = Tensor(rng.normal(size=4), requires_grad=True)
+        (a @ v).sum().backward()
+        np.testing.assert_allclose(a.grad, np.outer(np.ones(3), v.data))
+        np.testing.assert_allclose(v.grad, a.data.T @ np.ones(3))
+
+    def test_vector_matrix(self):
+        rng = np.random.default_rng(3)
+        v = Tensor(rng.normal(size=3), requires_grad=True)
+        a = Tensor(rng.normal(size=(3, 4)), requires_grad=True)
+        (v @ a).sum().backward()
+        np.testing.assert_allclose(v.grad, a.data @ np.ones(4))
+        np.testing.assert_allclose(a.grad, np.outer(v.data, np.ones(4)))
+
+
+class TestBroadcasting:
+    def test_row_bias_broadcast(self):
+        x = Tensor(np.ones((4, 3)), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        (x + b).sum().backward()
+        np.testing.assert_array_equal(b.grad, [4.0, 4.0, 4.0])
+
+    def test_column_broadcast(self):
+        x = Tensor(np.ones((4, 3)), requires_grad=True)
+        c = Tensor(np.ones((4, 1)), requires_grad=True)
+        (x * c).sum().backward()
+        np.testing.assert_array_equal(c.grad, np.full((4, 1), 3.0))
+
+    def test_scalar_broadcast(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        s = Tensor(2.0, requires_grad=True)
+        (x * s).sum().backward()
+        assert s.grad.item() == pytest.approx(4.0)
+
+
+class TestShapeOps:
+    def test_reshape_roundtrip_gradient(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        x.reshape(3, 2).sum().backward()
+        np.testing.assert_array_equal(x.grad, np.ones((2, 3)))
+
+    def test_transpose_gradient(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        y = x.T * Tensor(np.arange(6.0).reshape(3, 2))
+        y.sum().backward()
+        np.testing.assert_array_equal(x.grad, np.arange(6.0).reshape(3, 2).T)
+
+    def test_getitem_slice_gradient(self):
+        x = Tensor(np.ones((4, 4)), requires_grad=True)
+        x[1:3, :2].sum().backward()
+        expected = np.zeros((4, 4))
+        expected[1:3, :2] = 1.0
+        np.testing.assert_array_equal(x.grad, expected)
+
+    def test_getitem_repeated_index_accumulates(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        (x[np.array([0, 0, 1])]).sum().backward()
+        np.testing.assert_array_equal(x.grad, [2.0, 1.0, 0.0])
+
+    def test_flatten(self):
+        x = Tensor(np.ones((2, 3)))
+        assert x.flatten().shape == (6,)
+
+
+class TestReductions:
+    def test_sum_axis_gradient(self):
+        x = Tensor(np.ones((2, 3)), requires_grad=True)
+        x.sum(axis=0).sum().backward()
+        np.testing.assert_array_equal(x.grad, np.ones((2, 3)))
+
+    def test_sum_keepdims(self):
+        x = Tensor(np.ones((2, 3)))
+        assert x.sum(axis=1, keepdims=True).shape == (2, 1)
+
+    def test_mean_gradient(self):
+        x = Tensor(np.ones((2, 4)), requires_grad=True)
+        x.mean().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 4), 1 / 8))
+
+    def test_mean_axis(self):
+        x = Tensor(np.arange(6.0).reshape(2, 3), requires_grad=True)
+        x.mean(axis=1).sum().backward()
+        np.testing.assert_allclose(x.grad, np.full((2, 3), 1 / 3))
+
+    def test_max_gradient_ties_split(self):
+        x = Tensor(np.array([1.0, 2.0, 2.0]), requires_grad=True)
+        x.max().backward()
+        np.testing.assert_allclose(x.grad, [0.0, 0.5, 0.5])
+
+    def test_max_axis(self):
+        x = Tensor(np.array([[1.0, 3.0], [4.0, 2.0]]), requires_grad=True)
+        x.max(axis=1).sum().backward()
+        np.testing.assert_array_equal(x.grad, [[0, 1], [1, 0]])
+
+
+class TestGraphMechanics:
+    def test_gradient_accumulates_on_reuse(self):
+        x = Tensor(np.array([2.0]), requires_grad=True)
+        y = x * x + x
+        y.backward()
+        assert x.grad.item() == pytest.approx(5.0)  # 2x + 1 at x=2
+
+    def test_diamond_graph(self):
+        x = Tensor(np.array([3.0]), requires_grad=True)
+        a = x * 2.0
+        b = x * 3.0
+        (a + b).backward()
+        assert x.grad.item() == pytest.approx(5.0)
+
+    def test_detach_blocks_gradient(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        (x.detach() * 5.0 + x).backward()
+        assert x.grad.item() == pytest.approx(1.0)
+
+    def test_no_grad_tensor_untouched(self):
+        x = Tensor(np.ones(3))
+        (x * 2.0).sum().backward()
+        assert x.grad is None
+
+    def test_backward_custom_seed(self):
+        x = Tensor(np.ones(3), requires_grad=True)
+        y = x * 2.0
+        y.backward(np.array([1.0, 2.0, 3.0]))
+        np.testing.assert_array_equal(x.grad, [2.0, 4.0, 6.0])
+
+    def test_zero_grad(self):
+        x = Tensor(np.ones(2), requires_grad=True)
+        (x * 2).sum().backward()
+        x.zero_grad()
+        assert x.grad is None
+
+    def test_deep_chain_no_recursion_error(self):
+        x = Tensor(np.array([1.0]), requires_grad=True)
+        y = x
+        for _ in range(2000):
+            y = y + 0.001
+        y.backward()
+        assert x.grad.item() == pytest.approx(1.0)
+
+
+class TestHelpers:
+    def test_concatenate_gradient(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((3, 2)), requires_grad=True)
+        out = concatenate([a, b], axis=0)
+        (out * 2.0).sum().backward()
+        np.testing.assert_array_equal(a.grad, np.full((2, 2), 2.0))
+        np.testing.assert_array_equal(b.grad, np.full((3, 2), 2.0))
+
+    def test_concatenate_axis1(self):
+        a = Tensor(np.ones((2, 2)), requires_grad=True)
+        b = Tensor(np.ones((2, 3)), requires_grad=True)
+        out = concatenate([a, b], axis=1)
+        assert out.shape == (2, 5)
+        out.sum().backward()
+        np.testing.assert_array_equal(b.grad, np.ones((2, 3)))
+
+    def test_stack_gradient(self):
+        tensors = [Tensor(np.ones(3), requires_grad=True) for _ in range(4)]
+        out = stack(tensors, axis=0)
+        assert out.shape == (4, 3)
+        (out * 3.0).sum().backward()
+        for t in tensors:
+            np.testing.assert_array_equal(t.grad, np.full(3, 3.0))
+
+    def test_where_routes_gradients(self):
+        condition = np.array([True, False, True])
+        a = Tensor(np.ones(3), requires_grad=True)
+        b = Tensor(np.zeros(3), requires_grad=True)
+        where(condition, a, b).sum().backward()
+        np.testing.assert_array_equal(a.grad, [1.0, 0.0, 1.0])
+        np.testing.assert_array_equal(b.grad, [0.0, 1.0, 0.0])
+
+    def test_as_tensor_passthrough(self):
+        t = Tensor(np.ones(2))
+        assert as_tensor(t) is t
+
+    def test_item_scalar(self):
+        assert Tensor(np.array(3.5)).item() == pytest.approx(3.5)
+
+    def test_pow_rejects_tensor_exponent(self):
+        with pytest.raises(TypeError):
+            Tensor(np.ones(2)) ** Tensor(np.ones(2))
+
+
+class TestCompositeGradientCheck:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_random_composite(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(4, 4))
+
+        def fn(values):
+            t = Tensor(values, requires_grad=True)
+            y = ((t @ t.T).sigmoid() * 2.0).sum() + (t ** 2).mean() \
+                + t.tanh().sum()
+            return y, t
+
+        y, t = fn(x.copy())
+        y.backward()
+        numeric = numeric_gradient(lambda v: float(fn(v)[0].data), x.copy())
+        np.testing.assert_allclose(t.grad, numeric, rtol=1e-4, atol=1e-6)

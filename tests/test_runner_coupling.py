@@ -1,0 +1,94 @@
+"""Runner-level coupling: overheads feed back into the simulation.
+
+The paper's central systems argument is that model fine-tuning and
+memory consumption *compete with the workload for broker resources*
+(§I).  These tests verify that the reproduction's runner actually wires
+that feedback: a model that burns CPU in ``observe`` raises broker
+utilisation (and therefore energy) in the following interval.
+"""
+
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core.interface import ResilienceModel
+from repro.experiments import run_experiment
+from repro.simulator import EdgeFederation
+
+
+class IdleModel(ResilienceModel):
+    """Accepts every proposal, does nothing else."""
+
+    name = "idle"
+
+    def repair(self, view, report, proposal):
+        return proposal
+
+
+class BusyModel(ResilienceModel):
+    """Burns wall-clock in observe() to emulate heavy fine-tuning."""
+
+    name = "busy"
+
+    def __init__(self, burn_seconds: float = 0.2) -> None:
+        self.burn_seconds = burn_seconds
+
+    def repair(self, view, report, proposal):
+        return proposal
+
+    def observe(self, metrics, view):
+        import time
+
+        deadline = time.perf_counter() + self.burn_seconds
+        while time.perf_counter() < deadline:
+            np.dot(np.ones(64), np.ones(64))
+
+
+class HeavyMemoryModel(IdleModel):
+    name = "heavy-memory"
+
+    def memory_bytes(self):
+        return 4 * 1024 ** 3  # 4 GB resident
+
+
+class TestOverheadFeedback:
+    def test_busy_model_raises_broker_load_and_energy(self, small_config):
+        config = replace(small_config, n_intervals=6)
+        idle = run_experiment(IdleModel(), config)
+        busy = run_experiment(BusyModel(burn_seconds=0.4), config)
+        # Same workload seeds; the busy model's compute is charged to
+        # brokers, which draw more power.
+        assert busy.metrics.total_energy_kwh > idle.metrics.total_energy_kwh
+        assert busy.metrics.total_fine_tune_seconds > idle.metrics.total_fine_tune_seconds
+
+    def test_memory_charged_to_brokers(self, small_config):
+        config = replace(small_config, n_intervals=3)
+        federation = EdgeFederation(config)
+        result = run_experiment(
+            HeavyMemoryModel(), config, federation=federation
+        )
+        broker = sorted(federation.topology.brokers)[0]
+        host = federation.hosts[broker]
+        # 4 GB of model on the broker shows up as management RAM.
+        assert host.management_ram_gb >= 4.0
+        assert result.summary()["memory_percent"] == pytest.approx(50.0)
+
+    def test_decision_times_measured_not_reported(self, small_config):
+        config = replace(small_config, n_intervals=4)
+        result = run_experiment(IdleModel(), config)
+        assert all(t >= 0 for t in result.metrics.decision_times)
+        assert len(result.metrics.decision_times) == 4
+
+    def test_edge_slowdown_capped_at_interval(self, small_config):
+        """A pathological 1000s-per-interval model cannot charge more
+        than one interval of broker CPU."""
+        config = replace(small_config, n_intervals=2)
+        federation = EdgeFederation(config)
+        run_experiment(
+            BusyModel(burn_seconds=0.05), config, federation=federation,
+            edge_slowdown=1e6,
+        )
+        broker = sorted(federation.topology.brokers)[0]
+        # Management CPU fraction <= 1 (the cap) + small baseline.
+        assert federation.hosts[broker].management_cpu <= 1.4

@@ -1,0 +1,209 @@
+"""Fault injection, failure detection and recovery."""
+
+import numpy as np
+import pytest
+
+from repro.config import FaultConfig
+from repro.simulator import (
+    DetectionProtocol,
+    FaultInjector,
+    NetworkModel,
+    Topology,
+    ensure_brokered,
+    initial_topology,
+    make_pi_cluster,
+    reattach_recovered,
+    strip_failed,
+)
+from repro.simulator.faults import ATTACK_AXIS, ATTACK_INTENSITY
+
+
+@pytest.fixture
+def hosts():
+    return make_pi_cluster(8, 4)
+
+
+@pytest.fixture
+def topo():
+    return initial_topology(8, 2)
+
+
+@pytest.fixture
+def injector(rng):
+    return FaultInjector(FaultConfig(rate=1.0), rng)
+
+
+class TestFaultInjection:
+    def test_attack_rate(self, topo, hosts):
+        injector = FaultInjector(FaultConfig(rate=0.5), np.random.default_rng(0))
+        counts = [
+            len(injector.inject(t, topo, hosts)) for t in range(400)
+        ]
+        assert np.mean(counts) == pytest.approx(0.5, rel=0.2)
+
+    def test_attack_types_cover_paper_set(self, topo, hosts):
+        injector = FaultInjector(FaultConfig(rate=3.0), np.random.default_rng(1))
+        seen = set()
+        for t in range(100):
+            for event in injector.inject(t, topo, hosts):
+                seen.add(event.attack_type)
+        assert seen == {"cpu_overload", "ram_contention", "disk_attack", "ddos_attack"}
+
+    def test_attack_axis_mapping(self):
+        assert ATTACK_AXIS["cpu_overload"] == "cpu"
+        assert ATTACK_AXIS["ram_contention"] == "ram"
+        assert ATTACK_AXIS["disk_attack"] == "disk"
+        assert ATTACK_AXIS["ddos_attack"] == "net"
+
+    def test_intensity_within_bounds(self, topo, hosts, injector):
+        for t in range(50):
+            for event in injector.inject(t, topo, hosts):
+                low, high = ATTACK_INTENSITY[event.attack_type]
+                assert low <= event.intensity <= high
+
+    def test_loads_applied_to_hosts(self, topo, hosts, injector):
+        for t in range(20):
+            injector.inject(t, topo, hosts)
+        injector.apply_loads(hosts)
+        total = sum(sum(h.fault_load.values()) for h in hosts)
+        assert total > 0
+
+    def test_decay_expires_attacks(self, topo, hosts, injector):
+        for t in range(10):
+            injector.inject(t, topo, hosts)
+        for _ in range(5):
+            injector.decay()
+        injector.apply_loads(hosts)
+        assert all(sum(h.fault_load.values()) == 0 for h in hosts)
+
+    def test_broker_bias(self, topo, hosts):
+        injector = FaultInjector(
+            FaultConfig(rate=2.0), np.random.default_rng(2), broker_bias=1.0
+        )
+        for t in range(50):
+            for event in injector.inject(t, topo, hosts):
+                assert event.target in topo.brokers
+
+    def test_check_failures_crashes_overloaded(self, topo, hosts, injector):
+        hosts[0].compute_utilisation({"cpu": 9000.0})
+        failed = injector.check_failures(hosts, topo)
+        assert failed == [0]
+        assert not hosts[0].alive
+
+    def test_check_failures_skips_healthy(self, topo, hosts, injector):
+        for host in hosts:
+            host.compute_utilisation({"cpu": 1000.0})
+        assert injector.check_failures(hosts, topo) == []
+
+    def test_recovery_draw_in_bounds(self, injector):
+        for _ in range(100):
+            seconds = injector.draw_recovery_seconds()
+            assert 60.0 <= seconds <= 300.0
+
+    def test_clear_host(self, topo, hosts, injector):
+        for t in range(20):
+            injector.inject(t, topo, hosts)
+        target = injector.history[0].target
+        injector.clear_host(target)
+        injector.apply_loads(hosts)
+        assert sum(hosts[target].fault_load.values()) == 0.0
+
+
+class TestDetection:
+    def test_detects_dead_broker(self, topo, hosts, rng):
+        protocol = DetectionProtocol(rng, audit_failure_probability=0.0)
+        hosts[0].crash(120.0)
+        report = protocol.detect(1, topo, hosts)
+        assert report.failed_brokers == (0,)
+        assert report.any_broker_failed
+
+    def test_detects_dead_worker(self, topo, hosts, rng):
+        protocol = DetectionProtocol(rng, audit_failure_probability=0.0)
+        hosts[5].crash(120.0)
+        report = protocol.detect(1, topo, hosts)
+        assert 5 in report.failed_workers
+        assert not report.any_broker_failed
+
+    def test_detection_delay(self, topo, hosts, rng):
+        protocol = DetectionProtocol(rng)
+        report = protocol.detect(1, topo, hosts)
+        assert report.detection_delay_seconds == pytest.approx(25.0)
+
+    def test_audit_flags_attacked_broker(self, topo, hosts):
+        protocol = DetectionProtocol(
+            np.random.default_rng(0), audit_failure_probability=1.0
+        )
+        hosts[0].fault_load["cpu"] = 0.5
+        report = protocol.detect(1, topo, hosts)
+        assert 0 in report.audit_failures
+        assert 0 in report.failed_brokers
+
+    def test_healthy_system_clean_report(self, topo, hosts, rng):
+        protocol = DetectionProtocol(rng, audit_failure_probability=0.0)
+        report = protocol.detect(1, topo, hosts)
+        assert report.all_failed == ()
+
+
+class TestRecovery:
+    def test_strip_failed_removes_dead(self, topo, hosts):
+        hosts[5].crash(60.0)
+        result = strip_failed(topo, hosts)
+        assert 5 not in result.attached
+
+    def test_reattach_recovered_to_closest(self, topo, hosts, rng):
+        network = NetworkModel(8, 2, rng)
+        stripped = topo.detach(5)
+        result = reattach_recovered(stripped, hosts, network)
+        assert 5 in result.assignment
+        assert result.assignment[5] in topo.brokers
+
+    def test_ensure_brokered_promotes_when_all_brokers_dead(self, topo, hosts, rng):
+        network = NetworkModel(8, 2, rng)
+        hosts[0].crash(60.0)
+        hosts[1].crash(60.0)
+        result = ensure_brokered(topo, hosts, network)
+        live_brokers = [b for b in result.brokers if hosts[b].alive]
+        assert live_brokers
+        # Every live host is attached.
+        live = {h.host_id for h in hosts if h.alive}
+        assert live <= result.attached
+
+    def test_ensure_brokered_total_outage_is_graceful(self, topo, hosts, rng):
+        network = NetworkModel(8, 2, rng)
+        for host in hosts:
+            host.crash(60.0)
+        result = ensure_brokered(topo, hosts, network)
+        assert isinstance(result, Topology)
+
+    def test_ensure_brokered_noop_when_healthy(self, topo, hosts, rng):
+        network = NetworkModel(8, 2, rng)
+        assert ensure_brokered(topo, hosts, network) == topo
+
+
+class TestNetworkModel:
+    def test_latency_symmetric_zero_diagonal(self, rng):
+        network = NetworkModel(6, 2, rng)
+        np.testing.assert_allclose(network.latency, network.latency.T)
+        np.testing.assert_allclose(np.diag(network.latency), 0.0)
+
+    def test_transfer_time_includes_serialisation(self, rng):
+        network = NetworkModel(4, 2, rng, link_mbps=1000.0)
+        transfer = network.transfer_seconds(0, 1, megabytes=125.0)
+        # 125 MB over 1 Gbps = 1 s plus latency.
+        assert transfer > 1.0
+        assert network.transfer_seconds(0, 0, 125.0) == 0.0
+
+    def test_transfer_rejects_negative(self, rng):
+        network = NetworkModel(4, 2, rng)
+        with pytest.raises(ValueError):
+            network.transfer_seconds(0, 1, -1.0)
+
+    def test_closest_host(self, rng):
+        network = NetworkModel(6, 2, rng)
+        position = network.positions[3]
+        assert network.closest_host(position, [3, 0]) == 3
+
+    def test_closest_requires_candidates(self, rng):
+        network = NetworkModel(4, 2, rng)
+        with pytest.raises(ValueError):
+            network.closest_host(np.zeros(2), [])
