@@ -1,0 +1,63 @@
+"""Campaign bench -- wall-time of serial vs. process-parallel grids.
+
+Measures the same scenario x model x seed grid executed with
+``workers=1`` and ``workers=2`` and prints both wall times plus the
+speedup, so the process-parallel fan-out of
+:mod:`repro.experiments.campaign` is tracked in the bench trajectory.
+The grid uses a heuristic model (no offline GON training) so the bench
+isolates the executor overhead and simulation cost.
+
+On a single-core runner the speedup hovers around (or below) 1x --
+the bench asserts correctness (bit-identical records), not a speedup.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.experiments import CampaignConfig, run_campaign
+
+#: Grid: 3 scenarios x 1 model x 2 seeds at 8 intervals each.
+BENCH_GRID = dict(
+    scenarios=("paper-default", "correlated-rack", "flash-crowd"),
+    models=("dyverse",),
+    n_seeds=2,
+    seed=1,
+    n_intervals=8,
+)
+
+
+def _timed_run(workers: int):
+    config = CampaignConfig(workers=workers, **BENCH_GRID)
+    started = time.perf_counter()
+    result = run_campaign(config)
+    return time.perf_counter() - started, result
+
+
+def test_campaign_serial_vs_parallel(capsys):
+    serial_seconds, serial = _timed_run(workers=1)
+    parallel_seconds, parallel = _timed_run(workers=2)
+
+    assert serial.rows() == parallel.rows(), (
+        "parallel campaign diverged from serial"
+    )
+
+    n_runs = len(serial.records)
+    speedup = serial_seconds / max(parallel_seconds, 1e-9)
+    with capsys.disabled():
+        print("\n-- campaign wall-time: serial vs process-parallel --")
+        print(f"grid            : {n_runs} runs "
+              f"({len(BENCH_GRID['scenarios'])} scenarios x "
+              f"{BENCH_GRID['n_seeds']} seeds)")
+        print(f"serial (1 proc) : {serial_seconds:.2f} s")
+        print(f"parallel (2 proc): {parallel_seconds:.2f} s")
+        print(f"speedup         : {speedup:.2f}x")
+        print(serial.format_summary())
+
+
+if __name__ == "__main__":
+    import sys
+
+    import pytest
+
+    sys.exit(pytest.main([__file__, "-x", "-q", "-s"]))

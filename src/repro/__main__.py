@@ -1,4 +1,4 @@
-"""Command-line entry point: ``python -m repro <artifact>``.
+"""Command-line entry point: ``python -m repro <command>``.
 
 Regenerates any paper artifact from the terminal without touching the
 pytest harness:
@@ -9,9 +9,17 @@ pytest harness:
     python -m repro fig5 [--models CAROL,DYVERSE,...] [--intervals N]
     python -m repro fig6a | fig6b | fig6c
 
-All commands accept ``--seed`` and run at CI scale by default;
+Artifact commands accept ``--seed`` and run at CI scale by default;
 ``--paper-scale`` switches to the 16-host / 4-LEI testbed shape
 (substantially slower).
+
+The scenario subsystem adds two commands:
+
+    python -m repro scenarios list
+    python -m repro scenarios show <name>
+    python -m repro campaign --scenarios paper-default,correlated-rack \\
+        --models carol --seeds 2 --workers 4
+    python -m repro campaign --ci
 """
 
 from __future__ import annotations
@@ -99,16 +107,71 @@ def _cmd_fig6(args, panel: str) -> int:
     return 0
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(
-        prog="python -m repro",
-        description="Regenerate CAROL (DSN 2022) paper artifacts.",
-    )
-    parser.add_argument(
-        "artifact",
-        choices=["table1", "fig2", "fig4", "fig5", "fig6a", "fig6b", "fig6c"],
-        help="which paper artifact to regenerate",
-    )
+def _cmd_scenarios(args) -> int:
+    from .scenarios import all_scenarios, get_scenario
+
+    if args.action == "list":
+        specs = all_scenarios()
+        width = max(len(spec.name) for spec in specs)
+        print(f"{len(specs)} registered scenarios:\n")
+        for spec in specs:
+            fleet = ", ".join(f"{n}x {c}" for c, n in spec.fleet)
+            print(f"  {spec.name.ljust(width)}  [{fleet}; {spec.n_leis} LEIs]")
+            print(f"  {' ' * width}  {spec.description}")
+        return 0
+    # show
+    if not args.name:
+        print("scenarios show requires a scenario name", file=sys.stderr)
+        return 2
+    import json
+
+    try:
+        spec = get_scenario(args.name)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    print(json.dumps(spec.to_dict(), indent=2))
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    from .experiments import CampaignConfig, ci_campaign_config, run_campaign
+
+    if args.ci:
+        config = ci_campaign_config(workers=args.workers)
+    else:
+        if not args.scenarios:
+            print("campaign requires --scenarios (or --ci)", file=sys.stderr)
+            return 2
+        try:
+            config = CampaignConfig(
+                scenarios=tuple(
+                    s.strip() for s in args.scenarios.split(",") if s.strip()
+                ),
+                models=tuple(
+                    m for m in (args.models or "carol").split(",") if m.strip()
+                ),
+                n_seeds=args.seeds,
+                workers=args.workers,
+                seed=args.seed,
+                n_intervals=args.intervals or None,
+            )
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+    try:
+        result = run_campaign(config)
+    except (KeyError, ValueError) as error:
+        # Typo'd scenario or model names: the registries raise with the
+        # full catalog in the message; surface it without a traceback.
+        message = error.args[0] if error.args else str(error)
+        print(message, file=sys.stderr)
+        return 2
+    print(result.format_summary())
+    return 0
+
+
+def _add_artifact_options(parser) -> None:
     parser.add_argument("--seed", type=int, default=0)
     parser.add_argument("--intervals", type=int, default=0,
                         help="override the number of evaluation intervals")
@@ -118,17 +181,67 @@ def main(argv=None) -> int:
                         help="fig5: override the training-trace length")
     parser.add_argument("--paper-scale", action="store_true",
                         help="16 hosts / 4 LEIs / 100 intervals (slow)")
+
+
+ARTIFACTS = ("table1", "fig2", "fig4", "fig5", "fig6a", "fig6b", "fig6c")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description=(
+            "Regenerate CAROL (DSN 2022) paper artifacts and run "
+            "scenario campaigns."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True,
+                                       metavar="command")
+    for artifact in ARTIFACTS:
+        sub = subparsers.add_parser(
+            artifact, help=f"regenerate paper artifact {artifact}"
+        )
+        _add_artifact_options(sub)
+
+    scenarios = subparsers.add_parser(
+        "scenarios", help="inspect the declarative scenario catalog"
+    )
+    scenarios.add_argument("action", choices=["list", "show"])
+    scenarios.add_argument("name", nargs="?", default="",
+                           help="scenario name (for show)")
+
+    campaign = subparsers.add_parser(
+        "campaign", help="run a scenario x model x seed grid"
+    )
+    campaign.add_argument("--scenarios", type=str, default="",
+                          help="comma-separated scenario names")
+    campaign.add_argument("--models", type=str, default="carol",
+                          help="comma-separated model names (default: carol)")
+    campaign.add_argument("--seeds", type=int, default=1,
+                          help="independent repetitions per cell")
+    campaign.add_argument("--workers", type=int, default=1,
+                          help="worker processes (1 = serial)")
+    campaign.add_argument("--seed", type=int, default=0,
+                          help="campaign root seed")
+    campaign.add_argument("--intervals", type=int, default=0,
+                          help="override each scenario's interval count")
+    campaign.add_argument("--ci", action="store_true",
+                          help="run the tiny CI smoke grid")
+
     args = parser.parse_args(argv)
 
-    if args.artifact == "table1":
+    if args.command == "table1":
         return _cmd_table1(args)
-    if args.artifact == "fig2":
+    if args.command == "fig2":
         return _cmd_fig2(args)
-    if args.artifact == "fig4":
+    if args.command == "fig4":
         return _cmd_fig4(args)
-    if args.artifact == "fig5":
+    if args.command == "fig5":
         return _cmd_fig5(args)
-    return _cmd_fig6(args, args.artifact[-1])
+    if args.command in ("fig6a", "fig6b", "fig6c"):
+        return _cmd_fig6(args, args.command[-1])
+    if args.command == "scenarios":
+        return _cmd_scenarios(args)
+    return _cmd_campaign(args)
 
 
 if __name__ == "__main__":

@@ -26,6 +26,11 @@ class FederationConfig:
     interval_seconds: float = 300.0
     #: LAN / WAN link speed in Mbit/s (all links are 1 Gbps).
     link_mbps: float = 1000.0
+    #: Optional heterogeneous fleet composition as ``(host_class, count)``
+    #: pairs (see :data:`repro.simulator.host.HOST_CLASSES`).  Empty means
+    #: the classic homogeneous Pi cluster derived from ``n_hosts`` /
+    #: ``n_large_hosts``.  When set, counts must sum to ``n_hosts``.
+    fleet: Tuple[Tuple[str, int], ...] = ()
 
     def __post_init__(self) -> None:
         if self.n_hosts < 2:
@@ -36,6 +41,17 @@ class FederationConfig:
             )
         if not 0 <= self.n_large_hosts <= self.n_hosts:
             raise ValueError("n_large_hosts out of range")
+        if self.fleet:
+            for entry in self.fleet:
+                if len(entry) != 2 or int(entry[1]) < 1:
+                    raise ValueError(
+                        f"fleet entries must be (host_class, count >= 1), got {entry!r}"
+                    )
+            total = sum(int(count) for _, count in self.fleet)
+            if total != self.n_hosts:
+                raise ValueError(
+                    f"fleet composition holds {total} hosts but n_hosts={self.n_hosts}"
+                )
 
 
 @dataclass(frozen=True)
@@ -50,19 +66,40 @@ class WorkloadConfig:
     drift_scale: float = 0.02
     #: Probability per interval of a regime jump in workload statistics.
     jump_probability: float = 0.01
+    #: Amplitude of a sinusoidal day/night arrival-rate modulation in
+    #: [0, 1); 0 disables it (the paper's steady Poisson arrivals).
+    diurnal_amplitude: float = 0.0
+    #: Period of the diurnal cycle in scheduling intervals.
+    diurnal_period: float = 24.0
 
     def __post_init__(self) -> None:
         if self.suite not in ("defog", "aiot"):
             raise ValueError(f"unknown workload suite {self.suite!r}")
         if self.arrival_rate <= 0:
             raise ValueError("arrival_rate must be positive")
+        if not 0.0 <= self.diurnal_amplitude < 1.0:
+            raise ValueError(
+                f"diurnal_amplitude={self.diurnal_amplitude} must be in [0, 1) "
+                "(>= 1 would drive the arrival rate negative)"
+            )
+        if self.diurnal_period <= 0:
+            raise ValueError("diurnal_period must be positive (intervals per cycle)")
 
 
 @dataclass(frozen=True)
 class FaultConfig:
-    """Fault-injection process (§IV-F)."""
+    """Fault-injection campaign (§IV-F plus scenario extensions).
 
-    #: Poisson rate of attacks per interval.
+    The paper's baseline process is uniform Poisson resource attacks
+    (``rate`` / ``attack_types``).  The remaining fields parameterise the
+    pluggable fault models of :mod:`repro.simulator.faults`: correlated
+    rack-level group attacks, overload cascades triggered by neighbour
+    failures, network partitions and gateway-side arrival surges.  All
+    extensions default to *off*, so a stock ``FaultConfig`` reproduces
+    the paper's injector exactly.
+    """
+
+    #: Poisson rate of independent attacks per interval.
     rate: float = 0.5
     #: Attack types sampled uniformly at random.
     attack_types: Tuple[str, ...] = (
@@ -76,13 +113,66 @@ class FaultConfig:
     #: Fraction of resource over-utilisation above which a node becomes
     #: unresponsive within the interval.
     failure_threshold: float = 1.0
+    #: Poisson rate of correlated group attacks (whole racks hit at once).
+    correlated_rate: float = 0.0
+    #: Hosts per rack for correlated attacks; must be >= 1 when enabled
+    #: and no larger than the fleet (checked where the fleet is known).
+    correlated_group_size: int = 0
+    #: Probability that each neighbour of a failed host is hit by an
+    #: overload cascade in the following interval.
+    cascade_probability: float = 0.0
+    #: Extra utilisation injected on cascade targets.
+    cascade_intensity: float = 0.8
+    #: Poisson rate of network-partition events per interval.
+    partition_rate: float = 0.0
+    #: Fraction of the live fleet cut off by a partition, in (0, 1).
+    partition_fraction: float = 0.0
+    #: Intervals a partition persists before the links heal.
+    partition_duration: int = 2
+    #: Poisson rate of gateway-side arrival-surge (flash-crowd) events.
+    surge_rate: float = 0.0
+    #: Multiplier applied to the task arrival rate while a surge is live.
+    surge_multiplier: float = 1.0
+    #: Intervals a surge persists.
+    surge_duration: int = 1
 
     def __post_init__(self) -> None:
-        if self.rate < 0:
-            raise ValueError("fault rate must be non-negative")
+        for attr in ("rate", "correlated_rate", "partition_rate", "surge_rate"):
+            if getattr(self, attr) < 0:
+                raise ValueError(
+                    f"{attr}={getattr(self, attr)} must be non-negative"
+                )
         low, high = self.recovery_seconds
         if not 0 < low <= high:
             raise ValueError("recovery_seconds must satisfy 0 < low <= high")
+        if self.correlated_group_size < 0:
+            raise ValueError("correlated_group_size must be non-negative")
+        if self.correlated_rate > 0 and self.correlated_group_size < 1:
+            raise ValueError(
+                "correlated attacks enabled (correlated_rate > 0) but "
+                f"correlated_group_size={self.correlated_group_size}; need >= 1"
+            )
+        if not 0.0 <= self.cascade_probability <= 1.0:
+            raise ValueError(
+                f"cascade_probability={self.cascade_probability} must be in [0, 1]"
+            )
+        if self.cascade_intensity < 0:
+            raise ValueError("cascade_intensity must be non-negative")
+        if self.partition_rate > 0 and not 0.0 < self.partition_fraction < 1.0:
+            raise ValueError(
+                f"partition_fraction={self.partition_fraction} must be in (0, 1) "
+                "when partitions are enabled (a partition cuts off *part* of "
+                "the fleet, never none or all of it)"
+            )
+        if self.partition_duration < 1:
+            raise ValueError("partition_duration must be >= 1 interval")
+        if self.surge_rate > 0 and self.surge_multiplier < 1.0:
+            raise ValueError(
+                f"surge_multiplier={self.surge_multiplier} must be >= 1 when "
+                "surges are enabled (a surge amplifies arrivals)"
+            )
+        if self.surge_duration < 1:
+            raise ValueError("surge_duration must be >= 1 interval")
 
 
 @dataclass(frozen=True)

@@ -13,6 +13,17 @@ from .calibration import (
     collect_defog_trace,
     prepare_assets,
 )
+from .campaign import (
+    CampaignConfig,
+    CampaignResult,
+    DETERMINISTIC_METRICS,
+    RunRecord,
+    RunTask,
+    canonical_model_name,
+    ci_campaign_config,
+    plan_tasks,
+    run_campaign,
+)
 from .fig2_confidence import Fig2Config, Fig2Result, format_fig2, run_fig2
 from .fig4_training import Fig4Config, format_fig4, run_fig4
 from .fig5_comparison import (
@@ -47,6 +58,15 @@ __all__ = [
     "run_experiment",
     "ExperimentResult",
     "EDGE_SLOWDOWN",
+    "CampaignConfig",
+    "CampaignResult",
+    "RunTask",
+    "RunRecord",
+    "DETERMINISTIC_METRICS",
+    "canonical_model_name",
+    "plan_tasks",
+    "run_campaign",
+    "ci_campaign_config",
     "prepare_assets",
     "build_model",
     "collect_defog_trace",

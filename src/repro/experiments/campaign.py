@@ -1,0 +1,316 @@
+"""Campaign runner: scenario x model x seed grids across processes.
+
+A *campaign* evaluates resilience models over the declarative scenario
+catalog (:mod:`repro.scenarios`).  The grid is flattened into
+independent :class:`RunTask` cells, each cell derives its own seed from
+an ``np.random.SeedSequence.spawn`` child (independent, reproducible
+streams -- never a shared or offset seed), and cells execute either
+serially or fanned across worker processes with
+:class:`concurrent.futures.ProcessPoolExecutor`.
+
+Because each cell is a pure function of its task description, campaign
+results are **bit-identical regardless of worker count** -- the
+property `tests/test_campaign.py` asserts.  To keep that guarantee,
+runs execute with ``edge_slowdown=0`` (no wall-clock feedback into the
+simulation) and only deterministic metrics enter the records; the
+wall-clock cost metrics of Fig. 5 remain the business of
+:mod:`repro.experiments.fig5_comparison`.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core import TrainingConfig
+from ..scenarios import ScenarioSpec, build_topology, get_scenario
+from ..simulator.engine import EdgeFederation
+from .calibration import ABLATION_NAMES, BASELINE_NAMES, build_model, prepare_assets
+from .report import format_table
+from .runner import run_experiment
+
+__all__ = [
+    "DETERMINISTIC_METRICS",
+    "CampaignConfig",
+    "RunTask",
+    "RunRecord",
+    "CampaignResult",
+    "canonical_model_name",
+    "plan_tasks",
+    "run_campaign",
+    "ci_campaign_config",
+]
+
+#: Summary keys that are pure functions of (scenario, model, seed) --
+#: free of wall-clock measurement -- and therefore enter campaign
+#: records and the parallel == serial bit-identity guarantee.
+DETERMINISTIC_METRICS = (
+    "energy_kwh",
+    "response_time_s",
+    "slo_violation_rate",
+    "completed_tasks",
+    "downtime_s",
+)
+
+#: Models whose construction consumes offline-trained assets.
+_CAROL_FAMILY = ("CAROL", *ABLATION_NAMES)
+
+_MODEL_LOOKUP = {
+    name.lower(): name
+    for name in ("CAROL", *BASELINE_NAMES, *ABLATION_NAMES)
+}
+
+
+def canonical_model_name(name: str) -> str:
+    """Resolve a case-insensitive model name to its canonical form."""
+    canonical = _MODEL_LOOKUP.get(name.strip().lower())
+    if canonical is None:
+        raise ValueError(
+            f"unknown model {name!r}; known: {sorted(_MODEL_LOOKUP.values())}"
+        )
+    return canonical
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """A scenario x model x seed evaluation grid."""
+
+    scenarios: Tuple[str, ...]
+    models: Tuple[str, ...] = ("CAROL",)
+    #: Independent repetitions per (scenario, model) cell.
+    n_seeds: int = 1
+    #: Worker processes; 1 runs serially in-process.
+    workers: int = 1
+    #: Root entropy of the campaign; every run seed descends from it.
+    seed: int = 0
+    #: Override for each scenario's default evaluation length.
+    n_intervals: Optional[int] = None
+    #: Offline-training sizes for CAROL-family runs (CI-scale defaults).
+    trace_intervals: int = 40
+    gon_hidden: int = 24
+    gon_layers: int = 2
+    gon_epochs: int = 6
+
+    def __post_init__(self) -> None:
+        if not self.scenarios:
+            raise ValueError("campaign needs at least one scenario")
+        if not self.models:
+            raise ValueError("campaign needs at least one model")
+        if self.n_seeds < 1:
+            raise ValueError("n_seeds must be >= 1")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+        if self.n_intervals is not None and self.n_intervals < 1:
+            raise ValueError("n_intervals override must be >= 1")
+        if self.trace_intervals < 1:
+            raise ValueError("trace_intervals must be >= 1")
+
+
+@dataclass(frozen=True)
+class RunTask:
+    """One grid cell, self-contained and picklable for worker processes.
+
+    ``spec`` is the resolved scenario, shipped with the task so worker
+    processes never consult the parent's registry -- user-registered
+    scenarios work even on spawn-based platforms whose workers only
+    re-import the built-in catalog.  ``seed_sequence`` is this run's
+    private ``SeedSequence`` child; the run seed is derived from it
+    alone, so results do not depend on which worker executes the cell
+    or in what order.
+    """
+
+    run_index: int
+    scenario: str
+    spec: ScenarioSpec
+    model: str
+    seed_index: int
+    seed_sequence: np.random.SeedSequence
+    n_intervals: Optional[int]
+    trace_intervals: int
+    gon_hidden: int
+    gon_layers: int
+    gon_epochs: int
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """The deterministic outcome of one grid cell."""
+
+    run_index: int
+    scenario: str
+    model: str
+    seed_index: int
+    #: The integer seed actually used for the run.
+    seed: int
+    metrics: Dict[str, float]
+
+    def row(self) -> Dict[str, object]:
+        """Tidy-format row: identity columns plus one column per metric."""
+        row: Dict[str, object] = {
+            "scenario": self.scenario,
+            "model": self.model,
+            "seed_index": self.seed_index,
+            "seed": self.seed,
+        }
+        row.update(self.metrics)
+        return row
+
+
+def _execute_run(task: RunTask) -> RunRecord:
+    """Run one grid cell end to end (executed inside worker processes)."""
+    spec = task.spec
+    run_seed = int(task.seed_sequence.generate_state(1, dtype=np.uint32)[0])
+    config = spec.compile(seed=run_seed, n_intervals=task.n_intervals)
+
+    assets = None
+    if task.model in _CAROL_FAMILY:
+        assets = prepare_assets(
+            config,
+            trace_intervals=task.trace_intervals,
+            gon_hidden=task.gon_hidden,
+            gon_layers=task.gon_layers,
+            training=TrainingConfig(
+                epochs=task.gon_epochs, batch_size=16,
+                learning_rate=1e-3, generation_steps=20, seed=run_seed,
+            ),
+        )
+    model = build_model(task.model, assets, config)
+    federation = EdgeFederation(config, topology=build_topology(spec))
+    result = run_experiment(model, config, federation=federation, edge_slowdown=0.0)
+    summary = result.summary()
+    return RunRecord(
+        run_index=task.run_index,
+        scenario=task.scenario,
+        model=task.model,
+        seed_index=task.seed_index,
+        seed=run_seed,
+        metrics={key: float(summary[key]) for key in DETERMINISTIC_METRICS},
+    )
+
+
+def plan_tasks(config: CampaignConfig) -> List[RunTask]:
+    """Flatten the grid into tasks with independent spawned seeds.
+
+    The root ``SeedSequence`` spawns one child per cell in a fixed
+    (scenario, model, seed_index) order, so the plan -- and therefore
+    every run seed -- is a pure function of the campaign config.
+    """
+    # Resolve names up front: fails fast on typos, and freezes the
+    # specs into the tasks (worker registries may lack user scenarios).
+    specs = {name: get_scenario(name) for name in config.scenarios}
+    models = tuple(canonical_model_name(m) for m in config.models)
+
+    cells = [
+        (scenario, model, seed_index)
+        for scenario in config.scenarios
+        for model in models
+        for seed_index in range(config.n_seeds)
+    ]
+    children = np.random.SeedSequence(config.seed).spawn(len(cells))
+    return [
+        RunTask(
+            run_index=index,
+            scenario=scenario,
+            spec=specs[scenario],
+            model=model,
+            seed_index=seed_index,
+            seed_sequence=children[index],
+            n_intervals=config.n_intervals,
+            trace_intervals=config.trace_intervals,
+            gon_hidden=config.gon_hidden,
+            gon_layers=config.gon_layers,
+            gon_epochs=config.gon_epochs,
+        )
+        for index, (scenario, model, seed_index) in enumerate(cells)
+    ]
+
+
+@dataclass
+class CampaignResult:
+    """All records of a campaign plus tidy/aggregate views."""
+
+    config: CampaignConfig
+    records: List[RunRecord] = field(default_factory=list)
+
+    def rows(self) -> List[Dict[str, object]]:
+        """Tidy table: one row per run, identity + metric columns."""
+        return [record.row() for record in self.records]
+
+    def aggregate(self) -> Dict[Tuple[str, str], Dict[str, Tuple[float, float]]]:
+        """Per (scenario, model) cell: metric -> (mean, std) over seeds."""
+        grouped: Dict[Tuple[str, str], List[RunRecord]] = {}
+        for record in self.records:
+            grouped.setdefault((record.scenario, record.model), []).append(record)
+        summary: Dict[Tuple[str, str], Dict[str, Tuple[float, float]]] = {}
+        for key, group in grouped.items():
+            summary[key] = {
+                metric: (
+                    float(np.mean([r.metrics[metric] for r in group])),
+                    float(np.std([r.metrics[metric] for r in group])),
+                )
+                for metric in DETERMINISTIC_METRICS
+            }
+        return summary
+
+    def format_summary(self) -> str:
+        """ASCII summary table, one row per (scenario, model) cell."""
+        aggregate = self.aggregate()
+        n_by_cell: Dict[Tuple[str, str], int] = {}
+        for record in self.records:
+            key = (record.scenario, record.model)
+            n_by_cell[key] = n_by_cell.get(key, 0) + 1
+        rows = []
+        for (scenario, model) in sorted(aggregate):
+            stats = aggregate[(scenario, model)]
+            rows.append((
+                scenario,
+                model,
+                n_by_cell[(scenario, model)],
+                _mean_std(stats["energy_kwh"]),
+                _mean_std(stats["response_time_s"]),
+                _mean_std(stats["slo_violation_rate"]),
+                _mean_std(stats["downtime_s"]),
+            ))
+        return format_table(
+            headers=(
+                "scenario", "model", "runs", "energy (kWh)",
+                "response (s)", "slo rate", "downtime (s)",
+            ),
+            rows=rows,
+            title=f"-- campaign summary ({len(self.records)} runs) --",
+        )
+
+
+def _mean_std(stat: Tuple[float, float]) -> str:
+    mean, std = stat
+    return f"{mean:.4g} ±{std:.2g}"
+
+
+def run_campaign(config: CampaignConfig) -> CampaignResult:
+    """Execute the full grid, serially or across worker processes."""
+    tasks = plan_tasks(config)
+    if config.workers == 1:
+        records = [_execute_run(task) for task in tasks]
+    else:
+        with ProcessPoolExecutor(max_workers=config.workers) as executor:
+            records = list(executor.map(_execute_run, tasks, chunksize=1))
+    return CampaignResult(config=config, records=records)
+
+
+def ci_campaign_config(workers: int = 2) -> CampaignConfig:
+    """The smoke-test grid CI runs on every push: tiny but end-to-end.
+
+    Two scenarios x one heuristic model (no offline training) x one
+    seed at five intervals -- seconds of work, yet it exercises the
+    registry, the compiler, the parallel executor and the aggregation.
+    """
+    return CampaignConfig(
+        scenarios=("paper-default", "fault-free"),
+        models=("DYVERSE",),
+        n_seeds=1,
+        workers=workers,
+        n_intervals=5,
+    )

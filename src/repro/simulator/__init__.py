@@ -10,9 +10,19 @@ underlying scheduler, all driven in five-minute scheduling intervals.
 
 from .detection import DetectionProtocol, FailureReport
 from .engine import EdgeFederation, SystemView
-from .faults import AttackEvent, FaultInjector
+from .faults import (
+    ArrivalSurgeModel,
+    AttackEvent,
+    CascadeAttackModel,
+    CorrelatedGroupAttackModel,
+    FaultInjector,
+    FaultModel,
+    PartitionFaultModel,
+    PoissonAttackModel,
+    default_fault_models,
+)
 from .gateway import Gateway, GatewayFleet
-from .host import Host, HostSpec, RESOURCES, make_pi_cluster
+from .host import HOST_CLASSES, Host, HostSpec, RESOURCES, make_fleet, make_pi_cluster
 from .metrics import (
     IntervalMetrics,
     M_FEATURES,
@@ -22,7 +32,14 @@ from .metrics import (
     encode_schedule,
 )
 from .network import NetworkModel
-from .power import InterpolatedPowerModel, LinearPowerModel, PI4B_POWER, PowerModel
+from .power import (
+    InterpolatedPowerModel,
+    LinearPowerModel,
+    NUC_POWER,
+    PI4B_POWER,
+    PowerModel,
+    XEON_POWER,
+)
 from .recovery import ensure_brokered, reattach_recovered, strip_failed
 from .scheduler import (
     GOBIScheduler,
@@ -51,13 +68,22 @@ __all__ = [
     "DetectionProtocol",
     "FailureReport",
     "FaultInjector",
+    "FaultModel",
+    "PoissonAttackModel",
+    "CorrelatedGroupAttackModel",
+    "CascadeAttackModel",
+    "PartitionFaultModel",
+    "ArrivalSurgeModel",
+    "default_fault_models",
     "AttackEvent",
     "Gateway",
     "GatewayFleet",
     "Host",
     "HostSpec",
+    "HOST_CLASSES",
     "RESOURCES",
     "make_pi_cluster",
+    "make_fleet",
     "IntervalMetrics",
     "RunMetrics",
     "M_FEATURES",
@@ -69,6 +95,8 @@ __all__ = [
     "LinearPowerModel",
     "InterpolatedPowerModel",
     "PI4B_POWER",
+    "NUC_POWER",
+    "XEON_POWER",
     "ensure_brokered",
     "reattach_recovered",
     "strip_failed",

@@ -15,7 +15,7 @@ protocol ``begin_interval`` -> (resilience model chooses a topology) ->
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -23,7 +23,7 @@ from ..config import ExperimentConfig
 from .detection import DetectionProtocol, FailureReport
 from .faults import FaultInjector
 from .gateway import GatewayFleet
-from .host import RESOURCES, Host, make_pi_cluster
+from .host import RESOURCES, Host, make_fleet, make_pi_cluster
 from .metrics import (
     IntervalMetrics,
     encode_host_metrics,
@@ -90,23 +90,34 @@ class EdgeFederation:
         scheduler: Optional[Scheduler] = None,
         workload=None,
         topology: Optional[Topology] = None,
-        seed: Optional[int] = None,
+        seed: Union[int, np.random.SeedSequence, None] = None,
     ) -> None:
         from .workloads import make_generator
 
         self.config = config
         fed = config.federation
         seed = config.seed if seed is None else seed
-        root = np.random.default_rng(seed)
         # Independent streams so component behaviour is stable when
         # other components change (standard variance-reduction practice).
-        self._rng_network = np.random.default_rng(root.integers(2 ** 63))
-        self._rng_workload = np.random.default_rng(root.integers(2 ** 63))
-        self._rng_faults = np.random.default_rng(root.integers(2 ** 63))
-        self._rng_gateways = np.random.default_rng(root.integers(2 ** 63))
-        self._rng_detection = np.random.default_rng(root.integers(2 ** 63))
+        # SeedSequence.spawn gives provably independent children, unlike
+        # offsetting a shared seed.
+        root = (
+            seed
+            if isinstance(seed, np.random.SeedSequence)
+            else np.random.SeedSequence(seed)
+        )
+        streams = root.spawn(5)
+        self._rng_network = np.random.default_rng(streams[0])
+        self._rng_workload = np.random.default_rng(streams[1])
+        self._rng_faults = np.random.default_rng(streams[2])
+        self._rng_gateways = np.random.default_rng(streams[3])
+        self._rng_detection = np.random.default_rng(streams[4])
 
-        self.hosts: List[Host] = make_pi_cluster(fed.n_hosts, fed.n_large_hosts)
+        # FederationConfig guarantees fleet counts sum to n_hosts.
+        self.hosts: List[Host] = (
+            make_fleet(fed.fleet) if fed.fleet
+            else make_pi_cluster(fed.n_hosts, fed.n_large_hosts)
+        )
         self.topology = topology or initial_topology(fed.n_hosts, fed.n_leis)
         self.network = NetworkModel(
             fed.n_hosts, fed.n_leis, self._rng_network, link_mbps=fed.link_mbps
@@ -269,7 +280,9 @@ class EdgeFederation:
         new_tasks: List[Task] = []
         routed: Dict[int, List[Task]] = {}
         if live_brokers:
-            specs = self.workload.tasks_for_interval(fed.n_leis)
+            specs = self.workload.tasks_for_interval(
+                fed.n_leis, rate_multiplier=self._arrival_multiplier()
+            )
             routed = self.gateways.route_tasks(specs, live_brokers, self.now)
             new_tasks = [task for tasks in routed.values() for task in tasks]
 
@@ -380,6 +393,21 @@ class EdgeFederation:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+    def _arrival_multiplier(self) -> float:
+        """Scenario-driven arrival-rate factor for the current interval.
+
+        Combines active flash-crowd surges (fault side) with the
+        configured diurnal load curve (workload side).
+        """
+        factor = self.faults.arrival_multiplier()
+        amplitude = self.config.workload.diurnal_amplitude
+        if amplitude > 0.0:
+            period = self.config.workload.diurnal_period
+            factor *= 1.0 + amplitude * float(
+                np.sin(2.0 * np.pi * self.interval / period)
+            )
+        return factor
+
     def _apply_decision(
         self, decision: SchedulingDecision, host_by_id: Dict[int, Host]
     ) -> None:

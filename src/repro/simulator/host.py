@@ -5,18 +5,30 @@ with 8 GB, i.e. heterogeneous in memory while sharing the same SoC.
 A :class:`HostSpec` captures static capacities; a :class:`Host` carries
 the per-interval runtime state (resident tasks, utilisations, fault
 load, liveness).
+
+Beyond the paper's Pi-only fleet, :data:`HOST_CLASSES` names additional
+edge host classes (Intel-NUC mini PCs and a Xeon edge server) so that
+scenarios can exercise genuinely heterogeneous federations;
+:func:`make_fleet` builds a fleet from a ``(class, count)`` composition.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from .power import PI4B_POWER, PowerModel
+from .power import NUC_POWER, PI4B_POWER, XEON_POWER, PowerModel
 
-__all__ = ["HostSpec", "Host", "make_pi_cluster", "RESOURCES"]
+__all__ = [
+    "HostSpec",
+    "Host",
+    "make_pi_cluster",
+    "make_fleet",
+    "HOST_CLASSES",
+    "RESOURCES",
+]
 
 #: Resource axes tracked per host (order used in metric matrices).
 RESOURCES = ("cpu", "ram", "disk", "net")
@@ -48,6 +60,22 @@ PI4B_4GB = HostSpec(name="pi4b-4gb", cpu_mips=4000.0, ram_gb=4.0,
 #: Pi 4B, 8 GB variant.
 PI4B_8GB = HostSpec(name="pi4b-8gb", cpu_mips=4000.0, ram_gb=8.0,
                     disk_mbps=40.0, net_mbps=1000.0)
+#: Intel NUC mini PC: 4-core i5, 16 GB RAM, NVMe storage.
+NUC_I5 = HostSpec(name="nuc-i5", cpu_mips=24000.0, ram_gb=16.0,
+                  disk_mbps=450.0, net_mbps=1000.0,
+                  power_model=NUC_POWER)
+#: Single-socket Xeon edge server: 8 cores, 64 GB RAM, 10 GbE.
+XEON_EDGE = HostSpec(name="xeon-edge", cpu_mips=80000.0, ram_gb=64.0,
+                     disk_mbps=900.0, net_mbps=10000.0,
+                     power_model=XEON_POWER)
+
+#: Host classes available to scenario fleet compositions.
+HOST_CLASSES: Dict[str, HostSpec] = {
+    "pi4b-4gb": PI4B_4GB,
+    "pi4b-8gb": PI4B_8GB,
+    "nuc": NUC_I5,
+    "xeon": XEON_EDGE,
+}
 
 
 class Host:
@@ -161,4 +189,29 @@ def make_pi_cluster(n_hosts: int, n_large: int) -> List[Host]:
     for host_id in range(n_hosts):
         spec = PI4B_8GB if host_id < n_large else PI4B_4GB
         hosts.append(Host(host_id, spec))
+    return hosts
+
+
+def make_fleet(composition: Sequence[Tuple[str, int]]) -> List[Host]:
+    """Build a heterogeneous fleet from ``(host_class, count)`` pairs.
+
+    Host ids run contiguously in composition order, so same-class hosts
+    form contiguous "racks" -- the unit targeted by correlated fault
+    models.  Scenario conventions place the beefier broker-capable
+    classes first, mirroring the paper's 8 GB-nodes-first layout.
+    """
+    hosts: List[Host] = []
+    for class_name, count in composition:
+        spec = HOST_CLASSES.get(class_name)
+        if spec is None:
+            raise ValueError(
+                f"unknown host class {class_name!r}; "
+                f"known: {sorted(HOST_CLASSES)}"
+            )
+        if count < 1:
+            raise ValueError(f"host class {class_name!r} count must be >= 1")
+        for _ in range(count):
+            hosts.append(Host(len(hosts), spec))
+    if len(hosts) < 2:
+        raise ValueError("a fleet needs at least two hosts")
     return hosts

@@ -13,7 +13,14 @@ from typing import Sequence
 
 import numpy as np
 
-__all__ = ["PowerModel", "LinearPowerModel", "InterpolatedPowerModel", "PI4B_POWER"]
+__all__ = [
+    "PowerModel",
+    "LinearPowerModel",
+    "InterpolatedPowerModel",
+    "PI4B_POWER",
+    "NUC_POWER",
+    "XEON_POWER",
+]
 
 
 class PowerModel:
@@ -72,4 +79,17 @@ class InterpolatedPowerModel(PowerModel):
 PI4B_POWER = InterpolatedPowerModel(
     utilisations=[0.0, 0.25, 0.5, 0.75, 1.0, 1.5],
     watts=[2.7, 4.0, 5.0, 5.8, 6.4, 7.3],
+)
+
+#: Intel NUC (i5-class mini PC) curve, anchored at published SPECpower-
+#: style measurements: ~6 W idle, ~32 W all-cores, throttling headroom.
+NUC_POWER = InterpolatedPowerModel(
+    utilisations=[0.0, 0.25, 0.5, 0.75, 1.0, 1.5],
+    watts=[6.0, 14.0, 21.0, 27.0, 32.0, 36.0],
+)
+
+#: Single-socket Xeon edge server curve (~55 W idle, ~150 W loaded).
+XEON_POWER = InterpolatedPowerModel(
+    utilisations=[0.0, 0.25, 0.5, 0.75, 1.0, 1.5],
+    watts=[55.0, 85.0, 110.0, 132.0, 150.0, 165.0],
 )

@@ -97,10 +97,19 @@ class WorkloadGenerator:
         """Current demand multipliers (read-only copy, used by tests)."""
         return self._regime.copy()
 
-    def tasks_for_interval(self, n_leis: int) -> List[TaskSpec]:
-        """Draw the new-task bag for one interval across all LEIs."""
+    def tasks_for_interval(
+        self, n_leis: int, rate_multiplier: float = 1.0
+    ) -> List[TaskSpec]:
+        """Draw the new-task bag for one interval across all LEIs.
+
+        ``rate_multiplier`` scales the arrival rate for this interval
+        only -- the hook through which flash-crowd surges and diurnal
+        load curves modulate the gateway-side arrival process.
+        """
+        if rate_multiplier < 0:
+            raise ValueError("rate_multiplier must be non-negative")
         self.advance_regime()
-        total = int(self.rng.poisson(self.arrival_rate * n_leis))
+        total = int(self.rng.poisson(self.arrival_rate * n_leis * rate_multiplier))
         return [self._draw_task() for _ in range(total)]
 
     # ------------------------------------------------------------------

@@ -15,7 +15,17 @@ from repro.simulator import (
     reattach_recovered,
     strip_failed,
 )
-from repro.simulator.faults import ATTACK_AXIS, ATTACK_INTENSITY
+from repro.simulator.faults import (
+    ATTACK_AXIS,
+    ATTACK_INTENSITY,
+    PARTITION_INTENSITY,
+    ArrivalSurgeModel,
+    CascadeAttackModel,
+    CorrelatedGroupAttackModel,
+    PartitionFaultModel,
+    PoissonAttackModel,
+    default_fault_models,
+)
 
 
 @pytest.fixture
@@ -107,6 +117,211 @@ class TestFaultInjection:
         injector.clear_host(target)
         injector.apply_loads(hosts)
         assert sum(hosts[target].fault_load.values()) == 0.0
+
+
+class TestFaultModelPlugins:
+    def test_default_models_for_stock_config(self):
+        models = default_fault_models(FaultConfig(rate=0.5))
+        assert [type(m) for m in models] == [PoissonAttackModel]
+
+    def test_default_models_for_full_campaign(self):
+        config = FaultConfig(
+            rate=0.5, correlated_rate=0.2, correlated_group_size=2,
+            cascade_probability=0.3, partition_rate=0.1,
+            partition_fraction=0.5, surge_rate=0.1, surge_multiplier=2.0,
+        )
+        models = default_fault_models(config)
+        assert [type(m) for m in models] == [
+            PoissonAttackModel,
+            CorrelatedGroupAttackModel,
+            CascadeAttackModel,
+            PartitionFaultModel,
+            ArrivalSurgeModel,
+        ]
+
+    def test_fault_free_config_has_no_models(self):
+        assert default_fault_models(FaultConfig(rate=0.0)) == []
+
+    def test_events_tagged_with_model(self, topo, hosts):
+        injector = FaultInjector(FaultConfig(rate=2.0), np.random.default_rng(0))
+        events = []
+        for t in range(20):
+            events.extend(injector.inject(t, topo, hosts))
+        assert events and all(e.model == "poisson" for e in events)
+
+
+class TestCorrelatedAttacks:
+    @pytest.fixture
+    def injector(self):
+        config = FaultConfig(
+            rate=0.0, correlated_rate=1.0, correlated_group_size=4
+        )
+        return FaultInjector(config, np.random.default_rng(0))
+
+    def test_groups_share_rack_type_and_intensity(self, topo, hosts, injector):
+        for t in range(30):
+            events = injector.inject(t, topo, hosts)
+            if not events:
+                continue
+            racks = {e.target // 4 for e in events}
+            # One event may hit several racks only via several draws;
+            # every burst shares attack type/intensity within its rack.
+            by_intensity = {}
+            for event in events:
+                by_intensity.setdefault(event.intensity, []).append(event)
+            for burst in by_intensity.values():
+                assert len({e.attack_type for e in burst}) == 1
+                assert len({e.target // 4 for e in burst}) == 1
+                assert len({e.target for e in burst}) == len(burst)
+            assert all(e.model == "correlated" for e in events)
+            assert racks <= {0, 1}
+
+    def test_whole_live_rack_is_hit(self, topo, hosts):
+        config = FaultConfig(
+            rate=0.0, correlated_rate=5.0, correlated_group_size=4
+        )
+        injector = FaultInjector(config, np.random.default_rng(3))
+        events = injector.inject(0, topo, hosts)
+        assert events
+        bursts = {}
+        for event in events:
+            bursts.setdefault((event.intensity, event.target // 4), set()).add(
+                event.target
+            )
+        for (_, rack), targets in bursts.items():
+            expected = {h for h in range(8) if h // 4 == rack}
+            assert targets == expected
+
+
+class TestCascadeAttacks:
+    def test_neighbors_recorded_on_failure(self, topo, hosts):
+        config = FaultConfig(rate=0.0, cascade_probability=1.0)
+        injector = FaultInjector(config, np.random.default_rng(0))
+        hosts[0].compute_utilisation({"cpu": 9000.0})  # broker 0 overloads
+        failed = injector.check_failures(hosts, topo)
+        assert failed == [0]
+        # Broker 0's LEI plus the other broker, minus the failed host.
+        assert injector.recent_failure_neighbors == set(topo.lei(0)) | {1}
+
+    def test_cascade_targets_neighbors_next_interval(self, topo, hosts):
+        config = FaultConfig(
+            rate=0.0, cascade_probability=1.0, cascade_intensity=0.9
+        )
+        injector = FaultInjector(config, np.random.default_rng(0))
+        hosts[0].compute_utilisation({"cpu": 9000.0})
+        injector.check_failures(hosts, topo)
+        neighbors = set(injector.recent_failure_neighbors)
+        events = injector.inject(1, topo, hosts)
+        cascades = [e for e in events if e.model == "cascade"]
+        assert cascades
+        assert {e.target for e in cascades} <= neighbors
+        # Dead hosts are never cascade targets.
+        assert all(e.target != 0 for e in cascades)
+        # Triggers are consumed: the next interval is quiet.
+        assert injector.inject(2, topo, hosts) == []
+
+    def test_worker_failure_hits_its_broker(self, topo, hosts):
+        config = FaultConfig(rate=0.0, cascade_probability=1.0)
+        injector = FaultInjector(config, np.random.default_rng(0))
+        hosts[5].compute_utilisation({"cpu": 9000.0})
+        injector.check_failures(hosts, topo)
+        assert injector.recent_failure_neighbors == {topo.assignment[5]}
+
+    def test_zero_probability_never_fires(self, topo, hosts):
+        model = CascadeAttackModel(probability=0.0)
+        injector = FaultInjector(
+            FaultConfig(rate=0.0), np.random.default_rng(0), models=[model]
+        )
+        injector.recent_failure_neighbors = {1, 2}
+        assert injector.inject(1, topo, hosts) == []
+
+
+class TestPartitionFaults:
+    def test_partition_severs_expected_fraction(self, topo, hosts):
+        config = FaultConfig(
+            rate=0.0, partition_rate=50.0, partition_fraction=0.5,
+            partition_duration=2,
+        )
+        injector = FaultInjector(config, np.random.default_rng(0))
+        events = injector.inject(0, topo, hosts)
+        partitions = [e for e in events if e.model == "partition"]
+        assert partitions
+        first_burst = partitions[:4]
+        assert len({e.target for e in first_burst}) == 4  # 0.5 * 8 hosts
+        for event in partitions:
+            assert event.axis == "net"
+            assert event.intensity == PARTITION_INTENSITY
+            assert event.intensity > config.failure_threshold
+            assert event.duration == 2
+
+    def test_partitioned_hosts_fail_together(self, topo, hosts):
+        config = FaultConfig(
+            rate=0.0, partition_rate=50.0, partition_fraction=0.4
+        )
+        injector = FaultInjector(config, np.random.default_rng(1))
+        events = injector.inject(0, topo, hosts)
+        injector.apply_loads(hosts)
+        for host in hosts:
+            host.compute_utilisation({})
+        failed = injector.check_failures(hosts, topo)
+        assert set(failed) >= {e.target for e in events[:3]}
+
+    def test_single_partition_never_severs_everyone(self, topo, hosts):
+        model = PartitionFaultModel(rate=10.0, fraction=0.99)
+        injector = FaultInjector(
+            FaultConfig(rate=0.0), np.random.default_rng(0), models=[model]
+        )
+        events = injector.inject(0, topo, hosts)
+        assert events
+        # fraction=0.99 rounds to the whole fleet but each event is
+        # capped at n-1: a partition always leaves a surviving side.
+        burst = {e.target for e in events[: len(hosts) - 1]}
+        assert len(burst) == len(hosts) - 1
+
+
+class TestArrivalSurges:
+    def test_surge_effective_for_duration_intervals(self, topo, hosts):
+        """Engine ordering: arrivals are drawn before faults are sampled
+        and ``decay`` closes each interval, so a duration-2 surge fired
+        in interval t must cover the draws of t+1 and t+2 exactly."""
+        config = FaultConfig(
+            rate=0.0, surge_rate=50.0, surge_multiplier=3.0, surge_duration=2
+        )
+        injector = FaultInjector(config, np.random.default_rng(0))
+        # Interval t: draw (pre-surge), sample, close.
+        assert injector.arrival_multiplier() == 1.0
+        events = injector.inject(0, topo, hosts)
+        surges = [e for e in events if e.model == "surge"]
+        assert surges and all(e.target == -1 for e in surges)
+        injector.decay()
+        expected = pytest.approx(3.0 ** len(surges))
+        # Intervals t+1 and t+2 draw under the surge...
+        assert injector.arrival_multiplier() == expected
+        injector.decay()
+        assert injector.arrival_multiplier() == expected
+        injector.decay()
+        # ...and t+3 is back to normal.
+        assert injector.arrival_multiplier() == 1.0
+
+    def test_duration_one_surge_still_has_effect(self, topo, hosts):
+        config = FaultConfig(
+            rate=0.0, surge_rate=50.0, surge_multiplier=2.0, surge_duration=1
+        )
+        injector = FaultInjector(config, np.random.default_rng(0))
+        injector.inject(0, topo, hosts)
+        injector.decay()
+        assert injector.arrival_multiplier() > 1.0
+        injector.decay()
+        assert injector.arrival_multiplier() == 1.0
+
+    def test_surge_events_touch_no_host(self, topo, hosts):
+        config = FaultConfig(
+            rate=0.0, surge_rate=50.0, surge_multiplier=2.0
+        )
+        injector = FaultInjector(config, np.random.default_rng(0))
+        injector.inject(0, topo, hosts)
+        injector.apply_loads(hosts)
+        assert all(sum(h.fault_load.values()) == 0.0 for h in hosts)
 
 
 class TestDetection:
