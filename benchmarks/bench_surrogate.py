@@ -1,0 +1,218 @@
+"""Benchmark: per-candidate vs batched GON neighbourhood scoring.
+
+Measures the cost of scoring one tabu neighbourhood (the hot inner
+loop of ``CAROL.repair``): ``B`` candidate topologies, each evaluated
+by the eq.-1 surrogate ascent through the QoS objective.  Three
+implementations are timed:
+
+* **seed per-candidate** -- the pre-batching engine's loop, kept here
+  as a frozen reference: one :func:`predict_qos`-style ascent per
+  candidate with model parameters hot in the graph (their gradients
+  were computed and discarded) and an extra post-loop forward to read
+  the confidence.  This is the path the batched engine replaced, and
+  the baseline for the headline speedup.
+* **sequential** -- the current engine (frozen parameters, fused
+  attention, no redundant forward) still looping candidate by
+  candidate through :func:`predict_qos`.
+* **batched** -- the whole stack through one vectorized
+  :func:`predict_qos_batch` ascent.
+
+Defaults mirror the paper scenario: 16 hosts / 4 LEIs, a 128-wide
+3-layer GON, ``neighbourhood_sample = 24`` candidates and
+``surrogate_steps = 8`` ascent iterations per evaluation.  Also checks
+batched-vs-sequential score parity, so a correctness regression fails
+the run (CI invokes ``--quick``).
+
+Run:  PYTHONPATH=src python benchmarks/bench_surrogate.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+import numpy as np
+
+from repro.core import (
+    GONDiscriminator,
+    GONInput,
+    N_M_FEATURES,
+    N_S_FEATURES,
+    QoSObjective,
+    predict_qos,
+    predict_qos_batch,
+)
+from repro.core.nodeshift import neighbours
+from repro.nn import Tensor
+from repro.simulator import initial_topology
+
+_EPS = 1e-8
+
+
+def seed_predict_qos(model, sample, objective, gamma, max_steps, tol=1e-5):
+    """The seed repo's per-candidate scoring loop, verbatim.
+
+    Kept as the benchmark baseline: eq.-1 Adam ascent one sample at a
+    time, parameters left requiring grad (the engine computed and
+    discarded their gradients every step), and a final full forward
+    pass just to read the confidence.
+    """
+    current = Tensor(np.array(sample.metrics, dtype=float, copy=True),
+                     requires_grad=True)
+    first_moment = np.zeros_like(current.data)
+    second_moment = np.zeros_like(current.data)
+    beta1, beta2 = 0.9, 0.999
+    for step in range(max_steps):
+        current.zero_grad()
+        score = model(current, sample.schedule, sample.adjacency)
+        score.clip(_EPS, 1.0 - _EPS).log().backward()
+        gradient = current.grad
+        if gradient is None:
+            break
+        first_moment = beta1 * first_moment + (1 - beta1) * gradient
+        second_moment = beta2 * second_moment + (1 - beta2) * gradient ** 2
+        m_hat = first_moment / (1 - beta1 ** (step + 1))
+        v_hat = second_moment / (1 - beta2 ** (step + 1))
+        update = gamma * m_hat / (np.sqrt(v_hat) + 1e-8)
+        current = Tensor(
+            np.clip(current.data + update, 0.0, 3.0), requires_grad=True
+        )
+        if float(np.abs(update).max()) < tol:
+            break
+    final_score = model(current.detach(), sample.schedule, sample.adjacency)
+    del final_score
+    return objective(current.data)
+
+
+def build_neighbourhood(n_hosts: int, n_leis: int, size: int, rng) -> list:
+    """A sampled node-shift neighbourhood, as CAROL.repair draws it."""
+    topology = initial_topology(n_hosts, n_leis)
+    options = neighbours(topology)
+    if len(options) > size:
+        picks = rng.choice(len(options), size=size, replace=False)
+        options = [options[i] for i in picks]
+    return options
+
+
+def run(args: argparse.Namespace) -> int:
+    rng = np.random.default_rng(args.seed)
+    model = GONDiscriminator(rng, hidden=args.hidden, n_layers=args.layers)
+    objective = QoSObjective(0.5, 0.5)
+
+    candidates = build_neighbourhood(args.hosts, args.leis, args.batch, rng)
+    metrics = rng.uniform(0, 1, size=(args.hosts, N_M_FEATURES))
+    schedule = rng.uniform(0, 1, size=(args.hosts, N_S_FEATURES))
+    samples = [
+        GONInput(metrics, schedule, candidate.adjacency())
+        for candidate in candidates
+    ]
+    batch = len(samples)
+    print(
+        f"scenario: {args.hosts} hosts / {args.leis} LEIs, "
+        f"GON {args.hidden}x{args.layers}, neighbourhood B={batch}, "
+        f"{args.steps} ascent steps, gamma={args.gamma}"
+    )
+
+    def seed() -> list:
+        return [
+            seed_predict_qos(
+                model, s, objective, gamma=args.gamma, max_steps=args.steps
+            )
+            for s in samples
+        ]
+
+    def sequential() -> list:
+        return [
+            predict_qos(model, s, objective, gamma=args.gamma, max_steps=args.steps)
+            for s in samples
+        ]
+
+    def batched() -> list:
+        return predict_qos_batch(
+            model, samples, objective, gamma=args.gamma, max_steps=args.steps
+        )
+
+    # Warm-up (allocator, BLAS threads) doubles as the parity check:
+    # all three paths must score the neighbourhood identically.
+    seed_scores = np.array(seed())
+    seq_result = sequential()
+    bat_result = batched()
+
+    seq_scores = np.array([score for score, _ in seq_result])
+    bat_scores = np.array([score for score, _ in bat_result])
+    np.testing.assert_allclose(
+        seq_scores, seed_scores, rtol=1e-7, atol=1e-10,
+        err_msg="current engine diverged from the seed per-candidate path",
+    )
+    np.testing.assert_allclose(
+        bat_scores, seq_scores, rtol=1e-7, atol=1e-10,
+        err_msg="batched neighbourhood scoring diverged from sequential",
+    )
+
+    seed_times, seq_times, bat_times = [], [], []
+    for _ in range(args.repeats):
+        started = time.perf_counter()
+        seed()
+        seed_times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        sequential()
+        seq_times.append(time.perf_counter() - started)
+        started = time.perf_counter()
+        batched()
+        bat_times.append(time.perf_counter() - started)
+
+    seed_best = min(seed_times)
+    seq_best = min(seq_times)
+    bat_best = min(bat_times)
+    speedup = seed_best / bat_best
+    rows = [
+        ("seed per-candidate", seed_best),
+        ("sequential (new engine)", seq_best),
+        ("batched", bat_best),
+    ]
+    for label, best in rows:
+        print(
+            f"  {label:<24} {best * 1e3:8.1f} ms/neighbourhood  "
+            f"({best / batch * 1e3:6.2f} ms/candidate)"
+        )
+    print(
+        f"  speedup: {speedup:.1f}x batched vs seed per-candidate "
+        f"({seq_best / bat_best:.1f}x vs new-engine sequential; "
+        f"parity max|diff| = {np.abs(bat_scores - seed_scores).max():.2e})"
+    )
+
+    if args.min_speedup > 0 and speedup < args.min_speedup:
+        print(f"FAIL: speedup {speedup:.1f}x below required {args.min_speedup}x")
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small model / fewer repeats (CI smoke)")
+    parser.add_argument("--batch", type=int, default=24,
+                        help="neighbourhood size B (paper default 24)")
+    parser.add_argument("--hosts", type=int, default=16)
+    parser.add_argument("--leis", type=int, default=4)
+    parser.add_argument("--hidden", type=int, default=128)
+    parser.add_argument("--layers", type=int, default=3)
+    parser.add_argument("--steps", type=int, default=8,
+                        help="surrogate ascent steps per evaluation")
+    parser.add_argument("--gamma", type=float, default=1e-2)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="exit non-zero below this speedup (0 disables)")
+    parser.add_argument("--seed", type=int, default=0)
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.hidden = min(args.hidden, 32)
+        args.layers = min(args.layers, 2)
+        args.repeats = 1
+        args.steps = min(args.steps, 4)
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -16,7 +16,8 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections import deque
+from typing import Deque, List, Optional, Sequence
 
 import numpy as np
 
@@ -53,15 +54,14 @@ class AlwaysFineTune(CAROL):
 
     def observe(self, metrics: IntervalMetrics, view: SystemView) -> None:
         sample = from_interval(metrics)
+        # CAROL's Γ buffer is a bounded deque: eviction is automatic.
         self.buffer.append(sample)
-        if len(self.buffer) > self.config.buffer_capacity:
-            self.buffer.pop(0)
         confidence = self.model.score(sample)
         threshold = self.pot.update(confidence)
         if len(self.buffer) >= 2:
             fine_tune(
                 self.model,
-                self.buffer[-self.config.min_buffer:],
+                list(self.buffer)[-self.config.min_buffer:],
                 config=self._training_config,
                 iterations=1,
                 rng=self.rng,
@@ -246,7 +246,7 @@ class WithGAN(ResilienceModel):
             calibration_size=self.config.pot_calibration,
         )
         self.rng = np.random.default_rng(self.config.seed)
-        self.buffer: List[GONInput] = []
+        self.buffer: Deque[GONInput] = deque(maxlen=self.config.buffer_capacity)
 
     def repair(
         self,
@@ -294,8 +294,6 @@ class WithGAN(ResilienceModel):
         report = metrics.failure_report
         if not (report and report.failed_brokers):
             self.buffer.append(sample)
-            if len(self.buffer) > self.config.buffer_capacity:
-                self.buffer.pop(0)
         confidence = self.surrogate.confidence(sample)
         threshold = self.pot.update(confidence)
         if confidence < threshold and len(self.buffer) >= self.config.min_buffer:
@@ -373,7 +371,7 @@ class WithTraditionalSurrogate(ResilienceModel):
         self.objective = QoSObjective(alpha, beta)
         self.rng = np.random.default_rng(self.config.seed)
         self.fine_tune_steps = fine_tune_steps
-        self._buffer: List[tuple] = []
+        self._buffer: Deque[tuple] = deque(maxlen=100)
 
     def repair(
         self,
@@ -419,8 +417,6 @@ class WithTraditionalSurrogate(ResilienceModel):
         slo = float(metrics.host_metrics[:, 5].sum())
         objective = self.objective.alpha * energy + self.objective.beta * slo
         self._buffer.append((sample, objective))
-        if len(self._buffer) > 100:
-            self._buffer.pop(0)
         # No confidence signal: fine-tune every interval (§V-D: "at the
         # cost of higher fine-tuning overheads").
         for _ in range(self.fine_tune_steps):

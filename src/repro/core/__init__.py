@@ -30,8 +30,14 @@ from .nodeshift import (
 from .objectives import QoSObjective
 from .pot import PeakOverThreshold
 from .proactive import ProactiveCAROL
-from .surrogate import SurrogateResult, generate_metrics, predict_qos
-from .tabu import TabuResult, tabu_search
+from .surrogate import (
+    SurrogateResult,
+    generate_metrics,
+    generate_metrics_batch,
+    predict_qos,
+    predict_qos_batch,
+)
+from .tabu import TabuResult, as_batched, batched_objective, tabu_search
 from .training import (
     TrainingConfig,
     TrainingHistory,
@@ -52,9 +58,13 @@ __all__ = [
     "ProactiveCAROL",
     "SurrogateResult",
     "generate_metrics",
+    "generate_metrics_batch",
     "predict_qos",
+    "predict_qos_batch",
     "TabuResult",
     "tabu_search",
+    "batched_objective",
+    "as_batched",
     "TrainingConfig",
     "TrainingHistory",
     "train_gon",

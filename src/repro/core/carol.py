@@ -16,8 +16,9 @@ Per scheduling interval:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Deque, Dict, List, Optional, Sequence
 
 import numpy as np
 
@@ -31,8 +32,8 @@ from .interface import ResilienceModel
 from .nodeshift import neighbours, random_node_shift, reassignment_neighbours
 from .objectives import QoSObjective
 from .pot import PeakOverThreshold
-from .surrogate import predict_qos
-from .tabu import tabu_search
+from .surrogate import predict_qos_batch
+from .tabu import batched_objective, tabu_search
 from .training import TrainingConfig, fine_tune
 
 __all__ = ["CAROLConfig", "CAROL"]
@@ -105,7 +106,9 @@ class CAROL(ResilienceModel):
             calibration_size=self.config.pot_calibration,
         )
         self.rng = np.random.default_rng(self.config.seed)
-        self.buffer: List[GONInput] = []
+        # Γ ring buffer: deque(maxlen=...) evicts the oldest datapoint
+        # in O(1) instead of the O(n) list.pop(0).
+        self.buffer: Deque[GONInput] = deque(maxlen=self.config.buffer_capacity)
         self.diagnostics = CAROLDiagnostics()
         self._training_config = TrainingConfig(
             generation_gamma=self.config.gamma,
@@ -128,26 +131,42 @@ class CAROL(ResilienceModel):
             return proposal
 
         last = view.last_metrics
+        metrics = np.asarray(last.host_metrics, dtype=float)
+        schedule = np.asarray(last.schedule_encoding, dtype=float)
         cache: Dict[tuple, float] = {}
 
-        def omega(candidate: Topology) -> float:
-            """Objective score of a graph (the paper's Omega)."""
-            key = candidate.canonical_key()
-            if key not in cache:
-                sample = GONInput(
-                    metrics=np.asarray(last.host_metrics, dtype=float),
-                    schedule=np.asarray(last.schedule_encoding, dtype=float),
-                    adjacency=candidate.adjacency(),
-                )
-                score, _result = predict_qos(
+        @batched_objective
+        def omega(candidates: Sequence[Topology]) -> List[float]:
+            """Objective scores of a graph batch (the paper's Omega).
+
+            All cache-missing candidates are scored in one vectorized
+            eq.-1 ascent; the canonical-key cache carries scores across
+            tabu iterations and repair rounds.
+            """
+            keyed = [(candidate.canonical_key(), candidate) for candidate in candidates]
+            missing: List[Topology] = []
+            missing_keys: List[tuple] = []
+            queued: set = set()
+            for key, candidate in keyed:
+                if key not in cache and key not in queued:
+                    queued.add(key)
+                    missing.append(candidate)
+                    missing_keys.append(key)
+            if missing:
+                samples = [
+                    GONInput(metrics, schedule, candidate.adjacency())
+                    for candidate in missing
+                ]
+                scored = predict_qos_batch(
                     self.model,
-                    sample,
+                    samples,
                     self.objective,
                     gamma=self.config.gamma,
                     max_steps=self.config.surrogate_steps,
                 )
-                cache[key] = score
-            return cache[key]
+                for key, (score, _result) in zip(missing_keys, scored):
+                    cache[key] = score
+            return [cache[key] for key, _ in keyed]
 
         def sampled_neighbours(topology: Topology) -> List[Topology]:
             options = neighbours(topology)
@@ -174,16 +193,20 @@ class CAROL(ResilienceModel):
                     patience=self.config.tabu_patience,
                 )
                 current = result.best
-            chosen = current if omega(current) <= omega(proposal) else proposal
+            repair_scores = omega([current, proposal])
+            chosen = current if repair_scores[0] <= repair_scores[1] else proposal
         elif self.config.maintenance_candidates > 0:
             # Line 4 / §V-C: per-interval node-shift maintenance.
-            # Cheap reassignment moves only; the incumbent competes.
+            # Cheap reassignment moves only; the incumbent competes,
+            # and the whole slate is scored in one batched ascent.
             options = reassignment_neighbours(proposal)
             limit = self.config.maintenance_candidates
             if len(options) > limit:
                 picks = self.rng.choice(len(options), size=limit, replace=False)
                 options = [options[i] for i in picks]
-            chosen = min([proposal, *options], key=omega)
+            slate = [proposal, *options]
+            scores = omega(slate)
+            chosen = slate[min(range(len(slate)), key=scores.__getitem__)]
         else:
             chosen = proposal
         self.diagnostics.tabu_evaluations.append(len(cache))
@@ -197,10 +220,9 @@ class CAROL(ResilienceModel):
         report = metrics.failure_report
         broker_failed = bool(report and report.failed_brokers)
         if not broker_failed:
-            # Line 10: save healthy datapoints into Γ.
+            # Line 10: save healthy datapoints into Γ (the deque's
+            # maxlen evicts the oldest entry automatically).
             self.buffer.append(sample)
-            if len(self.buffer) > self.config.buffer_capacity:
-                self.buffer.pop(0)
 
         # Line 11: confidence score of the realised state.
         confidence = self.model.score(sample)
@@ -212,7 +234,7 @@ class CAROL(ResilienceModel):
             # Lines 14-16: fine-tune on Γ, then clear it.
             fine_tune(
                 self.model,
-                self.buffer,
+                list(self.buffer),
                 config=self._training_config,
                 iterations=self.config.fine_tune_iterations,
                 rng=self.rng,

@@ -18,7 +18,7 @@ width is fixed at 128 and the layer count is the knob grid-searched in
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 import numpy as np
 
@@ -100,10 +100,48 @@ class GONDiscriminator(Module):
         logits = self.head(concatenate([e_ms, e_g], axis=0))
         return logits.sigmoid().reshape(())
 
+    def forward_batch(self, metrics, schedule, adjacency) -> Tensor:
+        """Batched likelihoods for a ``[B, n_hosts, ...]`` sample stack.
+
+        ``metrics`` is ``[B, n_hosts, n_m_features]`` (may require
+        grad -- the batched eq.-1 ascent differentiates through it),
+        ``schedule`` ``[B, n_hosts, n_s_features]`` and ``adjacency``
+        ``[B, n, n]``.  Returns a ``[B]`` tensor of confidences, each
+        element computed exactly as a single :meth:`forward` would.
+        """
+        metrics = as_tensor(metrics)
+        schedule = as_tensor(schedule)
+        if metrics.ndim != 3:
+            raise ValueError(f"expected [B, n, F] metrics, got {metrics.shape}")
+        joint = concatenate([metrics, schedule], axis=2)
+        e_ms = self.ms_encoder(joint).mean(axis=1)  # [B, hidden]
+        e_g = self.graph_encoder(
+            metrics[:, :, :N_NODE_FEATURES], np.asarray(adjacency)
+        )  # [B, hidden]
+        logits = self.head(concatenate([e_ms, e_g], axis=1))  # [B, 1]
+        return logits.sigmoid().reshape(-1)
+
     def score(self, sample: GONInput) -> float:
         """Confidence of a concrete sample (no gradients kept)."""
         value = self.forward(sample.metrics, sample.schedule, sample.adjacency)
         return float(value.data)
+
+    def score_batch(self, samples: Sequence[GONInput]) -> np.ndarray:
+        """Confidences of many samples in one vectorized pass.
+
+        All samples must share the same host count (a tabu
+        neighbourhood always does: node-shifts preserve ``n_hosts``).
+        Returns a ``[B]`` float array matching looped :meth:`score`.
+        """
+        if not samples:
+            return np.zeros(0)
+        n_hosts = samples[0].n_hosts
+        if any(s.n_hosts != n_hosts for s in samples):
+            raise ValueError("score_batch requires a uniform host count")
+        metrics = np.stack([s.metrics for s in samples])
+        schedule = np.stack([s.schedule for s in samples])
+        adjacency = np.stack([s.adjacency for s in samples])
+        return self.forward_batch(metrics, schedule, adjacency).data.copy()
 
     def footprint_bytes(self) -> int:
         """Resident memory: parameters plus optimiser moments."""

@@ -32,8 +32,8 @@ from .carol import CAROL, CAROLConfig
 from .features import GONInput
 from .gon import GONDiscriminator
 from .nodeshift import neighbours
-from .surrogate import generate_metrics
-from .tabu import tabu_search
+from .surrogate import generate_metrics, generate_metrics_batch
+from .tabu import batched_objective, tabu_search
 
 __all__ = ["ProactiveCAROL"]
 
@@ -88,17 +88,23 @@ class ProactiveCAROL(CAROL):
         schedule = np.asarray(last.schedule_encoding, dtype=float)
         metrics = np.asarray(last.host_metrics, dtype=float)
 
-        def omega(candidate: Topology) -> float:
-            result = generate_metrics(
+        @batched_objective
+        def omega(candidates: List[Topology]) -> List[float]:
+            # Whole slate through one vectorized eq.-1 ascent, then the
+            # per-candidate risk penalty on each predicted M*.
+            results = generate_metrics_batch(
                 self.model,
-                schedule,
-                candidate.adjacency(),
-                init_metrics=metrics,
+                np.stack([schedule] * len(candidates)),
+                np.stack([c.adjacency() for c in candidates]),
+                init_metrics=np.stack([metrics] * len(candidates)),
                 gamma=self.config.gamma,
                 max_steps=self.config.surrogate_steps,
             )
-            base = self.objective(result.metrics)
-            return base + self._risk_penalty(candidate, result.metrics)
+            return [
+                self.objective(result.metrics)
+                + self._risk_penalty(candidate, result.metrics)
+                for candidate, result in zip(candidates, results)
+            ]
 
         def sampled(topology: Topology) -> List[Topology]:
             options = neighbours(topology)
@@ -117,7 +123,7 @@ class ProactiveCAROL(CAROL):
             patience=self.config.tabu_patience,
         )
         self.preventive_actions.append(view.interval)
-        return result.best if result.best_score <= omega(chosen) else chosen
+        return result.best if result.best_score <= omega([chosen])[0] else chosen
 
     # ------------------------------------------------------------------
     def _at_risk_brokers(self, view: SystemView, topology: Topology) -> List[int]:

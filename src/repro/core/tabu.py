@@ -4,17 +4,25 @@ The paper selects tabu search for its deterministic behaviour and fast
 empirical convergence on this problem, with a fixed-size tabu list
 (size 100 after the grid search of §V-E, Fig. 6c).  The search
 minimises the surrogate objective ``Omega(G; D, S_t, O)``.
+
+The objective interface is *batched*: each iteration hands the whole
+deduplicated, non-tabu neighbourhood to the objective in one call
+(``objective(candidates: list[Topology]) -> list[float]``), so a GON
+surrogate can score all candidates in a single vectorized eq.-1 ascent
+(see :func:`repro.core.surrogate.predict_qos_batch`).  Plain per-
+candidate callables (``Topology -> float``) are detected and adapted
+automatically, preserving the classic interface.
 """
 
 from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, List, Sequence
 
 from ..simulator.topology import Topology
 
-__all__ = ["TabuResult", "tabu_search"]
+__all__ = ["TabuResult", "tabu_search", "batched_objective", "as_batched"]
 
 
 @dataclass(frozen=True)
@@ -27,9 +35,32 @@ class TabuResult:
     n_iterations: int
 
 
+def batched_objective(fn: Callable[[Sequence[Topology]], List[float]]):
+    """Mark ``fn`` as consuming candidate *lists* (the native interface).
+
+    Use as a decorator on objectives that score ``list[Topology] ->
+    list[float]`` in one pass; unmarked callables are treated as scalar
+    ``Topology -> float`` objectives and wrapped per candidate.
+    """
+    fn.is_batched = True
+    return fn
+
+
+def as_batched(objective) -> Callable[[Sequence[Topology]], List[float]]:
+    """Return a batch-callable view of ``objective``.
+
+    Batched objectives (marked via :func:`batched_objective` or any
+    callable with a truthy ``is_batched`` attribute) pass through;
+    scalar objectives are adapted with a per-candidate loop.
+    """
+    if getattr(objective, "is_batched", False):
+        return objective
+    return lambda candidates: [float(objective(c)) for c in candidates]
+
+
 def tabu_search(
     initial: Topology,
-    objective: Callable[[Topology], float],
+    objective,
     neighbourhood: Callable[[Topology], List[Topology]],
     tabu_size: int = 100,
     max_iterations: int = 20,
@@ -37,14 +68,24 @@ def tabu_search(
 ) -> TabuResult:
     """Minimise ``objective`` by tabu-restricted local search.
 
-    Classic best-improvement tabu search: each iteration evaluates all
-    non-tabu neighbours of the current topology, moves to the best one
-    (even if worse -- that is what escapes local minima), marks it tabu
-    and tracks the incumbent.  Stops after ``max_iterations`` or
-    ``patience`` consecutive non-improving moves.
+    Classic best-improvement tabu search: each iteration scores all
+    non-tabu neighbours of the current topology in one batched
+    objective call, moves to the best one (even if worse -- that is
+    what escapes local minima), marks it tabu and tracks the incumbent.
+    Stops after ``max_iterations`` or ``patience`` consecutive
+    non-improving moves.
+
+    Each candidate's ``canonical_key()`` is computed once per iteration
+    and reused for the tabu check, duplicate dropping and the tabu-list
+    insertion; duplicate-key candidates are removed from the
+    neighbourhood before scoring.
 
     Parameters
     ----------
+    objective:
+        Either a batched ``list[Topology] -> list[float]`` callable
+        (marked with :func:`batched_objective`) or a scalar
+        ``Topology -> float`` callable.
     tabu_size:
         Maximum entries in the FIFO tabu list ``L`` (paper: 100).
     """
@@ -53,34 +94,38 @@ def tabu_search(
     if max_iterations < 1:
         raise ValueError("max_iterations must be >= 1")
 
+    score_batch = as_batched(objective)
     tabu: "OrderedDict[tuple, None]" = OrderedDict()
     tabu[initial.canonical_key()] = None
 
     current = initial
     best = initial
-    best_score = objective(initial)
+    best_score = float(score_batch([initial])[0])
     current_score = best_score
     evaluations = 1
     stale = 0
     iterations = 0
 
     for iterations in range(1, max_iterations + 1):
-        candidates = [
-            neighbour
-            for neighbour in neighbourhood(current)
-            if neighbour.canonical_key() not in tabu
-        ]
+        candidates: List[Topology] = []
+        keys: List[tuple] = []
+        seen: set = set()
+        for neighbour in neighbourhood(current):
+            key = neighbour.canonical_key()
+            if key in tabu or key in seen:
+                continue
+            seen.add(key)
+            candidates.append(neighbour)
+            keys.append(key)
         if not candidates:
             break
 
-        scored = []
-        for candidate in candidates:
-            scored.append((objective(candidate), candidate))
-            evaluations += 1
-        scored.sort(key=lambda pair: pair[0])
-        current_score, current = scored[0]
+        scores = [float(s) for s in score_batch(candidates)]
+        evaluations += len(candidates)
+        move = min(range(len(candidates)), key=scores.__getitem__)
+        current_score, current = scores[move], candidates[move]
 
-        tabu[current.canonical_key()] = None
+        tabu[keys[move]] = None
         while len(tabu) > tabu_size:
             tabu.popitem(last=False)
 

@@ -9,6 +9,11 @@ engine plus the layer zoo the reproduction needs:
 * feed-forward, LSTM, graph-attention and 1-D convolution layers;
 * Adam / SGD optimisers, losses, weight init and state-dict
   serialization.
+
+Layers follow a batched convention: ops broadcast over leading axes,
+so ``[B, n_hosts, F]`` stacks (with ``[B, n, n]`` adjacencies for the
+graph layers) evaluate ``B`` samples in one vectorized pass -- see
+:mod:`repro.nn.tensor` and :mod:`repro.core.surrogate`.
 """
 
 from .activations import LeakyReLU, ReLU, Sigmoid, Tanh

@@ -28,14 +28,37 @@ def adjacency_with_self_loops(adjacency: np.ndarray) -> np.ndarray:
 
     Self-loops let every node attend to its own features, which keeps
     isolated nodes (e.g. a just-rebooted host not yet reattached) from
-    producing zero embeddings.
+    producing zero embeddings.  Accepts a single ``[n, n]`` matrix or a
+    batched ``[B, n, n]`` stack (diagonal filled per batch element).
     """
     adjacency = np.asarray(adjacency, dtype=float)
-    if adjacency.ndim != 2 or adjacency.shape[0] != adjacency.shape[1]:
+    if adjacency.ndim not in (2, 3) or adjacency.shape[-1] != adjacency.shape[-2]:
         raise ValueError(f"adjacency must be square, got {adjacency.shape}")
     out = adjacency.copy()
-    np.fill_diagonal(out, 1.0)
+    n = out.shape[-1]
+    out[..., np.arange(n), np.arange(n)] = 1.0
     return out
+
+
+def _masked_softmax(scores: Tensor, mask: np.ndarray) -> Tensor:
+    """Fused masked row-softmax over the last axis.
+
+    One graph node in place of the six-op mask/shift/exp/normalise
+    chain; the forward reproduces that chain's arithmetic exactly
+    (non-edges pushed down by -1e9 before the detached row-max shift,
+    zeroed by the mask, denominator stabilised with 1e-12) and the
+    backward applies the analytic softmax Jacobian.
+    """
+    pushed = scores.data + np.where(mask > 0, 0.0, -1e9)
+    shifted = pushed - pushed.max(axis=-1, keepdims=True)
+    weights = np.exp(shifted) * mask
+    out_data = weights / (weights.sum(axis=-1, keepdims=True) + 1e-12)
+
+    def backward(grad, send):
+        inner = (grad * out_data).sum(axis=-1, keepdims=True)
+        send(scores, out_data * (grad - inner))
+
+    return Tensor._make(out_data, (scores,), backward)
 
 
 class GraphAttention(Module):
@@ -54,6 +77,11 @@ class GraphAttention(Module):
     is ``[n_nodes, in_features]`` and ``adjacency`` a constant 0/1
     matrix.  The attention coefficients are masked dot-product scores
     normalised over each node's neighbourhood (self-loops included).
+
+    Batched mode: a ``[B, n_nodes, in_features]`` feature stack with a
+    ``[B, n, n]`` adjacency stack evaluates ``B`` independent graphs in
+    one vectorized pass (masked attention over ``[B, n, n]`` scores) --
+    the substrate of the batched surrogate engine.
     """
 
     def __init__(self, in_features: int, out_features: int, rng: np.random.Generator) -> None:
@@ -67,26 +95,40 @@ class GraphAttention(Module):
     def forward(self, features, adjacency: np.ndarray) -> Tensor:
         features = as_tensor(features)
         mask = adjacency_with_self_loops(np.asarray(adjacency))
-        if mask.shape[0] != features.shape[0]:
+        if features.ndim not in (2, 3) or mask.ndim != features.ndim:
             raise ValueError(
-                f"adjacency has {mask.shape[0]} nodes but features has "
-                f"{features.shape[0]} rows"
+                f"features/adjacency rank mismatch: {features.shape} vs "
+                f"{mask.shape}"
+            )
+        if mask.shape[-1] != features.shape[-2]:
+            raise ValueError(
+                f"adjacency has {mask.shape[-1]} nodes but features has "
+                f"{features.shape[-2]} rows"
+            )
+        if features.ndim == 3 and mask.shape[0] != features.shape[0]:
+            raise ValueError(
+                f"adjacency batch {mask.shape[0]} != features batch "
+                f"{features.shape[0]}"
             )
 
         # Per-node message: tanh(W u_j + b), eq. (4) inner term.
-        messages = (features @ self.weight + self.bias).tanh()
+        if features.ndim == 3:
+            # Flatten the batch axis through the node-wise transforms so
+            # each runs as one gemm instead of a per-slice BLAS loop
+            # (values are identical; only the blocking changes).
+            stack, n = features.shape[0], features.shape[1]
+            flat = features.reshape(-1, self.in_features)
+            messages_flat = (flat @ self.weight + self.bias).tanh()
+            queries = (messages_flat @ self.attention).reshape(stack, n, -1)
+            messages = messages_flat.reshape(stack, n, -1)
+        else:
+            messages = (features @ self.weight + self.bias).tanh()
+            queries = messages @ self.attention
 
-        # Dot-product self-attention scores between transformed nodes.
-        queries = messages @ self.attention
-        scores = queries @ messages.T  # [n, n]
-
-        # Mask non-edges with a large negative before softmax.
-        neg_inf = Tensor(np.where(mask > 0, 0.0, -1e9))
-        masked = scores + neg_inf
-        shifted = masked - Tensor(masked.data.max(axis=-1, keepdims=True))
-        weights = shifted.exp()
-        weights = weights * Tensor(mask)
-        weights = weights / (weights.sum(axis=-1, keepdims=True) + 1e-12)
+        # Dot-product self-attention scores between transformed nodes,
+        # normalised over each neighbourhood by the fused masked softmax.
+        scores = queries @ messages.swapaxes(-1, -2)  # [..., n, n]
+        weights = _masked_softmax(scores, mask)
 
         # Aggregate messages over neighbourhoods, then squash (sigma).
         aggregated = weights @ messages
@@ -97,7 +139,9 @@ class GraphEncoder(Module):
     """Stack of :class:`GraphAttention` layers with mean pooling.
 
     Produces a fixed-size graph embedding ``E_G`` regardless of host
-    count, as required for the GON head (eq. 5).
+    count, as required for the GON head (eq. 5).  Batched inputs
+    (``[B, n, F]`` features with ``[B, n, n]`` adjacencies) pool per
+    batch element, returning ``[B, hidden]``.
     """
 
     def __init__(
@@ -119,4 +163,5 @@ class GraphEncoder(Module):
         x = as_tensor(features)
         for layer in self.layers:
             x = layer(x, adjacency)
-        return x.mean(axis=0)
+        # Pool over the node axis: [n, H] -> [H] or [B, n, H] -> [B, H].
+        return x.mean(axis=-2)

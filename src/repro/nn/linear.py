@@ -1,4 +1,11 @@
-"""Fully-connected layers (the feed-forward blocks of eq. 3 and 5)."""
+"""Fully-connected layers (the feed-forward blocks of eq. 3 and 5).
+
+Both :class:`Linear` and :class:`FeedForward` are batch-agnostic: the
+matmul acts on the trailing axis, so ``[n, F]`` inputs (one sample) and
+``[B, n, F]`` stacks (a whole tabu neighbourhood or training minibatch)
+run through the same code path, with the weight gradient reduced over
+the leading axes by the autodiff engine.
+"""
 
 from __future__ import annotations
 
@@ -23,6 +30,9 @@ class Linear(Module):
     activation_hint:
         ``"relu"`` selects He init, anything else Xavier; this mirrors
         how the paper's encoders (ReLU) and head (sigmoid) are set up.
+
+    Accepts inputs of any leading shape ``[..., in_features]``; extra
+    axes (batch, node) broadcast through the matmul.
     """
 
     def __init__(
@@ -45,7 +55,17 @@ class Linear(Module):
 
     def forward(self, x) -> Tensor:
         x = as_tensor(x)
-        out = x @ self.weight
+        if x.ndim > 2:
+            # Flatten leading axes into one gemm: the stacked form
+            # would loop BLAS per slice (and reduce the weight gradient
+            # over the batch slice by slice); one [B*n, F] product does
+            # forward and both backward products in single BLAS calls.
+            lead = x.shape[:-1]
+            out = (x.reshape(-1, self.in_features) @ self.weight).reshape(
+                *lead, self.out_features
+            )
+        else:
+            out = x @ self.weight
         if self.bias is not None:
             out = out + self.bias
         return out

@@ -13,6 +13,16 @@ particular:
   input space (eq. 1 of the paper);
 * broadcasting follows numpy semantics, with gradients correctly
   reduced back to the operand shapes.
+
+Batched convention
+------------------
+Every op broadcasts over leading axes, so a stack of ``B`` independent
+samples is processed as one ``[B, ...]`` tensor: ``[B, n, F] @ [F, H]``
+is a per-slice matmul whose weight gradient is summed over the batch by
+:func:`_unbroadcast`, and reductions take explicit (possibly negative)
+axes.  The whole nn/surrogate/search stack relies on this to score a
+tabu neighbourhood in a single forward/backward pass -- see
+:mod:`repro.core.surrogate` for the calling conventions.
 """
 
 from __future__ import annotations
@@ -139,7 +149,10 @@ class Tensor:
             return
         grad = _unbroadcast(np.asarray(grad, dtype=_DEFAULT_DTYPE), self.data.shape)
         if self.grad is None:
-            self.grad = grad.copy()
+            # The buffer may alias an upstream gradient, which is safe:
+            # nothing in the engine or the optimisers mutates gradient
+            # arrays in place (accumulation and clipping both rebind).
+            self.grad = grad
         else:
             self.grad = self.grad + grad
 
@@ -181,7 +194,12 @@ class Tensor:
             node._backward_into(node_grad, grads)
 
     def _backward_into(self, grad: np.ndarray, grads: dict) -> None:
-        """Invoke the local backward fn, routing parent grads via ``grads``."""
+        """Invoke the local backward fn, routing parent grads via ``grads``.
+
+        Leaf parents (no recorded backward fn: inputs, parameters)
+        materialise ``.grad``; interior nodes only route through the
+        ``grads`` dict, avoiding a second accumulation pass per node.
+        """
         contributions: list[tuple[Tensor, np.ndarray]] = []
 
         def send(parent: "Tensor", g: np.ndarray) -> None:
@@ -192,7 +210,9 @@ class Tensor:
             if not parent.requires_grad:
                 continue
             g = _unbroadcast(np.asarray(g, dtype=_DEFAULT_DTYPE), parent.data.shape)
-            parent._accumulate(g)
+            if parent._backward is None:
+                parent._accumulate(g)
+                continue
             key = id(parent)
             if key in grads:
                 grads[key] = grads[key] + g
@@ -261,21 +281,33 @@ class Tensor:
         other_t = as_tensor(other)
 
         def backward(grad, send):
+            # Guard each product on requires_grad: a frozen operand's
+            # gradient gemm would be discarded by send() anyway, and
+            # skipping it halves the backward cost of inference-time
+            # ascents (the surrogate freezes model weights).
             a, b = self.data, other_t.data
             if a.ndim == 1 and b.ndim == 1:
-                send(self, grad * b)
-                send(other_t, grad * a)
+                if self.requires_grad:
+                    send(self, grad * b)
+                if other_t.requires_grad:
+                    send(other_t, grad * a)
             elif a.ndim == 1:
                 # (k,) @ (k, n) -> (n,)
-                send(self, grad @ b.T)
-                send(other_t, np.outer(a, grad))
+                if self.requires_grad:
+                    send(self, grad @ b.T)
+                if other_t.requires_grad:
+                    send(other_t, np.outer(a, grad))
             elif b.ndim == 1:
                 # (m, k) @ (k,) -> (m,)
-                send(self, np.outer(grad, b))
-                send(other_t, a.T @ grad)
+                if self.requires_grad:
+                    send(self, np.outer(grad, b))
+                if other_t.requires_grad:
+                    send(other_t, a.T @ grad)
             else:
-                send(self, grad @ np.swapaxes(b, -1, -2))
-                send(other_t, np.swapaxes(a, -1, -2) @ grad)
+                if self.requires_grad:
+                    send(self, grad @ np.swapaxes(b, -1, -2))
+                if other_t.requires_grad:
+                    send(other_t, np.swapaxes(a, -1, -2) @ grad)
 
         return Tensor._make(self.data @ other_t.data, (self, other_t), backward)
 
@@ -310,6 +342,13 @@ class Tensor:
     @property
     def T(self) -> "Tensor":
         return self.transpose()
+
+    def swapaxes(self, axis1: int, axis2: int) -> "Tensor":
+        """Differentiable ``np.swapaxes`` (used for batched transposes,
+        e.g. ``[B, n, H] -> [B, H, n]`` in the batched attention path)."""
+        axes = list(range(self.data.ndim))
+        axes[axis1], axes[axis2] = axes[axis2], axes[axis1]
+        return self.transpose(tuple(axes))
 
     def __getitem__(self, index) -> "Tensor":
         def backward(grad, send):
@@ -393,7 +432,7 @@ class Tensor:
         return Tensor._make(out_data, (self,), backward)
 
     def relu(self) -> "Tensor":
-        mask = (self.data > 0).astype(_DEFAULT_DTYPE)
+        mask = self.data > 0
 
         def backward(grad, send):
             send(self, grad * mask)
