@@ -1,63 +1,357 @@
-"""Campaign bench -- wall-time of serial vs. process-parallel grids.
+"""Campaign bench: process-pool vs fleet-batched execution.
 
-Measures the same scenario x model x seed grid executed with
-``workers=1`` and ``workers=2`` and prints both wall times plus the
-speedup, so the process-parallel fan-out of
-:mod:`repro.experiments.campaign` is tracked in the bench trajectory.
-The grid uses a heuristic model (no offline GON training) so the bench
-isolates the executor overhead and simulation cost.
+Two comparisons, both emitting machine-readable results to
+``BENCH_campaign.json`` so the perf trajectory is tracked across PRs:
 
-On a single-core runner the speedup hovers around (or below) 1x --
-the bench asserts correctness (bit-identical records), not a speedup.
+* **default** -- the PR-1 comparison: the same heuristic-model grid
+  executed serially and across a process pool (bit-identity asserted;
+  on a single-core runner the speedup hovers around 1x).
+* **--fleet** -- the head-to-head for the fleet scoring service: a
+  CAROL campaign (offline GON training + surrogate-driven repair)
+  executed three ways --
+
+  1. the PR-1 process-pool path: every run trains its own GON and
+     scores in-process (the baseline the speedup is measured against);
+  2. fleet mode: assets trained once, published via shared memory,
+     all runs feeding one batched scoring service (exact policy;
+     records bit-identical to serial/process at equal shared assets);
+  3. the process pool with the same shared assets -- isolates the
+     scoring-consolidation share of the win and anchors the
+     bit-identity check against fleet records.
+
+  A merged-bucket fleet variant (``fleet_merge``) is timed as well,
+  and the persistent surrogate-cache hit rates are reported for both
+  cache scopes on paper-default plus the fault-free control.
+
+Run:  PYTHONPATH=src python benchmarks/bench_campaign.py [--fleet] [--quick]
 """
 
 from __future__ import annotations
 
+import argparse
+import json
+import sys
 import time
+from dataclasses import replace
 
-from repro.experiments import CampaignConfig, run_campaign
+import numpy as np
 
-#: Grid: 3 scenarios x 1 model x 2 seeds at 8 intervals each.
-BENCH_GRID = dict(
-    scenarios=("paper-default", "correlated-rack", "flash-crowd"),
-    models=("dyverse",),
-    n_seeds=2,
-    seed=1,
-    n_intervals=8,
+from repro.core import CAROL, CAROLConfig, TrainingConfig
+from repro.experiments import (
+    CampaignConfig,
+    CampaignResult,
+    prepare_assets,
+    prepare_campaign_assets,
+    run_campaign,
 )
+from repro.experiments.campaign import plan_tasks
+from repro.experiments.fleet import run_fleet_campaign
+from repro.experiments.runner import run_experiment
+from repro.scenarios import build_topology, get_scenario
+from repro.simulator.engine import EdgeFederation
 
 
-def _timed_run(workers: int):
-    config = CampaignConfig(workers=workers, **BENCH_GRID)
+def _timed(fn, *args, **kwargs):
     started = time.perf_counter()
-    result = run_campaign(config)
+    result = fn(*args, **kwargs)
     return time.perf_counter() - started, result
 
 
-def test_campaign_serial_vs_parallel(capsys):
-    serial_seconds, serial = _timed_run(workers=1)
-    parallel_seconds, parallel = _timed_run(workers=2)
+# ----------------------------------------------------------------------
+# Default mode: serial vs process pool (the PR-1 bench, kept)
+# ----------------------------------------------------------------------
+def legacy_grid(quick: bool) -> CampaignConfig:
+    return CampaignConfig(
+        scenarios=("paper-default", "correlated-rack", "flash-crowd"),
+        models=("dyverse",),
+        n_seeds=1 if quick else 2,
+        seed=1,
+        n_intervals=4 if quick else 8,
+        workers=1,
+    )
 
+
+def run_legacy(args: argparse.Namespace) -> dict:
+    config = legacy_grid(args.quick)
+    serial_seconds, serial = _timed(run_campaign, config)
+    parallel_seconds, parallel = _timed(
+        run_campaign, replace(config, workers=2)
+    )
     assert serial.rows() == parallel.rows(), (
         "parallel campaign diverged from serial"
     )
-
-    n_runs = len(serial.records)
     speedup = serial_seconds / max(parallel_seconds, 1e-9)
-    with capsys.disabled():
-        print("\n-- campaign wall-time: serial vs process-parallel --")
-        print(f"grid            : {n_runs} runs "
-              f"({len(BENCH_GRID['scenarios'])} scenarios x "
-              f"{BENCH_GRID['n_seeds']} seeds)")
-        print(f"serial (1 proc) : {serial_seconds:.2f} s")
-        print(f"parallel (2 proc): {parallel_seconds:.2f} s")
-        print(f"speedup         : {speedup:.2f}x")
-        print(serial.format_summary())
+    print("\n-- campaign wall-time: serial vs process-parallel --")
+    print(f"grid             : {len(serial.records)} runs")
+    print(f"serial (1 proc)  : {serial_seconds:.2f} s")
+    print(f"parallel (2 proc): {parallel_seconds:.2f} s")
+    print(f"speedup          : {speedup:.2f}x")
+    print(serial.format_summary())
+    return {
+        "n_runs": len(serial.records),
+        "serial_s": round(serial_seconds, 3),
+        "process_2_workers_s": round(parallel_seconds, 3),
+        "speedup": round(speedup, 2),
+        "bit_identical": True,
+    }
+
+
+# ----------------------------------------------------------------------
+# --fleet: process-pool vs fleet-batched CAROL campaigns
+# ----------------------------------------------------------------------
+def fleet_grid(args: argparse.Namespace) -> CampaignConfig:
+    return CampaignConfig(
+        scenarios=("paper-default",),
+        models=("carol",),
+        n_seeds=args.runs,
+        workers=args.workers,
+        seed=1,
+        n_intervals=args.intervals,
+        trace_intervals=args.trace_intervals,
+        gon_hidden=args.gon_hidden,
+        gon_layers=args.gon_layers,
+        gon_epochs=args.gon_epochs,
+    )
+
+
+def run_fleet_bench(args: argparse.Namespace) -> dict:
+    process_config = fleet_grid(args)
+    fleet_config = replace(process_config, mode="fleet", shared_assets=True)
+    shared_config = replace(process_config, shared_assets=True)
+    print(
+        f"\n-- fleet bench: {process_config.n_seeds} x CAROL on "
+        f"paper-default, {process_config.n_intervals} intervals, "
+        f"GON {process_config.gon_hidden}x{process_config.gon_layers}, "
+        f"{process_config.workers} workers --"
+    )
+
+    # 1. The PR-1 path: per-run offline training + in-process scoring.
+    pr1_seconds, pr1 = _timed(run_campaign, process_config)
+    print(f"process pool, per-run assets (PR-1 path): {pr1_seconds:6.2f} s")
+
+    # Shared offline assets, prepared once and reused by every
+    # subsequent configuration (fleet pays this bill in its total).
+    prep_seconds, assets = _timed(prepare_campaign_assets, shared_config)
+    print(f"shared asset preparation (once)         : {prep_seconds:6.2f} s")
+
+    # 2. Fleet mode (exact policy): one batched scoring service.
+    tasks = plan_tasks(fleet_config)
+    stats_sink: list = []
+    fleet_seconds, fleet_records = _timed(
+        run_fleet_campaign, fleet_config, tasks, assets, stats_sink
+    )
+    fleet_total = prep_seconds + fleet_seconds
+    fleet = CampaignResult(config=fleet_config, records=fleet_records)
+    print(f"fleet exec (exact)                      : {fleet_seconds:6.2f} s"
+          f"  (+prep = {fleet_total:.2f} s total)")
+
+    # 3. Process pool with the same shared assets: the bit-identity
+    #    anchor, and the scoring-consolidation share of the win.
+    shared_seconds, shared = _timed(
+        run_campaign, shared_config, prepared_assets=assets
+    )
+    print(f"process pool, shared assets             : {shared_seconds:6.2f} s")
+
+    identical = fleet.rows() == shared.rows()
+    assert identical, "fleet records diverged from process/shared records"
+
+    # 4. Merged-bucket fleet variant (throughput policy).
+    merged_sink: list = []
+    merged_seconds, merged_records = _timed(
+        run_fleet_campaign,
+        replace(fleet_config, fleet_merge=True),
+        plan_tasks(fleet_config),
+        assets,
+        merged_sink,
+    )
+    merged = CampaignResult(config=fleet_config, records=merged_records)
+    merged_equal = merged.rows() == fleet.rows()
+    print(f"fleet exec (merged buckets)             : {merged_seconds:6.2f} s"
+          f"  (records {'==' if merged_equal else '!='} exact fleet)")
+
+    speedup = pr1_seconds / max(fleet_total, 1e-9)
+    exec_speedup = shared_seconds / max(fleet_seconds, 1e-9)
+    stats = stats_sink[0]
+    print(
+        f"speedup vs PR-1 path: {speedup:.2f}x end-to-end "
+        f"({exec_speedup:.2f}x exec-only vs process/shared); "
+        f"service saw {stats.n_requests} requests / "
+        f"{stats.n_elements} stacked candidates"
+    )
+
+    return {
+        "scenario": "paper-default",
+        "n_runs": process_config.n_seeds,
+        "workers": process_config.workers,
+        "n_intervals": process_config.n_intervals,
+        "gon": f"{process_config.gon_hidden}x{process_config.gon_layers}",
+        "process_per_run_assets_s": round(pr1_seconds, 3),
+        "shared_prep_s": round(prep_seconds, 3),
+        "fleet_exec_s": round(fleet_seconds, 3),
+        "fleet_total_s": round(fleet_total, 3),
+        "process_shared_assets_s": round(shared_seconds, 3),
+        "fleet_merged_exec_s": round(merged_seconds, 3),
+        "speedup_vs_pr1": round(speedup, 2),
+        "exec_speedup_vs_process_shared": round(exec_speedup, 2),
+        "bit_identical_fleet_vs_process": identical,
+        "merged_records_equal_exact": merged_equal,
+        "service": {
+            "requests": stats.n_requests,
+            "elements": stats.n_elements,
+            "batches": stats.n_batches,
+            "merged_elements_in_merged_mode": merged_sink[0].merged_elements,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
+# Persistent surrogate-cache telemetry
+# ----------------------------------------------------------------------
+def cache_stats(
+    scenario: str,
+    scope: str,
+    n_intervals: int,
+    args: argparse.Namespace,
+    seed: int = 7,
+) -> dict:
+    """Hit/miss telemetry of one CAROL run, split between fine-tunes."""
+    spec = get_scenario(scenario)
+    config = spec.compile(seed=seed, n_intervals=n_intervals)
+    assets = prepare_assets(
+        config,
+        trace_intervals=args.trace_intervals,
+        gon_hidden=args.gon_hidden,
+        gon_layers=args.gon_layers,
+        training=TrainingConfig(
+            epochs=args.gon_epochs, batch_size=16, learning_rate=1e-3,
+            generation_steps=20, seed=seed,
+        ),
+    )
+    model = CAROL(
+        assets.fresh_gon(), config.alpha, config.beta,
+        CAROLConfig(seed=config.seed, score_cache_scope=scope),
+    )
+    # Per-interval counter deltas let us report per-generation windows.
+    hits, misses = [], []
+    repair = model.repair
+
+    def instrumented(view, report, proposal):
+        h0, m0 = model.diagnostics.cache_hits, model.diagnostics.cache_misses
+        chosen = repair(view, report, proposal)
+        hits.append(model.diagnostics.cache_hits - h0)
+        misses.append(model.diagnostics.cache_misses - m0)
+        return chosen
+
+    model.repair = instrumented
+    federation = EdgeFederation(config, topology=build_topology(spec))
+    run_experiment(model, config, federation=federation, edge_slowdown=0.0)
+
+    flushes = [i + 1 for i, f in enumerate(model.diagnostics.fine_tuned) if f]
+    windows, start = [], 0
+    for stop in [*flushes, len(hits)]:
+        if stop > start:
+            h, m = sum(hits[start:stop]), sum(misses[start:stop])
+            windows.append({
+                "intervals": [start, stop],
+                "lookups": h + m,
+                "hit_rate": round(h / (h + m), 3) if h + m else 0.0,
+            })
+            start = stop
+    diag = model.diagnostics
+    return {
+        "scenario": scenario,
+        "scope": scope,
+        "n_intervals": n_intervals,
+        "hits": diag.cache_hits,
+        "misses": diag.cache_misses,
+        "evictions": diag.cache_evictions,
+        "hit_rate": round(diag.cache_hit_rate, 3),
+        "fine_tunes": diag.n_fine_tunes,
+        "windows_between_fine_tunes": windows,
+    }
+
+
+def run_cache_bench(args: argparse.Namespace) -> dict:
+    # The scenario's own default evaluation length (20 for
+    # paper-default) unless quick mode trims it.
+    n_intervals = 15 if args.quick else 20
+    print("\n-- persistent surrogate cache (hit rates between fine-tunes) --")
+    results = {}
+    probes = [
+        ("paper-default", "context"),
+        ("paper-default", "generation"),
+        ("fault-free", "generation"),
+    ]
+    for scenario, scope in probes:
+        stats = cache_stats(scenario, scope, n_intervals, args)
+        results[f"{scenario}/{scope}"] = stats
+        windows = ", ".join(
+            f"[{a},{b}) {w['hit_rate']:.0%}"
+            for w in stats["windows_between_fine_tunes"]
+            for a, b in [w["intervals"]]
+        )
+        print(
+            f"  {scenario:<14} scope={scope:<10} overall "
+            f"{stats['hit_rate']:.1%}  windows: {windows}"
+        )
+    return results
+
+
+# ----------------------------------------------------------------------
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--fleet", action="store_true",
+                        help="run the process-vs-fleet CAROL head-to-head")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sizes for CI smoke")
+    parser.add_argument("--runs", type=int, default=8,
+                        help="fleet bench: CAROL runs in the grid (>= 8 "
+                             "for the acceptance measurement)")
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--intervals", type=int, default=10)
+    parser.add_argument("--trace-intervals", type=int, default=40)
+    parser.add_argument("--gon-hidden", type=int, default=24)
+    parser.add_argument("--gon-layers", type=int, default=2)
+    parser.add_argument("--gon-epochs", type=int, default=6)
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        help="fleet: exit non-zero below this end-to-end "
+                             "speedup (0 disables)")
+    parser.add_argument("--no-cache-bench", action="store_true",
+                        help="skip the surrogate-cache telemetry section")
+    parser.add_argument("--json", type=str, default="BENCH_campaign.json",
+                        help="write machine-readable results here")
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.runs = min(args.runs, 8)
+        args.intervals = min(args.intervals, 4)
+        args.trace_intervals = min(args.trace_intervals, 16)
+        args.gon_hidden = min(args.gon_hidden, 12)
+        args.gon_epochs = min(args.gon_epochs, 2)
+
+    payload = {
+        "bench": "campaign",
+        "quick": args.quick,
+        "numpy": np.__version__,
+    }
+    if args.fleet:
+        payload["fleet"] = run_fleet_bench(args)
+        if not args.no_cache_bench:
+            payload["cache"] = run_cache_bench(args)
+    else:
+        payload["serial_vs_process"] = run_legacy(args)
+
+    with open(args.json, "w") as sink:
+        json.dump(payload, sink, indent=2)
+    print(f"\nwrote {args.json}")
+
+    if args.fleet and args.min_speedup > 0:
+        speedup = payload["fleet"]["speedup_vs_pr1"]
+        if speedup < args.min_speedup:
+            print(f"FAIL: fleet speedup {speedup:.2f}x below required "
+                  f"{args.min_speedup}x")
+            return 1
+    return 0
 
 
 if __name__ == "__main__":
-    import sys
-
-    import pytest
-
-    sys.exit(pytest.main([__file__, "-x", "-q", "-s"]))
+    sys.exit(main())

@@ -29,6 +29,7 @@ Run:  PYTHONPATH=src python benchmarks/bench_surrogate.py [--quick]
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -93,6 +94,83 @@ def build_neighbourhood(n_hosts: int, n_leis: int, size: int, rng) -> list:
         picks = rng.choice(len(options), size=size, replace=False)
         options = [options[i] for i in picks]
     return options
+
+
+def flat_gemm_bench(args: argparse.Namespace) -> dict:
+    """The ROADMAP flat-gemm decision, measured.
+
+    Three ways to compute a batched ``[B, n, F] @ [F, H]`` product:
+
+    * **per-slice** -- a Python loop issuing one ``[n, F] @ [F, H]``
+      gemm per batch element (what stacked layers would pay without
+      the reshape);
+    * **stacked matmul** -- ``np.matmul`` broadcasting over the batch
+      axis (BLAS is still invoked per slice inside numpy);
+    * **flat** -- reshape to ``[B*n, F]``, one gemm, reshape back (the
+      fast path ``repro.nn.Linear`` ships).
+
+    Reports wall-times and the max elementwise deviation of the flat
+    product from the per-slice reference, which anchors the documented
+    tolerance decision in ``repro/nn/linear.py``.
+    """
+    rng = np.random.default_rng(args.seed)
+    batch, n_hosts = args.batch, args.hosts
+    in_features, hidden = 13, args.hidden
+    x = rng.standard_normal((batch, n_hosts, in_features))
+    w = rng.standard_normal((in_features, hidden))
+
+    def per_slice():
+        return np.stack([x[i] @ w for i in range(batch)])
+
+    def stacked():
+        return np.matmul(x, w)
+
+    def flat():
+        return (x.reshape(-1, in_features) @ w).reshape(
+            batch, n_hosts, hidden
+        )
+
+    reference = per_slice()
+    max_diff = float(np.abs(flat() - reference).max())
+    stacked_diff = float(np.abs(stacked() - reference).max())
+
+    timings = {}
+    for label, fn in (("per_slice", per_slice), ("stacked_matmul", stacked),
+                      ("flat", flat)):
+        best = min(
+            _best_of(fn, repeats=max(args.repeats, 3), inner=50)
+            for _ in range(2)
+        )
+        timings[label] = best
+    speedup = timings["per_slice"] / max(timings["flat"], 1e-12)
+    print(
+        f"\n-- flat-gemm fast path ([{batch}, {n_hosts}, {in_features}] "
+        f"@ [{in_features}, {hidden}]) --"
+    )
+    for label, seconds in timings.items():
+        print(f"  {label:<15} {seconds * 1e6:8.1f} us/call")
+    print(
+        f"  flat vs per-slice: {speedup:.1f}x, max|diff| = {max_diff:.2e} "
+        f"(stacked matmul: {stacked_diff:.2e})"
+    )
+    return {
+        "shape": [batch, n_hosts, in_features, hidden],
+        "per_slice_us": round(timings["per_slice"] * 1e6, 2),
+        "stacked_matmul_us": round(timings["stacked_matmul"] * 1e6, 2),
+        "flat_us": round(timings["flat"] * 1e6, 2),
+        "flat_speedup": round(speedup, 2),
+        "flat_max_abs_diff": max_diff,
+    }
+
+
+def _best_of(fn, repeats: int, inner: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (time.perf_counter() - started) / inner)
+    return best
 
 
 def run(args: argparse.Namespace) -> int:
@@ -182,6 +260,31 @@ def run(args: argparse.Namespace) -> int:
         f"parity max|diff| = {np.abs(bat_scores - seed_scores).max():.2e})"
     )
 
+    flat_gemm = flat_gemm_bench(args)
+
+    payload = {
+        "bench": "surrogate",
+        "quick": args.quick,
+        "numpy": np.__version__,
+        "scenario": {
+            "hosts": args.hosts,
+            "leis": args.leis,
+            "gon": f"{args.hidden}x{args.layers}",
+            "B": batch,
+            "steps": args.steps,
+            "gamma": args.gamma,
+        },
+        "seed_per_candidate_ms": round(seed_best * 1e3, 2),
+        "sequential_ms": round(seq_best * 1e3, 2),
+        "batched_ms": round(bat_best * 1e3, 2),
+        "speedup_batched_vs_seed": round(speedup, 2),
+        "parity_max_abs_diff": float(np.abs(bat_scores - seed_scores).max()),
+        "flat_gemm": flat_gemm,
+    }
+    with open(args.json, "w") as sink:
+        json.dump(payload, sink, indent=2)
+    print(f"\nwrote {args.json}")
+
     if args.min_speedup > 0 and speedup < args.min_speedup:
         print(f"FAIL: speedup {speedup:.1f}x below required {args.min_speedup}x")
         return 1
@@ -204,6 +307,8 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--min-speedup", type=float, default=0.0,
                         help="exit non-zero below this speedup (0 disables)")
+    parser.add_argument("--json", type=str, default="BENCH_surrogate.json",
+                        help="write machine-readable results here")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
     if args.quick:

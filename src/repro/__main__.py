@@ -20,6 +20,11 @@ The scenario subsystem adds two commands:
     python -m repro campaign --scenarios paper-default,correlated-rack \\
         --models carol --seeds 2 --workers 4
     python -m repro campaign --ci
+
+``--shared-assets`` trains CAROL-family offline assets once per
+scenario instead of once per run; ``--fleet`` additionally runs the
+campaign through the shared-memory scoring service of
+:mod:`repro.serving` (``--ci --fleet`` runs the tiny fleet smoke grid).
 """
 
 from __future__ import annotations
@@ -135,10 +140,24 @@ def _cmd_scenarios(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
-    from .experiments import CampaignConfig, ci_campaign_config, run_campaign
+    from .experiments import (
+        CampaignConfig,
+        ci_campaign_config,
+        fleet_ci_campaign_config,
+        run_campaign,
+    )
 
     if args.ci:
-        config = ci_campaign_config(workers=args.workers)
+        if args.fleet:
+            config = fleet_ci_campaign_config(workers=args.workers)
+        else:
+            config = ci_campaign_config(workers=args.workers)
+        if args.shared_assets and not config.shared_assets:
+            # Honour the flag on the smoke grid too (a no-op for its
+            # heuristic models, but never silently ignored).
+            from dataclasses import replace as _replace
+
+            config = _replace(config, shared_assets=True)
     else:
         if not args.scenarios:
             print("campaign requires --scenarios (or --ci)", file=sys.stderr)
@@ -155,6 +174,8 @@ def _cmd_campaign(args) -> int:
                 workers=args.workers,
                 seed=args.seed,
                 n_intervals=args.intervals or None,
+                mode="fleet" if args.fleet else "process",
+                shared_assets=args.shared_assets or args.fleet,
             )
         except ValueError as error:
             print(error, file=sys.stderr)
@@ -226,6 +247,12 @@ def main(argv=None) -> int:
                           help="override each scenario's interval count")
     campaign.add_argument("--ci", action="store_true",
                           help="run the tiny CI smoke grid")
+    campaign.add_argument("--fleet", action="store_true",
+                          help="fleet mode: shared-memory assets + one "
+                               "batched GON scoring service")
+    campaign.add_argument("--shared-assets", action="store_true",
+                          help="train CAROL-family assets once per "
+                               "scenario (campaign-root seeded)")
 
     args = parser.parse_args(argv)
 

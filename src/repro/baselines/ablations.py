@@ -29,7 +29,6 @@ from ..core.nodeshift import neighbours, random_node_shift
 from ..core.objectives import QoSObjective
 from ..core.pot import PeakOverThreshold
 from ..core.tabu import tabu_search
-from ..core.training import fine_tune
 from ..nn import Adam, FeedForward, Tensor, mse_loss
 from ..simulator.detection import FailureReport
 from ..simulator.engine import SystemView
@@ -56,16 +55,18 @@ class AlwaysFineTune(CAROL):
         sample = from_interval(metrics)
         # CAROL's Γ buffer is a bounded deque: eviction is automatic.
         self.buffer.append(sample)
-        confidence = self.model.score(sample)
+        confidence = self.scorer.confidence(sample)
         threshold = self.pot.update(confidence)
         if len(self.buffer) >= 2:
-            fine_tune(
-                self.model,
+            # Through the scorer so the generation bump flushes the
+            # persistent score cache (the model just changed).
+            self.scorer.fine_tune(
                 list(self.buffer)[-self.config.min_buffer:],
                 config=self._training_config,
                 iterations=1,
                 rng=self.rng,
             )
+            self._invalidate_score_cache()
         self.diagnostics.confidences.append(confidence)
         self.diagnostics.thresholds.append(
             threshold if np.isfinite(threshold) else float("nan")
@@ -80,7 +81,7 @@ class NeverFineTune(CAROL):
 
     def observe(self, metrics: IntervalMetrics, view: SystemView) -> None:
         sample = from_interval(metrics)
-        confidence = self.model.score(sample)
+        confidence = self.scorer.confidence(sample)
         threshold = self.pot.update(confidence)
         self.diagnostics.confidences.append(confidence)
         self.diagnostics.thresholds.append(

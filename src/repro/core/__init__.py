@@ -30,6 +30,7 @@ from .nodeshift import (
 from .objectives import QoSObjective
 from .pot import PeakOverThreshold
 from .proactive import ProactiveCAROL
+from .scoring import LocalScorer, SurrogateScorer
 from .surrogate import (
     SurrogateResult,
     generate_metrics,
@@ -57,6 +58,8 @@ __all__ = [
     "PeakOverThreshold",
     "ProactiveCAROL",
     "SurrogateResult",
+    "SurrogateScorer",
+    "LocalScorer",
     "generate_metrics",
     "generate_metrics_batch",
     "predict_qos",

@@ -20,7 +20,6 @@ This module implements that scheme on top of the reactive CAROL loop:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional
 
 import numpy as np
@@ -29,10 +28,9 @@ from ..simulator.detection import FailureReport
 from ..simulator.engine import SystemView
 from ..simulator.topology import Topology
 from .carol import CAROL, CAROLConfig
-from .features import GONInput
 from .gon import GONDiscriminator
 from .nodeshift import neighbours
-from .surrogate import generate_metrics, generate_metrics_batch
+from .scoring import SurrogateScorer
 from .tabu import batched_objective, tabu_search
 
 __all__ = ["ProactiveCAROL"]
@@ -57,8 +55,9 @@ class ProactiveCAROL(CAROL):
         beta: float = 0.5,
         config: Optional[CAROLConfig] = None,
         risk_threshold: float = 1.0,
+        scorer: Optional[SurrogateScorer] = None,
     ) -> None:
-        super().__init__(model, alpha, beta, config)
+        super().__init__(model, alpha, beta, config, scorer=scorer)
         if risk_threshold <= 0:
             raise ValueError("risk_threshold must be positive")
         self.risk_threshold = risk_threshold
@@ -77,33 +76,31 @@ class ProactiveCAROL(CAROL):
         if report.failed_brokers or view.last_metrics is None:
             return chosen
 
-        at_risk = self._at_risk_brokers(view, chosen)
+        last = view.last_metrics
+        schedule = np.asarray(last.schedule_encoding, dtype=float)
+        metrics = np.asarray(last.host_metrics, dtype=float)
+        ctx = self._context_hash(metrics, schedule)
+
+        at_risk = self._at_risk_brokers(chosen, metrics, schedule, ctx)
         if not at_risk:
             return chosen
 
         # Preventive step: search for a topology that relieves the
         # endangered brokers, scored by the same surrogate objective
         # plus a risk penalty.
-        last = view.last_metrics
-        schedule = np.asarray(last.schedule_encoding, dtype=float)
-        metrics = np.asarray(last.host_metrics, dtype=float)
 
         @batched_objective
-        def omega(candidates: List[Topology]) -> List[float]:
-            # Whole slate through one vectorized eq.-1 ascent, then the
-            # per-candidate risk penalty on each predicted M*.
-            results = generate_metrics_batch(
-                self.model,
-                np.stack([schedule] * len(candidates)),
-                np.stack([c.adjacency() for c in candidates]),
-                init_metrics=np.stack([metrics] * len(candidates)),
-                gamma=self.config.gamma,
-                max_steps=self.config.surrogate_steps,
+        def omega(candidates: List[Topology], keys=None) -> List[float]:
+            # Whole slate through the shared persistent cache (one
+            # vectorized eq.-1 ascent for the misses -- entries are
+            # shared with the reactive repair and the risk prediction),
+            # then the per-candidate risk penalty on each cached M*.
+            scored = self.surrogate_scores(
+                candidates, metrics, schedule, ctx=ctx, keys=keys
             )
             return [
-                self.objective(result.metrics)
-                + self._risk_penalty(candidate, result.metrics)
-                for candidate, result in zip(candidates, results)
+                value + self._risk_penalty(candidate, predicted)
+                for candidate, (value, predicted) in zip(candidates, scored)
             ]
 
         def sampled(topology: Topology) -> List[Topology]:
@@ -126,30 +123,29 @@ class ProactiveCAROL(CAROL):
         return result.best if result.best_score <= omega([chosen])[0] else chosen
 
     # ------------------------------------------------------------------
-    def _at_risk_brokers(self, view: SystemView, topology: Topology) -> List[int]:
+    def _at_risk_brokers(
+        self,
+        topology: Topology,
+        metrics: np.ndarray,
+        schedule: np.ndarray,
+        ctx: bytes,
+    ) -> List[int]:
         """Brokers whose predicted pressure crosses the risk threshold.
 
         Prediction: the surrogate's M* for the current (S, G), read on
-        the broker rows' CPU and RAM columns.
+        the broker rows' CPU and RAM columns.  The prediction goes
+        through the persistent score cache, so on quiet intervals it is
+        usually already resident from the maintenance slate.
         """
-        last = view.last_metrics
-        result = generate_metrics(
-            self.model,
-            np.asarray(last.schedule_encoding, dtype=float),
-            topology.adjacency(),
-            init_metrics=np.asarray(last.host_metrics, dtype=float),
-            gamma=self.config.gamma,
-            max_steps=self.config.surrogate_steps,
-        )
-        predicted = result.metrics
+        _value, predicted = self.surrogate_scores(
+            [topology], metrics, schedule, ctx=ctx
+        )[0]
         at_risk = []
         for broker in sorted(topology.brokers):
             pressure = float(predicted[broker, 0] + predicted[broker, 1])
             # Blend with the *observed* pressure so a cold surrogate
             # cannot mask an obviously overloaded broker.
-            observed = float(
-                last.host_metrics[broker, 0] + last.host_metrics[broker, 1]
-            )
+            observed = float(metrics[broker, 0] + metrics[broker, 1])
             if max(pressure, observed) > self.risk_threshold:
                 at_risk.append(broker)
         return at_risk

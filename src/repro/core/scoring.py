@@ -1,0 +1,110 @@
+"""Surrogate scorer seam: where CAROL's GON evaluations execute.
+
+CAROL's decision loop needs three operations from its surrogate --
+batched eq.-1 ascents over candidate stacks, single-sample confidence
+reads, and confidence-gated fine-tuning.  This module pins that surface
+down as the *scorer* interface so the execution backend is swappable:
+
+* :class:`LocalScorer` (the default) runs everything in-process on the
+  model CAROL owns -- the PR-2 batched engine, unchanged behaviour;
+* ``repro.serving.FleetScorer`` routes ascent stacks to a shared
+  scoring service consolidating many concurrent federations into one
+  batched GON stream, falling back to a private copy of the weights
+  once fine-tuning diverges this replica from the fleet.
+
+Every scorer carries a monotone ``generation`` counter, bumped exactly
+when :meth:`fine_tune` mutates the model.  CAROL's persistent surrogate
+cache keys its validity on this counter: scores stay reusable across
+scheduling intervals precisely as long as the generation stands still
+(the model only changes when the POT gate opens -- §III-B).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol, Sequence
+
+import numpy as np
+
+from .features import GONInput
+from .gon import GONDiscriminator
+from .surrogate import SurrogateResult, generate_metrics_batch
+from .training import TrainingConfig, fine_tune
+
+__all__ = ["SurrogateScorer", "LocalScorer"]
+
+
+class SurrogateScorer(Protocol):
+    """The execution backend surface CAROL's decision loop consumes."""
+
+    #: Bumped once per :meth:`fine_tune`; persistent caches key on it.
+    generation: int
+
+    def ascent(
+        self,
+        metrics: np.ndarray,
+        schedules: np.ndarray,
+        adjacencies: np.ndarray,
+        gamma: float,
+        max_steps: int,
+    ) -> List[SurrogateResult]:
+        """Batched eq.-1 ascent over ``[B, n, F]`` warm-started stacks."""
+        ...
+
+    def confidence(self, sample: GONInput) -> float:
+        """``D(M, S, G)`` of one realised sample (no gradients kept)."""
+        ...
+
+    def fine_tune(
+        self,
+        samples: Sequence[GONInput],
+        config: TrainingConfig,
+        iterations: int,
+        rng: np.random.Generator,
+    ) -> float:
+        """Fine-tune on Γ, bump :attr:`generation`, return the loss."""
+        ...
+
+
+class LocalScorer:
+    """In-process scorer over an owned :class:`GONDiscriminator`."""
+
+    def __init__(self, model: GONDiscriminator) -> None:
+        self.model = model
+        self.generation = 0
+
+    def ascent(
+        self,
+        metrics: np.ndarray,
+        schedules: np.ndarray,
+        adjacencies: np.ndarray,
+        gamma: float,
+        max_steps: int,
+    ) -> List[SurrogateResult]:
+        return generate_metrics_batch(
+            self.model,
+            schedules,
+            adjacencies,
+            init_metrics=metrics,
+            gamma=gamma,
+            max_steps=max_steps,
+        )
+
+    def confidence(self, sample: GONInput) -> float:
+        return self.model.score(sample)
+
+    def fine_tune(
+        self,
+        samples: Sequence[GONInput],
+        config: Optional[TrainingConfig],
+        iterations: int,
+        rng: np.random.Generator,
+    ) -> float:
+        loss = fine_tune(
+            self.model,
+            list(samples),
+            config=config,
+            iterations=iterations,
+            rng=rng,
+        )
+        self.generation += 1
+        return loss

@@ -16,9 +16,10 @@ automatically, preserving the classic interface.
 
 from __future__ import annotations
 
+import inspect
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Callable, List, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..simulator.topology import Topology
 
@@ -33,6 +34,9 @@ class TabuResult:
     best_score: float
     n_evaluations: int
     n_iterations: int
+    #: ``best.canonical_key()``, computed during the search -- callers
+    #: that key caches on canonical keys reuse it instead of re-deriving.
+    best_key: Optional[tuple] = None
 
 
 def batched_objective(fn: Callable[[Sequence[Topology]], List[float]]):
@@ -41,21 +45,49 @@ def batched_objective(fn: Callable[[Sequence[Topology]], List[float]]):
     Use as a decorator on objectives that score ``list[Topology] ->
     list[float]`` in one pass; unmarked callables are treated as scalar
     ``Topology -> float`` objectives and wrapped per candidate.
+
+    A batched objective may additionally accept a ``keys`` keyword --
+    the candidates' pre-computed ``canonical_key()`` tuples, in order.
+    :func:`tabu_search` already derives these for its tabu/duplicate
+    bookkeeping, so key-aware objectives (e.g. CAROL's cached surrogate
+    scorer) never hash a topology twice.
     """
     fn.is_batched = True
     return fn
 
 
-def as_batched(objective) -> Callable[[Sequence[Topology]], List[float]]:
-    """Return a batch-callable view of ``objective``.
+def _accepts_keys(fn) -> bool:
+    """Whether a batched objective takes the ``keys=`` keyword."""
+    try:
+        parameters = inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # builtins, odd callables
+        return False
+    if any(
+        p.kind is inspect.Parameter.VAR_KEYWORD for p in parameters.values()
+    ):
+        return True
+    keys = parameters.get("keys")
+    return keys is not None and keys.kind in (
+        inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        inspect.Parameter.KEYWORD_ONLY,
+    )
+
+
+def as_batched(objective) -> Callable[..., List[float]]:
+    """Return a batch-callable ``(candidates, keys=None)`` view.
 
     Batched objectives (marked via :func:`batched_objective` or any
-    callable with a truthy ``is_batched`` attribute) pass through;
+    callable with a truthy ``is_batched`` attribute) pass through --
+    wrapped to swallow ``keys`` unless their signature accepts it;
     scalar objectives are adapted with a per-candidate loop.
     """
     if getattr(objective, "is_batched", False):
-        return objective
-    return lambda candidates: [float(objective(c)) for c in candidates]
+        if _accepts_keys(objective):
+            return objective
+        return lambda candidates, keys=None: objective(candidates)
+    return lambda candidates, keys=None: [
+        float(objective(c)) for c in candidates
+    ]
 
 
 def tabu_search(
@@ -76,8 +108,10 @@ def tabu_search(
     non-improving moves.
 
     Each candidate's ``canonical_key()`` is computed once per iteration
-    and reused for the tabu check, duplicate dropping and the tabu-list
-    insertion; duplicate-key candidates are removed from the
+    and reused for the tabu check, duplicate dropping, the tabu-list
+    insertion *and* the objective call: key-aware batched objectives
+    receive the surviving keys via ``keys=`` so cache lookups never
+    re-derive them.  Duplicate-key candidates are removed from the
     neighbourhood before scoring.
 
     Parameters
@@ -95,12 +129,14 @@ def tabu_search(
         raise ValueError("max_iterations must be >= 1")
 
     score_batch = as_batched(objective)
+    initial_key = initial.canonical_key()
     tabu: "OrderedDict[tuple, None]" = OrderedDict()
-    tabu[initial.canonical_key()] = None
+    tabu[initial_key] = None
 
     current = initial
     best = initial
-    best_score = float(score_batch([initial])[0])
+    best_key = initial_key
+    best_score = float(score_batch([initial], keys=[initial_key])[0])
     current_score = best_score
     evaluations = 1
     stale = 0
@@ -120,7 +156,7 @@ def tabu_search(
         if not candidates:
             break
 
-        scores = [float(s) for s in score_batch(candidates)]
+        scores = [float(s) for s in score_batch(candidates, keys=keys)]
         evaluations += len(candidates)
         move = min(range(len(candidates)), key=scores.__getitem__)
         current_score, current = scores[move], candidates[move]
@@ -130,7 +166,7 @@ def tabu_search(
             tabu.popitem(last=False)
 
         if current_score < best_score:
-            best, best_score = current, current_score
+            best, best_score, best_key = current, current_score, keys[move]
             stale = 0
         else:
             stale += 1
@@ -142,4 +178,5 @@ def tabu_search(
         best_score=best_score,
         n_evaluations=evaluations,
         n_iterations=iterations,
+        best_key=best_key,
     )

@@ -21,7 +21,9 @@ from .campaign import (
     RunTask,
     canonical_model_name,
     ci_campaign_config,
+    fleet_ci_campaign_config,
     plan_tasks,
+    prepare_campaign_assets,
     run_campaign,
 )
 from .fig2_confidence import Fig2Config, Fig2Result, format_fig2, run_fig2
@@ -65,8 +67,10 @@ __all__ = [
     "DETERMINISTIC_METRICS",
     "canonical_model_name",
     "plan_tasks",
+    "prepare_campaign_assets",
     "run_campaign",
     "ci_campaign_config",
+    "fleet_ci_campaign_config",
     "prepare_assets",
     "build_model",
     "collect_defog_trace",

@@ -15,6 +15,21 @@ runs execute with ``edge_slowdown=0`` (no wall-clock feedback into the
 simulation) and only deterministic metrics enter the records; the
 wall-clock cost metrics of Fig. 5 remain the business of
 :mod:`repro.experiments.fig5_comparison`.
+
+Execution modes
+---------------
+``mode="process"`` (the classic path) fans cells across a
+``ProcessPoolExecutor``; with ``shared_assets=True`` the offline
+CAROL-family assets (trace + trained GON) are prepared once per
+scenario in the parent -- seeded from the campaign root, not the run
+seed -- and shipped to workers as pickled copies.  ``mode="fleet"``
+(which implies shared assets) instead publishes those assets *once*
+into ``multiprocessing.shared_memory`` and runs lightweight simulation
+workers that feed one batched GON scoring service -- see
+:mod:`repro.serving` and :mod:`repro.experiments.fleet`.  The
+bit-identity guarantee extends across all modes at equal
+``shared_assets``: serial, process-pool and fleet execution of the
+same grid produce identical records.
 """
 
 from __future__ import annotations
@@ -28,7 +43,13 @@ import numpy as np
 from ..core import TrainingConfig
 from ..scenarios import ScenarioSpec, build_topology, get_scenario
 from ..simulator.engine import EdgeFederation
-from .calibration import ABLATION_NAMES, BASELINE_NAMES, build_model, prepare_assets
+from .calibration import (
+    ABLATION_NAMES,
+    BASELINE_NAMES,
+    TrainedAssets,
+    build_model,
+    prepare_assets,
+)
 from .report import format_table
 from .runner import run_experiment
 
@@ -40,8 +61,10 @@ __all__ = [
     "CampaignResult",
     "canonical_model_name",
     "plan_tasks",
+    "prepare_campaign_assets",
     "run_campaign",
     "ci_campaign_config",
+    "fleet_ci_campaign_config",
 ]
 
 #: Summary keys that are pure functions of (scenario, model, seed) --
@@ -93,6 +116,22 @@ class CampaignConfig:
     gon_hidden: int = 24
     gon_layers: int = 2
     gon_epochs: int = 6
+    #: Execution backend: "process" fans runs across a process pool;
+    #: "fleet" runs simulation workers against one shared batched GON
+    #: scoring service (implies ``shared_assets``).
+    mode: str = "process"
+    #: Prepare CAROL-family offline assets once per scenario (seeded
+    #: from the campaign root) instead of once per run.  Changes what
+    #: CAROL-family records contain -- it is part of the grid spec, so
+    #: serial == process == fleet holds at equal ``shared_assets``.
+    shared_assets: bool = False
+    #: Fleet only: let the scoring service concatenate concurrent
+    #: request stacks into one ascent per bucket.  Maximum GON
+    #: consolidation, but scores match the exact path only to ~1e-15
+    #: (BLAS gemm varies in the last ulp with the leading dimension),
+    #: so the bitwise record guarantee is waived -- see
+    #: :mod:`repro.serving.service`.
+    fleet_merge: bool = False
 
     def __post_init__(self) -> None:
         if not self.scenarios:
@@ -107,6 +146,16 @@ class CampaignConfig:
             raise ValueError("n_intervals override must be >= 1")
         if self.trace_intervals < 1:
             raise ValueError("trace_intervals must be >= 1")
+        if self.mode not in ("process", "fleet"):
+            raise ValueError(
+                f"unknown campaign mode {self.mode!r}; "
+                "expected 'process' or 'fleet'"
+            )
+        if self.mode == "fleet" and not self.shared_assets:
+            # Fleet consolidation requires one published weight set per
+            # scenario; per-run training would give every run a private
+            # model and nothing to share.
+            object.__setattr__(self, "shared_assets", True)
 
 
 @dataclass(frozen=True)
@@ -159,25 +208,66 @@ class RunRecord:
         return row
 
 
-def _execute_run(task: RunTask) -> RunRecord:
-    """Run one grid cell end to end (executed inside worker processes)."""
+#: Entropy constant separating shared-asset seeds from the per-cell
+#: ``SeedSequence.spawn`` stream (both descend from the campaign seed).
+_ASSET_ENTROPY = 0x5CA1AB1E
+
+
+def _asset_seed(config: CampaignConfig, scenario: str) -> int:
+    """Deterministic offline-training seed for a scenario's shared assets."""
+    index = config.scenarios.index(scenario)
+    sequence = np.random.SeedSequence([config.seed, _ASSET_ENTROPY, index])
+    return int(sequence.generate_state(1, dtype=np.uint32)[0])
+
+
+def prepare_campaign_assets(
+    config: CampaignConfig,
+    tasks: Optional[Sequence[RunTask]] = None,
+) -> Dict[str, TrainedAssets]:
+    """Shared offline assets, one per scenario that needs them.
+
+    Collects the DeFog trace and trains the GON *once* per scenario --
+    the consolidation ``shared_assets`` buys over per-run training.
+    The asset seed derives from the campaign root and the scenario's
+    position, so the result is a pure function of the campaign config.
+    Exposed separately so benches and tests can time campaign
+    execution apart from offline training (pass the result to
+    :func:`run_campaign` via ``prepared_assets``).
+    """
+    tasks = plan_tasks(config) if tasks is None else tasks
+    needed = sorted(
+        {task.scenario for task in tasks if task.model in _CAROL_FAMILY}
+    )
+    assets: Dict[str, TrainedAssets] = {}
+    for scenario in needed:
+        seed = _asset_seed(config, scenario)
+        scenario_config = get_scenario(scenario).compile(seed=seed)
+        assets[scenario] = prepare_assets(
+            scenario_config,
+            trace_intervals=config.trace_intervals,
+            gon_hidden=config.gon_hidden,
+            gon_layers=config.gon_layers,
+            training=TrainingConfig(
+                epochs=config.gon_epochs, batch_size=16,
+                learning_rate=1e-3, generation_steps=20, seed=seed,
+            ),
+        )
+    return assets
+
+
+def run_cell(task: RunTask, model_factory) -> RunRecord:
+    """The shared tail of every execution mode for one grid cell.
+
+    Seed derivation, scenario compilation, federation construction,
+    the run itself and the record assembly live here exactly once:
+    process and fleet execution differ only in the ``model_factory``
+    (``(config, run_seed) -> ResilienceModel``), which is what keeps
+    the cross-mode bit-identity contract honest by construction.
+    """
     spec = task.spec
     run_seed = int(task.seed_sequence.generate_state(1, dtype=np.uint32)[0])
     config = spec.compile(seed=run_seed, n_intervals=task.n_intervals)
-
-    assets = None
-    if task.model in _CAROL_FAMILY:
-        assets = prepare_assets(
-            config,
-            trace_intervals=task.trace_intervals,
-            gon_hidden=task.gon_hidden,
-            gon_layers=task.gon_layers,
-            training=TrainingConfig(
-                epochs=task.gon_epochs, batch_size=16,
-                learning_rate=1e-3, generation_steps=20, seed=run_seed,
-            ),
-        )
-    model = build_model(task.model, assets, config)
+    model = model_factory(config, run_seed)
     federation = EdgeFederation(config, topology=build_topology(spec))
     result = run_experiment(model, config, federation=federation, edge_slowdown=0.0)
     summary = result.summary()
@@ -189,6 +279,34 @@ def _execute_run(task: RunTask) -> RunRecord:
         seed=run_seed,
         metrics={key: float(summary[key]) for key in DETERMINISTIC_METRICS},
     )
+
+
+def _execute_run(
+    task: RunTask, assets: Optional[TrainedAssets] = None
+) -> RunRecord:
+    """Run one grid cell end to end (executed inside worker processes).
+
+    ``assets`` carries the scenario's shared offline assets when the
+    campaign runs with ``shared_assets``; otherwise CAROL-family cells
+    train their own from the run seed (the classic per-run path).
+    """
+
+    def build(config, run_seed):
+        cell_assets = assets
+        if cell_assets is None and task.model in _CAROL_FAMILY:
+            cell_assets = prepare_assets(
+                config,
+                trace_intervals=task.trace_intervals,
+                gon_hidden=task.gon_hidden,
+                gon_layers=task.gon_layers,
+                training=TrainingConfig(
+                    epochs=task.gon_epochs, batch_size=16,
+                    learning_rate=1e-3, generation_steps=20, seed=run_seed,
+                ),
+            )
+        return build_model(task.model, cell_assets, config)
+
+    return run_cell(task, build)
 
 
 def plan_tasks(config: CampaignConfig) -> List[RunTask]:
@@ -289,14 +407,47 @@ def _mean_std(stat: Tuple[float, float]) -> str:
     return f"{mean:.4g} ±{std:.2g}"
 
 
-def run_campaign(config: CampaignConfig) -> CampaignResult:
-    """Execute the full grid, serially or across worker processes."""
+def run_campaign(
+    config: CampaignConfig,
+    prepared_assets: Optional[Dict[str, TrainedAssets]] = None,
+) -> CampaignResult:
+    """Execute the full grid with the configured backend.
+
+    ``prepared_assets`` short-circuits :func:`prepare_campaign_assets`
+    when the campaign runs with ``shared_assets`` -- benches and tests
+    use it to reuse one offline-training pass across several timed
+    executions of the same grid.
+    """
     tasks = plan_tasks(config)
-    if config.workers == 1:
-        records = [_execute_run(task) for task in tasks]
+    shared: Optional[Dict[str, TrainedAssets]] = None
+    if config.shared_assets:
+        shared = (
+            prepared_assets
+            if prepared_assets is not None
+            else prepare_campaign_assets(config, tasks)
+        )
+
+    if config.mode == "fleet":
+        from .fleet import run_fleet_campaign
+
+        records = run_fleet_campaign(config, tasks, shared or {})
     else:
-        with ProcessPoolExecutor(max_workers=config.workers) as executor:
-            records = list(executor.map(_execute_run, tasks, chunksize=1))
+        per_task = [
+            shared.get(task.scenario)
+            if shared is not None and task.model in _CAROL_FAMILY
+            else None
+            for task in tasks
+        ]
+        if config.workers == 1:
+            records = [
+                _execute_run(task, assets)
+                for task, assets in zip(tasks, per_task)
+            ]
+        else:
+            with ProcessPoolExecutor(max_workers=config.workers) as executor:
+                records = list(
+                    executor.map(_execute_run, tasks, per_task, chunksize=1)
+                )
     return CampaignResult(config=config, records=records)
 
 
@@ -313,4 +464,27 @@ def ci_campaign_config(workers: int = 2) -> CampaignConfig:
         n_seeds=1,
         workers=workers,
         n_intervals=5,
+    )
+
+
+def fleet_ci_campaign_config(workers: int = 2) -> CampaignConfig:
+    """The fleet-mode smoke grid: a tiny CAROL campaign through the
+    shared-memory assets and the batched scoring service.
+
+    One scenario x CAROL x two seeds at three intervals with a midget
+    GON -- seconds of work, yet it exercises asset publication, the
+    worker/scorer queues, bucketed batching and record collection.
+    """
+    return CampaignConfig(
+        scenarios=("paper-default",),
+        models=("CAROL",),
+        n_seeds=2,
+        workers=workers,
+        seed=1,
+        n_intervals=3,
+        trace_intervals=12,
+        gon_hidden=8,
+        gon_layers=2,
+        gon_epochs=2,
+        mode="fleet",
     )

@@ -1,0 +1,300 @@
+"""Fleet-mode campaign execution: shared assets + one batched scorer.
+
+The process-pool path runs ``N`` full replicas: every worker pickles
+its own copy of the offline assets and executes its own GON inference
+stream.  Fleet mode splits the run differently (see
+:mod:`repro.serving` for the subsystem diagram):
+
+* the parent publishes each scenario's trained GON weights and trace
+  stacks *once* into ``multiprocessing.shared_memory``;
+* ``N`` lightweight simulation workers mount zero-copy views of those
+  assets and run the discrete-interval loop;
+* every CAROL-family surrogate ascent is submitted to the parent's
+  :class:`~repro.serving.GONScoringService`, which buckets concurrent
+  requests by ``(scenario, host count)`` and answers them with batched
+  eq.-1 ascents on the single resident weight replica.
+
+Record-level bit-identity with serial execution holds because (a) the
+scored stacks are exactly the stacks an in-process scorer would run
+(exact policy -- see :mod:`repro.serving.service` for why merging
+cannot be bitwise), (b) workers keep every RNG stream local, and (c) a
+run whose POT gate opens diverges onto a private copy-on-write weight
+copy, exactly as its serial twin would mutate its own model.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..baselines import AlwaysFineTune, NeverFineTune
+from ..core import CAROL, CAROLConfig, GONDiscriminator, GONInput
+from ..serving import (
+    AttachedArrayPack,
+    ClientDone,
+    FleetScorer,
+    GONScoringService,
+    ScoringClient,
+    ServiceStats,
+    SharedArrayPack,
+    SharedPackHandle,
+)
+from .calibration import TrainedAssets, build_model
+from .campaign import RunRecord, RunTask, run_cell
+
+__all__ = ["run_fleet_campaign"]
+
+#: CAROL-family models whose GON evaluations route through the service.
+_GON_CAROL_CLASSES = {
+    "CAROL": CAROL,
+    "CAROL-AlwaysFT": AlwaysFineTune,
+    "CAROL-NeverFT": NeverFineTune,
+}
+
+#: Seconds to wait for a straggler record/worker before giving up.
+_COLLECT_TIMEOUT = 120.0
+
+
+@dataclass(frozen=True)
+class _ScenarioHandles:
+    """Picklable pointers to one scenario's published assets."""
+
+    weights: SharedPackHandle
+    trace: SharedPackHandle
+    gon_hidden: int
+    gon_layers: int
+    seed: int
+    gan_seed: int
+
+
+def _publish_assets(
+    assets: TrainedAssets,
+) -> tuple:
+    """Publish one scenario's weights + trace into shared memory."""
+    weight_pack = SharedArrayPack(assets.gon_state)
+    trace_pack = SharedArrayPack({
+        "metrics": np.stack([s.metrics for s in assets.samples]),
+        "schedules": np.stack([s.schedule for s in assets.samples]),
+        "adjacencies": np.stack([s.adjacency for s in assets.samples]),
+        "objectives": np.asarray(assets.objectives, dtype=float),
+    })
+    handles = _ScenarioHandles(
+        weights=weight_pack.handle,
+        trace=trace_pack.handle,
+        gon_hidden=assets.gon_hidden,
+        gon_layers=assets.gon_layers,
+        seed=assets.seed,
+        gan_seed=assets.gan_seed,
+    )
+    return weight_pack, trace_pack, handles
+
+
+def _mount_gon(
+    state: Dict[str, np.ndarray], hidden: int, layers: int, seed: int
+) -> GONDiscriminator:
+    """A GON whose parameters are zero-copy views of ``state``."""
+    model = GONDiscriminator(
+        np.random.default_rng(seed), hidden=hidden, n_layers=layers
+    )
+    model.load_state_dict(state, copy=False)
+    return model
+
+
+def _attach_assets(handles: _ScenarioHandles) -> tuple:
+    """Worker side: rebuild :class:`TrainedAssets` over shared views."""
+    weight_pack = AttachedArrayPack(handles.weights)
+    trace_pack = AttachedArrayPack(handles.trace)
+    arrays = trace_pack.arrays
+    n_samples = arrays["metrics"].shape[0]
+    assets = TrainedAssets(
+        trace=None,
+        samples=[
+            GONInput(
+                arrays["metrics"][i],
+                arrays["schedules"][i],
+                arrays["adjacencies"][i],
+            )
+            for i in range(n_samples)
+        ],
+        objectives=[float(v) for v in arrays["objectives"]],
+        gon_state=weight_pack.arrays,
+        gon_hidden=handles.gon_hidden,
+        gon_layers=handles.gon_layers,
+        training_history=None,
+        gan_seed=handles.gan_seed,
+        seed=handles.seed,
+    )
+    return assets, (weight_pack, trace_pack)
+
+
+def _execute_fleet_run(
+    task: RunTask,
+    assets: Optional[TrainedAssets],
+    client: ScoringClient,
+) -> RunRecord:
+    """One grid cell with service-routed GON scoring.
+
+    Runs through the same :func:`campaign.run_cell` tail as every
+    other mode; only the model factory differs -- GON-CAROL models
+    mount the shared weight views and a :class:`FleetScorer` instead
+    of a private copy of the weights.
+    """
+
+    def build(config, _run_seed):
+        model_class = _GON_CAROL_CLASSES.get(task.model)
+        if model_class is None:
+            return build_model(task.model, assets, config)
+        if assets is None:
+            raise RuntimeError(
+                f"fleet run {task.model!r} needs published scenario assets"
+            )
+        gon = _mount_gon(
+            assets.gon_state, assets.gon_hidden, assets.gon_layers,
+            assets.seed,
+        )
+        return model_class(
+            gon,
+            config.alpha,
+            config.beta,
+            CAROLConfig(seed=config.seed),
+            scorer=FleetScorer(client, gon),
+        )
+
+    return run_cell(task, build)
+
+
+def _fleet_worker_main(
+    worker_id: int,
+    tasks: Sequence[RunTask],
+    handles: Dict[str, _ScenarioHandles],
+    request_queue,
+    reply_queue,
+    results_queue,
+) -> None:
+    """Worker process: mount shared assets, run cells, stream records."""
+    opened: List[AttachedArrayPack] = []
+    try:
+        assets_by_scenario: Dict[str, TrainedAssets] = {}
+        for scenario, scenario_handles in handles.items():
+            assets, packs = _attach_assets(scenario_handles)
+            assets_by_scenario[scenario] = assets
+            opened.extend(packs)
+        for task in tasks:
+            client = ScoringClient(
+                worker_id, task.scenario, request_queue, reply_queue
+            )
+            record = _execute_fleet_run(
+                task, assets_by_scenario.get(task.scenario), client
+            )
+            results_queue.put(record)
+    finally:
+        # Sign off even on failure so the scorer loop can wind down
+        # (the parent notices missing records and the exit code).
+        request_queue.put(ClientDone(worker_id))
+        for pack in opened:
+            pack.close()
+
+
+def run_fleet_campaign(
+    config,
+    tasks: Sequence[RunTask],
+    shared_assets: Dict[str, TrainedAssets],
+    stats_sink: Optional[List[ServiceStats]] = None,
+) -> List[RunRecord]:
+    """Execute ``tasks`` with fleet workers against one scoring service.
+
+    ``shared_assets`` maps scenario name -> offline assets (from
+    :func:`~repro.experiments.campaign.prepare_campaign_assets`).
+    ``stats_sink``, when given, receives the scorer's
+    :class:`ServiceStats` for telemetry/benchmarks.
+    """
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    ctx = multiprocessing.get_context()
+    n_workers = max(1, min(config.workers, len(tasks)))
+    partitions = [tasks[i::n_workers] for i in range(n_workers)]
+
+    packs: List[SharedArrayPack] = []
+    handles: Dict[str, _ScenarioHandles] = {}
+    models: Dict[str, GONDiscriminator] = {}
+    workers: List = []
+    try:
+        for scenario, assets in shared_assets.items():
+            weight_pack, trace_pack, scenario_handles = _publish_assets(assets)
+            packs.extend((weight_pack, trace_pack))
+            handles[scenario] = scenario_handles
+            # The service replica reads the same shared segment: the
+            # weights exist once on the machine, scorer included.
+            models[scenario] = _mount_gon(
+                weight_pack.arrays, assets.gon_hidden, assets.gon_layers,
+                assets.seed,
+            )
+
+        request_queue = ctx.Queue()
+        reply_queues = {i: ctx.Queue() for i in range(n_workers)}
+        results_queue = ctx.Queue()
+        workers.extend(
+            ctx.Process(
+                target=_fleet_worker_main,
+                args=(
+                    i, partitions[i], handles,
+                    request_queue, reply_queues[i], results_queue,
+                ),
+                daemon=True,
+            )
+            for i in range(n_workers)
+        )
+        for worker in workers:
+            worker.start()
+
+        def worker_crashed() -> bool:
+            return any(
+                not worker.is_alive() and worker.exitcode not in (0, None)
+                for worker in workers
+            )
+
+        service = GONScoringService(
+            models,
+            request_queue,
+            reply_queues,
+            merge_requests=bool(getattr(config, "fleet_merge", False)),
+        )
+        stats = service.serve(abort=worker_crashed)
+        if stats_sink is not None:
+            stats_sink.append(stats)
+
+        records: List[RunRecord] = []
+        deadline = time.monotonic() + _COLLECT_TIMEOUT
+        while len(records) < len(tasks):
+            try:
+                records.append(results_queue.get(timeout=1.0))
+            except queue_module.Empty:
+                # Nothing in flight: a crashed worker can never refill
+                # the queue, so fail fast instead of waiting out the
+                # full timeout (kept as a backstop for silent hangs).
+                if worker_crashed() or time.monotonic() > deadline:
+                    raise RuntimeError(
+                        f"fleet campaign lost records: got {len(records)} "
+                        f"of {len(tasks)} (a worker likely crashed -- "
+                        "check stderr above)"
+                    ) from None
+        for worker in workers:
+            worker.join(timeout=_COLLECT_TIMEOUT)
+        return sorted(records, key=lambda record: record.run_index)
+    finally:
+        # On failure paths (worker crash, lost records) the survivors
+        # are still blocked on their reply queues: tear them down so a
+        # long-lived host process never accumulates stuck children.
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=5.0)
+        for pack in packs:
+            pack.close()
+            pack.unlink()

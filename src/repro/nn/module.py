@@ -96,8 +96,18 @@ class Module:
         """Copy all parameters into a flat ``{path: array}`` dict."""
         return {name: p.data.copy() for name, p in self.named_parameters()}
 
-    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
-        """Load parameters in place; shapes must match exactly."""
+    def load_state_dict(
+        self, state: Dict[str, np.ndarray], copy: bool = True
+    ) -> None:
+        """Load parameters in place; shapes must match exactly.
+
+        ``copy=False`` adopts the incoming arrays directly (zero-copy)
+        when dtype and shape already match -- the path used to mount
+        read-only shared-memory weight views published by
+        :mod:`repro.serving.shared` without duplicating them per
+        process.  Such parameters cannot be trained until replaced with
+        writable copies (see ``FleetScorer`` copy-on-write).
+        """
         own = dict(self.named_parameters())
         missing = set(own) - set(state)
         unexpected = set(state) - set(own)
@@ -107,13 +117,18 @@ class Module:
                 f"unexpected={sorted(unexpected)}"
             )
         for name, parameter in own.items():
-            incoming = np.asarray(state[name], dtype=parameter.data.dtype)
+            incoming = np.asarray(state[name])
             if incoming.shape != parameter.data.shape:
                 raise ValueError(
                     f"shape mismatch for {name!r}: "
                     f"{incoming.shape} vs {parameter.data.shape}"
                 )
-            parameter.data = incoming.copy()
+            if not copy and incoming.dtype == parameter.data.dtype:
+                parameter.data = incoming
+            else:
+                parameter.data = incoming.astype(
+                    parameter.data.dtype, copy=True
+                )
 
     # ------------------------------------------------------------------
     # Introspection used by the memory-footprint experiments (Fig. 5e/6b)

@@ -1,20 +1,45 @@
-"""Persist model state dicts as ``.npz`` archives.
+"""Persist model state dicts as ``.npz`` archives, and export them.
 
 The offline-trained GON is saved once after Algorithm-1 training and
 reloaded by CAROL and the experiment harness; baselines use the same
 mechanism for their surrogates.
+
+Two read-only export paths back the fleet-scale serving layer
+(:mod:`repro.serving`):
+
+* :func:`freeze_state` -- read-only *views* of a state dict, so one
+  process's weights can be handed out without risking mutation;
+* :func:`pack_state` / :func:`unpack_state` -- flatten a state dict
+  into one contiguous buffer plus a picklable manifest, the layout
+  published through ``multiprocessing.shared_memory`` so worker
+  processes mount zero-copy weight views instead of pickled copies.
 """
 
 from __future__ import annotations
 
 import os
-from typing import Dict
+from typing import Dict, List, Tuple
 
 import numpy as np
 
 from .module import Module
 
-__all__ = ["save_state", "load_state", "save_module", "load_module"]
+__all__ = [
+    "save_state",
+    "load_state",
+    "save_module",
+    "load_module",
+    "freeze_state",
+    "pack_state",
+    "unpack_state",
+    "StateManifest",
+]
+
+#: Per-array layout entry: (name, shape, dtype string, byte offset).
+StateManifest = List[Tuple[str, Tuple[int, ...], str, int]]
+
+#: Byte alignment of packed arrays (8 covers every numeric dtype used).
+_ALIGN = 8
 
 
 def save_state(state: Dict[str, np.ndarray], path: str) -> None:
@@ -39,3 +64,60 @@ def load_module(module: Module, path: str) -> Module:
     """Load parameters into ``module`` in place and return it."""
     module.load_state_dict(load_state(path))
     return module
+
+
+def freeze_state(state: Dict[str, np.ndarray]) -> Dict[str, np.ndarray]:
+    """Read-only views of ``state`` (zero-copy weight export).
+
+    The returned arrays share memory with the originals but refuse
+    writes, so they can be mounted into a model with
+    ``load_state_dict(views, copy=False)`` and shared across consumers
+    without defensive copies.
+    """
+    frozen: Dict[str, np.ndarray] = {}
+    for name, array in state.items():
+        view = np.asarray(array).view()
+        view.flags.writeable = False
+        frozen[name] = view
+    return frozen
+
+
+def pack_state(
+    state: Dict[str, np.ndarray]
+) -> Tuple[np.ndarray, StateManifest]:
+    """Flatten a state dict into one byte buffer plus its manifest.
+
+    Arrays are laid out back to back (8-byte aligned, C order, sorted
+    by name so the layout is a pure function of the state).  The
+    manifest is a plain picklable list, cheap to ship to workers; the
+    buffer is what gets published into shared memory.
+    """
+    manifest: StateManifest = []
+    offset = 0
+    arrays = {name: np.ascontiguousarray(state[name]) for name in sorted(state)}
+    for name, array in arrays.items():
+        offset = (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+        manifest.append((name, tuple(array.shape), array.dtype.str, offset))
+        offset += array.nbytes
+    buffer = np.zeros(max(offset, 1), dtype=np.uint8)
+    for (name, _shape, _dtype, start), array in zip(manifest, arrays.values()):
+        buffer[start:start + array.nbytes] = array.view(np.uint8).reshape(-1)
+    return buffer, manifest
+
+
+def unpack_state(
+    buffer, manifest: StateManifest, writeable: bool = False
+) -> Dict[str, np.ndarray]:
+    """Rebuild ``{name: array}`` views into a packed buffer.
+
+    ``buffer`` may be a ``numpy`` array or any buffer-protocol object
+    (e.g. ``multiprocessing.shared_memory.SharedMemory().buf``); the
+    returned arrays are zero-copy views, read-only by default.
+    """
+    state: Dict[str, np.ndarray] = {}
+    for name, shape, dtype, offset in manifest:
+        view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=buffer,
+                          offset=offset)
+        view.flags.writeable = bool(writeable)
+        state[name] = view
+    return state

@@ -1,0 +1,51 @@
+"""``repro.serving`` -- fleet-scale GON scoring infrastructure.
+
+Turns a campaign from "N processes x 1 surrogate each" into "N
+lightweight simulation workers feeding one batched GON scorer", the
+consolidation that sharing one inference stream across federations
+buys (ROADMAP: batched campaign-level inference + shared-memory
+fleets).  The request path::
+
+        ┌────────────────────────── parent process ─────────────────────────┐
+        │  SharedArrayPack: GON weights + trace stacks, published once      │
+        │  GONScoringService: drain -> bucket by (model, n) -> one          │
+        │      generate_metrics_batch / forward_batch per bucket -> reply   │
+        └──────────▲──────────────────────────────┬─────────────────────────┘
+          requests │ (one mp.Queue)               │ replies (one queue per worker)
+        ┌──────────┴───────────┐      ┌───────────▼──────────┐
+        │ worker k: simulation │      │ FleetScorer: ascents │
+        │ + CAROL decision loop│ ───> │ remote @ generation 0,│
+        │ (zero-copy weights)  │      │ local after fine-tune │
+        └──────────────────────┘      └──────────────────────┘
+
+* :mod:`repro.serving.shared` -- one-copy asset publication over
+  ``multiprocessing.shared_memory`` with read-only zero-copy views;
+* :mod:`repro.serving.service` -- the micro-batching scorer loop, the
+  worker-side :class:`ScoringClient`, and :class:`FleetScorer`, the
+  ``repro.core.scoring.SurrogateScorer`` backend CAROL mounts in
+  fleet campaigns (see :mod:`repro.experiments.fleet`).
+"""
+
+from .service import (
+    AscentRequest,
+    ClientDone,
+    ConfidenceRequest,
+    FleetScorer,
+    GONScoringService,
+    ScoringClient,
+    ServiceStats,
+)
+from .shared import AttachedArrayPack, SharedArrayPack, SharedPackHandle
+
+__all__ = [
+    "AscentRequest",
+    "ClientDone",
+    "ConfidenceRequest",
+    "FleetScorer",
+    "GONScoringService",
+    "ScoringClient",
+    "ServiceStats",
+    "AttachedArrayPack",
+    "SharedArrayPack",
+    "SharedPackHandle",
+]

@@ -1,0 +1,453 @@
+"""The fleet scoring service: queue -> bucket -> batched GON ascent.
+
+Many lightweight simulation workers feed one scorer::
+
+    worker 0 ──┐                              ┌─> reply queue 0
+    worker 1 ──┤   requests    ┌───────────┐  ├─> reply queue 1
+       ...     ├─────────────> │  scorer   │──┤      ...
+    worker N ──┘  (one queue)  │  loop     │  └─> reply queue N
+                               └───────────┘
+                 drain up to a micro-batch window,
+                 bucket by (model, n_hosts, gamma, steps),
+                 one generate_metrics_batch / forward_batch
+                 per bucket, replies routed by client id
+
+Each request carries a whole candidate stack (a tabu neighbourhood's
+cache misses); the scorer drains the request queue for a short
+micro-batching window (bounded by ``max_batch_elements`` so latency
+stays bounded), groups compatible requests into buckets and answers
+every bucket with batched GON evaluations on the single resident model
+replica -- the weights live once in shared memory instead of once per
+worker.
+
+Replies are keyed by ``(client, request)``; within a request, results
+are positional in the submitted stack.  Two execution policies:
+
+* ``merge_requests=False`` (default): each request's stack runs as its
+  own vectorized ascent.  Stack shapes are then *identical* to what an
+  in-process scorer would run, which keeps fleet campaign records
+  bit-identical to serial execution (BLAS gemm results vary in the
+  last ulp with the leading dimension, so merging cannot be bitwise).
+* ``merge_requests=True``: all stacks in a bucket concatenate into one
+  ascent -- maximum consolidation, scores equal to the exact path
+  within ~1e-15 (see ``benchmarks/bench_surrogate.py``); decisions are
+  score-argmins, so campaign results almost always still coincide,
+  but the bitwise guarantee is waived.
+"""
+
+from __future__ import annotations
+
+import queue as queue_module
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+import numpy as np
+
+from ..core.features import GONInput
+from ..core.gon import GONDiscriminator
+from ..core.surrogate import SurrogateResult, generate_metrics_batch
+from ..core.training import TrainingConfig, fine_tune
+
+__all__ = [
+    "AscentRequest",
+    "ConfidenceRequest",
+    "ClientDone",
+    "ServiceStats",
+    "GONScoringService",
+    "ScoringClient",
+    "FleetScorer",
+]
+
+
+@dataclass(frozen=True)
+class AscentRequest:
+    """One batched eq.-1 ascent over a ``[B, n, F]`` candidate stack."""
+
+    client_id: int
+    request_id: int
+    model_key: str
+    metrics: np.ndarray      # [B, n, n_m_features] warm starts
+    schedules: np.ndarray    # [B, n, n_s_features]
+    adjacencies: np.ndarray  # [B, n, n]
+    gamma: float
+    max_steps: int
+
+    @property
+    def bucket(self) -> tuple:
+        return (
+            "ascent", self.model_key, self.metrics.shape[1],
+            self.gamma, self.max_steps,
+        )
+
+    @property
+    def n_elements(self) -> int:
+        return int(self.metrics.shape[0])
+
+
+@dataclass(frozen=True)
+class ConfidenceRequest:
+    """Plain ``D(M, S, G)`` forward over a sample stack (no ascent)."""
+
+    client_id: int
+    request_id: int
+    model_key: str
+    metrics: np.ndarray
+    schedules: np.ndarray
+    adjacencies: np.ndarray
+
+    @property
+    def bucket(self) -> tuple:
+        return ("confidence", self.model_key, self.metrics.shape[1])
+
+    @property
+    def n_elements(self) -> int:
+        return int(self.metrics.shape[0])
+
+
+@dataclass(frozen=True)
+class ClientDone:
+    """A worker signing off; the service exits once every client has."""
+
+    client_id: int
+
+
+@dataclass(frozen=True)
+class AscentReply:
+    request_id: int
+    metrics: np.ndarray      # [B, n, F] converged M* stack
+    confidences: np.ndarray  # [B]
+    n_steps: np.ndarray      # [B]
+    converged: np.ndarray    # [B] bool
+
+
+@dataclass(frozen=True)
+class ConfidenceReply:
+    request_id: int
+    confidences: np.ndarray
+
+
+@dataclass
+class ServiceStats:
+    """Scorer-side telemetry (read after :meth:`serve` returns)."""
+
+    n_requests: int = 0
+    n_elements: int = 0
+    n_batches: int = 0
+    #: Elements that ran in a batch merged from >= 2 requests.
+    merged_elements: int = 0
+    #: Per-batch element counts (the consolidation histogram).
+    batch_sizes: List[int] = field(default_factory=list)
+
+
+class GONScoringService:
+    """Single-process scorer answering a fleet's GON evaluations.
+
+    Parameters
+    ----------
+    models:
+        ``model_key -> GONDiscriminator`` -- one resident replica per
+        published weight set (fleet campaigns use one per scenario).
+    request_queue / reply_queues:
+        Any queue objects with the stdlib ``get(timeout)/put`` surface
+        (``multiprocessing.Queue`` across processes, ``queue.Queue``
+        in-process for tests).
+    window_seconds:
+        Micro-batching window: after the first request arrives, how
+        long to keep draining for batch-mates before scoring.
+    max_batch_elements:
+        Stop draining once this many stacked elements are pending
+        (keeps worst-case latency and peak memory bounded).
+    merge_requests:
+        Concatenate compatible stacks into one ascent per bucket (see
+        module docstring for the exactness trade-off).
+    """
+
+    def __init__(
+        self,
+        models: Dict[str, GONDiscriminator],
+        request_queue,
+        reply_queues: Dict[int, object],
+        window_seconds: float = 0.002,
+        max_batch_elements: int = 512,
+        merge_requests: bool = False,
+        poll_seconds: float = 0.5,
+    ) -> None:
+        self.models = models
+        self.request_queue = request_queue
+        self.reply_queues = reply_queues
+        self.window_seconds = window_seconds
+        self.max_batch_elements = max_batch_elements
+        self.merge_requests = merge_requests
+        self.poll_seconds = poll_seconds
+        self.stats = ServiceStats()
+
+    # ------------------------------------------------------------------
+    def serve(self, abort: Optional[Callable[[], bool]] = None) -> ServiceStats:
+        """Score until every registered client has signed off.
+
+        ``abort`` is polled while the queue is idle; returning True
+        raises (used to detect dead workers instead of hanging).
+        """
+        done: set = set()
+        while len(done) < len(self.reply_queues):
+            try:
+                message = self.request_queue.get(timeout=self.poll_seconds)
+            except queue_module.Empty:
+                if abort is not None and abort():
+                    raise RuntimeError(
+                        "scoring service aborted: worker died before "
+                        "signing off"
+                    )
+                continue
+            pending = [message]
+            deadline = time.monotonic() + self.window_seconds
+            while self._pending_elements(pending) < self.max_batch_elements:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                try:
+                    pending.append(self.request_queue.get(timeout=remaining))
+                except queue_module.Empty:
+                    break
+            done.update(self._dispatch(pending))
+        return self.stats
+
+    @staticmethod
+    def _pending_elements(pending: Sequence) -> int:
+        return sum(getattr(m, "n_elements", 0) for m in pending)
+
+    # ------------------------------------------------------------------
+    def _dispatch(self, pending: Sequence) -> set:
+        """Bucket the drained messages, score, reply; returns sign-offs."""
+        signed_off: set = set()
+        buckets: "Dict[tuple, List]" = {}
+        for message in pending:
+            if isinstance(message, ClientDone):
+                signed_off.add(message.client_id)
+                continue
+            buckets.setdefault(message.bucket, []).append(message)
+            self.stats.n_requests += 1
+            self.stats.n_elements += message.n_elements
+
+        for bucket_key, requests in buckets.items():
+            kind = bucket_key[0]
+            if self.merge_requests and len(requests) > 1:
+                self._run_merged(kind, requests)
+            else:
+                for request in requests:
+                    self._run_exact(kind, request)
+        return signed_off
+
+    def _reply(self, request, reply) -> None:
+        self.reply_queues[request.client_id].put(reply)
+
+    # -- exact policy: one evaluation per request ----------------------
+    def _run_exact(self, kind: str, request) -> None:
+        self.stats.n_batches += 1
+        self.stats.batch_sizes.append(request.n_elements)
+        model = self.models[request.model_key]
+        if kind == "ascent":
+            results = generate_metrics_batch(
+                model,
+                request.schedules,
+                request.adjacencies,
+                init_metrics=request.metrics,
+                gamma=request.gamma,
+                max_steps=request.max_steps,
+            )
+            self._reply(request, _ascent_reply(request.request_id, results))
+        else:
+            scores = model.forward_batch(
+                request.metrics, request.schedules, request.adjacencies
+            ).data.copy()
+            self._reply(
+                request, ConfidenceReply(request.request_id, scores)
+            )
+
+    # -- merged policy: one evaluation per bucket ----------------------
+    def _run_merged(self, kind: str, requests: List) -> None:
+        self.stats.n_batches += 1
+        model = self.models[requests[0].model_key]
+        metrics = np.concatenate([r.metrics for r in requests])
+        schedules = np.concatenate([r.schedules for r in requests])
+        adjacencies = np.concatenate([r.adjacencies for r in requests])
+        self.stats.batch_sizes.append(int(metrics.shape[0]))
+        self.stats.merged_elements += int(metrics.shape[0])
+        if kind == "ascent":
+            results = generate_metrics_batch(
+                model,
+                schedules,
+                adjacencies,
+                init_metrics=metrics,
+                gamma=requests[0].gamma,
+                max_steps=requests[0].max_steps,
+            )
+            start = 0
+            for request in requests:
+                chunk = results[start:start + request.n_elements]
+                start += request.n_elements
+                self._reply(request, _ascent_reply(request.request_id, chunk))
+        else:
+            scores = model.forward_batch(
+                metrics, schedules, adjacencies
+            ).data.copy()
+            start = 0
+            for request in requests:
+                chunk = scores[start:start + request.n_elements]
+                start += request.n_elements
+                self._reply(
+                    request, ConfidenceReply(request.request_id, chunk)
+                )
+
+
+def _ascent_reply(
+    request_id: int, results: Sequence[SurrogateResult]
+) -> AscentReply:
+    return AscentReply(
+        request_id=request_id,
+        metrics=np.stack([r.metrics for r in results]),
+        confidences=np.array([r.confidence for r in results]),
+        n_steps=np.array([r.n_steps for r in results], dtype=int),
+        converged=np.array([r.converged for r in results], dtype=bool),
+    )
+
+
+class ScoringClient:
+    """Worker-side stub: submit stacks, block for the keyed reply."""
+
+    def __init__(self, client_id: int, model_key: str,
+                 request_queue, reply_queue) -> None:
+        self.client_id = client_id
+        self.model_key = model_key
+        self.request_queue = request_queue
+        self.reply_queue = reply_queue
+        self._next_request = 0
+
+    def _round_trip(self, request):
+        self.request_queue.put(request)
+        reply = self.reply_queue.get()
+        if reply.request_id != request.request_id:  # pragma: no cover
+            raise RuntimeError(
+                f"reply {reply.request_id} for request "
+                f"{request.request_id}: client protocol violated"
+            )
+        return reply
+
+    def ascent(
+        self,
+        metrics: np.ndarray,
+        schedules: np.ndarray,
+        adjacencies: np.ndarray,
+        gamma: float,
+        max_steps: int,
+    ) -> List[SurrogateResult]:
+        self._next_request += 1
+        reply = self._round_trip(AscentRequest(
+            client_id=self.client_id,
+            request_id=self._next_request,
+            model_key=self.model_key,
+            metrics=np.asarray(metrics, dtype=float),
+            schedules=np.asarray(schedules, dtype=float),
+            adjacencies=np.asarray(adjacencies, dtype=float),
+            gamma=gamma,
+            max_steps=max_steps,
+        ))
+        return [
+            SurrogateResult(
+                metrics=reply.metrics[i],
+                confidence=float(reply.confidences[i]),
+                n_steps=int(reply.n_steps[i]),
+                converged=bool(reply.converged[i]),
+            )
+            for i in range(reply.metrics.shape[0])
+        ]
+
+    def confidences(
+        self,
+        metrics: np.ndarray,
+        schedules: np.ndarray,
+        adjacencies: np.ndarray,
+    ) -> np.ndarray:
+        self._next_request += 1
+        reply = self._round_trip(ConfidenceRequest(
+            client_id=self.client_id,
+            request_id=self._next_request,
+            model_key=self.model_key,
+            metrics=np.asarray(metrics, dtype=float),
+            schedules=np.asarray(schedules, dtype=float),
+            adjacencies=np.asarray(adjacencies, dtype=float),
+        ))
+        return reply.confidences
+
+    def close(self) -> None:
+        """Sign off; the service exits once every client has."""
+        self.request_queue.put(ClientDone(self.client_id))
+
+
+class FleetScorer:
+    """CAROL scorer routing ascents to the shared scoring service.
+
+    Implements the :class:`repro.core.scoring.SurrogateScorer` surface:
+
+    * **ascent** -- forwarded to the service while this replica still
+      equals the published generation-0 weights, so concurrent
+      federations consolidate into one batched GON stream;
+    * **confidence** -- computed locally on the zero-copy shared
+      weight views (a single forward; cheaper than a queue round-trip
+      and bitwise-identical to in-process execution);
+    * **fine_tune** -- copy-on-write divergence: the read-only shared
+      parameters are materialised into private writable arrays, the
+      fine-tune runs locally, and every later evaluation stays local
+      (the replica no longer matches the fleet's published weights).
+    """
+
+    def __init__(self, client: ScoringClient, model: GONDiscriminator) -> None:
+        self.client = client
+        self.model = model
+        self.generation = 0
+
+    def ascent(
+        self,
+        metrics: np.ndarray,
+        schedules: np.ndarray,
+        adjacencies: np.ndarray,
+        gamma: float,
+        max_steps: int,
+    ) -> List[SurrogateResult]:
+        if self.generation == 0:
+            return self.client.ascent(
+                metrics, schedules, adjacencies, gamma, max_steps
+            )
+        return generate_metrics_batch(
+            self.model,
+            schedules,
+            adjacencies,
+            init_metrics=metrics,
+            gamma=gamma,
+            max_steps=max_steps,
+        )
+
+    def confidence(self, sample: GONInput) -> float:
+        return self.model.score(sample)
+
+    def fine_tune(
+        self,
+        samples: Sequence[GONInput],
+        config: Optional[TrainingConfig],
+        iterations: int,
+        rng: np.random.Generator,
+    ) -> float:
+        if self.generation == 0:
+            # Copy-on-write: shared views are read-only by design.
+            for parameter in self.model.parameters():
+                parameter.data = np.array(parameter.data)
+        loss = fine_tune(
+            self.model,
+            list(samples),
+            config=config,
+            iterations=iterations,
+            rng=rng,
+        )
+        self.generation += 1
+        return loss

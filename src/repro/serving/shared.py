@@ -1,0 +1,106 @@
+"""Shared-memory publication of fleet assets (weights, traces).
+
+One process packs a dict of named arrays into a single
+``multiprocessing.shared_memory`` segment; any number of worker
+processes attach *read-only zero-copy views* onto it.  This replaces
+the per-worker pickled copies a process pool pays for large assets:
+the GON weight matrices and the offline trace stacks are materialised
+exactly once per machine, whatever the fleet size.
+
+Layout and manifests come from :func:`repro.nn.serialization.pack_state`
+/ :func:`~repro.nn.serialization.unpack_state`, so anything expressible
+as a ``{name: ndarray}`` dict ships the same way.
+
+Lifecycle: the owner keeps the :class:`SharedArrayPack` alive for the
+campaign and calls :meth:`SharedArrayPack.unlink` when done; workers
+wrap attachment in :class:`AttachedArrayPack` (a context manager) and
+merely :meth:`AttachedArrayPack.close` their mapping.
+"""
+
+from __future__ import annotations
+
+import secrets
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..nn.serialization import pack_state, unpack_state
+
+__all__ = ["SharedPackHandle", "SharedArrayPack", "AttachedArrayPack"]
+
+
+@dataclass(frozen=True)
+class SharedPackHandle:
+    """Picklable pointer to a published pack: segment name + layout."""
+
+    shm_name: str
+    nbytes: int
+    manifest: Tuple[Tuple[str, Tuple[int, ...], str, int], ...]
+
+
+class SharedArrayPack:
+    """Owner side: publish ``{name: array}`` into one shared segment."""
+
+    def __init__(self, arrays: Mapping[str, np.ndarray],
+                 name: Optional[str] = None) -> None:
+        buffer, manifest = pack_state(dict(arrays))
+        shm_name = name or f"repro-pack-{secrets.token_hex(8)}"
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=buffer.nbytes, name=shm_name
+        )
+        # Write straight from the packed array's memory -- no
+        # intermediate bytes copy of the (potentially large) pack.
+        self._shm.buf[:buffer.nbytes] = buffer.data
+        self.handle = SharedPackHandle(
+            shm_name=self._shm.name,
+            nbytes=buffer.nbytes,
+            manifest=tuple(manifest),
+        )
+        #: Read-only views into the segment (usable by the owner too,
+        #: e.g. the scoring service mounts its model from these).
+        self.arrays: Dict[str, np.ndarray] = unpack_state(
+            self._shm.buf, list(manifest)
+        )
+
+    def close(self) -> None:
+        """Drop this process's mapping (views become invalid)."""
+        self.arrays = {}
+        self._shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment system-wide (owner's responsibility)."""
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - double unlink
+            pass
+
+
+class AttachedArrayPack:
+    """Worker side: read-only zero-copy views of a published pack."""
+
+    def __init__(self, handle: SharedPackHandle) -> None:
+        self.handle = handle
+        # Note on the resource tracker: attaching registers the segment
+        # too (until 3.13's ``track=False``).  Under the fork start
+        # method -- the default on Linux, and what the fleet runner
+        # uses -- children share the parent's tracker, so the extra
+        # registration is a set no-op and the owner's ``unlink`` keeps
+        # working.  Under spawn, a worker's private tracker may unlink
+        # the *name* early at worker exit; existing mappings (ours and
+        # the parent's) survive, so campaigns still complete.
+        self._shm = shared_memory.SharedMemory(name=handle.shm_name)
+        self.arrays: Dict[str, np.ndarray] = unpack_state(
+            self._shm.buf, list(handle.manifest)
+        )
+
+    def __enter__(self) -> "AttachedArrayPack":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        self.arrays = {}
+        self._shm.close()

@@ -1,0 +1,541 @@
+"""Fleet serving stack: shared memory, scoring service, persistent cache.
+
+Covers the PR-3 subsystems end to end:
+
+* read-only state export and zero-copy loading (``repro.nn``);
+* shared-memory array packs (publish / attach / unlink);
+* the bucketed scoring service -- exact-policy results bitwise equal
+  to in-process scoring, merged policy equal to tight tolerance;
+* ``FleetScorer`` copy-on-write divergence on fine-tune;
+* CAROL's persistent surrogate cache: counters monotone, entries
+  reused across intervals, full invalidation exactly when fine-tuning
+  fires, capacity-bounded eviction, both cache scopes;
+* fleet-mode campaigns bit-identical to serial execution.
+"""
+
+import queue
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    CAROL,
+    CAROLConfig,
+    GONDiscriminator,
+    GONInput,
+    LocalScorer,
+    TrainingConfig,
+)
+from repro.core.surrogate import generate_metrics_batch
+from repro.nn.serialization import freeze_state, pack_state, unpack_state
+from repro.serving import (
+    AttachedArrayPack,
+    FleetScorer,
+    GONScoringService,
+    ScoringClient,
+    SharedArrayPack,
+)
+from repro.simulator import EdgeFederation
+from repro.simulator.detection import FailureReport
+
+
+# ----------------------------------------------------------------------
+# nn-layer export primitives
+# ----------------------------------------------------------------------
+class TestStateExport:
+    def test_pack_unpack_roundtrip(self, rng):
+        state = {
+            "a.weight": rng.standard_normal((3, 5)),
+            "a.bias": rng.standard_normal(5),
+            "b": np.arange(7, dtype=np.int64),
+        }
+        buffer, manifest = pack_state(state)
+        views = unpack_state(buffer, manifest)
+        assert set(views) == set(state)
+        for name in state:
+            assert np.array_equal(views[name], state[name])
+            assert views[name].dtype == state[name].dtype
+            assert not views[name].flags.writeable
+
+    def test_pack_layout_is_name_order_invariant(self, rng):
+        a, b = rng.standard_normal(4), rng.standard_normal((2, 2))
+        buffer_1, manifest_1 = pack_state({"x": a, "y": b})
+        buffer_2, manifest_2 = pack_state({"y": b, "x": a})
+        assert manifest_1 == manifest_2
+        assert np.array_equal(buffer_1, buffer_2)
+
+    def test_freeze_state_views_are_read_only(self, rng):
+        state = {"w": rng.standard_normal((2, 2))}
+        frozen = freeze_state(state)
+        assert not frozen["w"].flags.writeable
+        with pytest.raises(ValueError):
+            frozen["w"][0, 0] = 1.0
+        # Zero-copy: the view shares the original's memory.
+        state["w"][0, 0] = 42.0
+        assert frozen["w"][0, 0] == 42.0
+
+    def test_load_state_dict_zero_copy(self, rng):
+        model = GONDiscriminator(rng, hidden=8, n_layers=2)
+        donor = GONDiscriminator(np.random.default_rng(5), hidden=8, n_layers=2)
+        frozen = freeze_state(donor.state_dict())
+        model.load_state_dict(frozen, copy=False)
+        for name, parameter in model.named_parameters():
+            # Adopted directly: the read-only donor view, not a copy.
+            assert not parameter.data.flags.writeable
+            assert parameter.data is frozen[name]
+        # state_dict() still hands out private copies of the views.
+        first = next(iter(frozen))
+        assert model.state_dict()[first] is not frozen[first]
+
+
+# ----------------------------------------------------------------------
+# Shared-memory packs
+# ----------------------------------------------------------------------
+class TestSharedArrayPack:
+    def test_publish_attach_roundtrip(self, rng):
+        arrays = {"m": rng.standard_normal((4, 6)), "v": np.arange(3.0)}
+        pack = SharedArrayPack(arrays)
+        try:
+            attached = AttachedArrayPack(pack.handle)
+            try:
+                for name in arrays:
+                    assert np.array_equal(attached.arrays[name], arrays[name])
+                    assert not attached.arrays[name].flags.writeable
+            finally:
+                attached.close()
+        finally:
+            pack.close()
+            pack.unlink()
+
+    def test_owner_views_share_the_segment(self, rng):
+        pack = SharedArrayPack({"w": rng.standard_normal(8)})
+        try:
+            assert not pack.arrays["w"].flags.writeable
+            assert pack.arrays["w"].nbytes == 64
+        finally:
+            pack.close()
+            pack.unlink()
+
+
+# ----------------------------------------------------------------------
+# Scoring service (in-process: plain queues + a thread)
+# ----------------------------------------------------------------------
+@pytest.fixture
+def service_setup(trained_gon):
+    request_queue, reply_queue = queue.Queue(), queue.Queue()
+
+    def start(merge_requests=False):
+        service = GONScoringService(
+            {"scenario": trained_gon},
+            request_queue,
+            {0: reply_queue},
+            merge_requests=merge_requests,
+        )
+        thread = threading.Thread(target=service.serve, daemon=True)
+        thread.start()
+        client = ScoringClient(0, "scenario", request_queue, reply_queue)
+        return service, thread, client
+
+    return start
+
+
+def _stacks(samples):
+    return (
+        np.stack([s.metrics for s in samples]),
+        np.stack([s.schedule for s in samples]),
+        np.stack([s.adjacency for s in samples]),
+    )
+
+
+class TestScoringService:
+    def test_exact_policy_bitwise_equals_local(
+        self, service_setup, trained_gon, session_samples
+    ):
+        _service, thread, client = service_setup()
+        metrics, schedules, adjacencies = _stacks(session_samples[:6])
+        remote = client.ascent(metrics, schedules, adjacencies,
+                               gamma=1e-2, max_steps=5)
+        local = generate_metrics_batch(
+            trained_gon, schedules, adjacencies, init_metrics=metrics,
+            gamma=1e-2, max_steps=5,
+        )
+        for r, l in zip(remote, local):
+            assert np.array_equal(r.metrics, l.metrics)
+            assert r.confidence == l.confidence
+            assert r.n_steps == l.n_steps
+            assert r.converged == l.converged
+        client.close()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def test_confidence_requests(self, service_setup, trained_gon,
+                                 session_samples):
+        _service, thread, client = service_setup()
+        metrics, schedules, adjacencies = _stacks(session_samples[:4])
+        remote = client.confidences(metrics, schedules, adjacencies)
+        local = trained_gon.forward_batch(
+            metrics, schedules, adjacencies
+        ).data
+        assert np.array_equal(remote, local)
+        client.close()
+        thread.join(timeout=10)
+
+    def test_merged_policy_matches_to_tolerance(
+        self, trained_gon, session_samples
+    ):
+        # Both clients are registered before serve() starts, so the
+        # service cannot wind down until each has signed off -- no
+        # startup race -- and two concurrent requests genuinely merge.
+        request_queue = queue.Queue()
+        replies = {0: queue.Queue(), 1: queue.Queue()}
+        service = GONScoringService(
+            {"scenario": trained_gon}, request_queue, replies,
+            merge_requests=True,
+        )
+        thread = threading.Thread(target=service.serve, daemon=True)
+        thread.start()
+        client = ScoringClient(0, "scenario", request_queue, replies[0])
+        metrics, schedules, adjacencies = _stacks(session_samples[:4])
+        other = {}
+
+        def second_client():
+            peer = ScoringClient(1, "scenario", request_queue, replies[1])
+            other["result"] = peer.ascent(
+                metrics, schedules, adjacencies, gamma=1e-2, max_steps=5
+            )
+            peer.close()
+
+        peer_thread = threading.Thread(target=second_client, daemon=True)
+        peer_thread.start()
+        mine = client.ascent(metrics, schedules, adjacencies,
+                             gamma=1e-2, max_steps=5)
+        peer_thread.join(timeout=10)
+        assert "result" in other
+        local = generate_metrics_batch(
+            trained_gon, schedules, adjacencies, init_metrics=metrics,
+            gamma=1e-2, max_steps=5,
+        )
+        for result_set in (mine, other["result"]):
+            for r, l in zip(result_set, local):
+                np.testing.assert_allclose(
+                    r.metrics, l.metrics, rtol=1e-9, atol=1e-12
+                )
+                np.testing.assert_allclose(
+                    r.confidence, l.confidence, rtol=1e-9, atol=1e-12
+                )
+        client.close()
+        thread.join(timeout=10)
+        stats = service.stats
+        assert stats.n_requests == 2
+        assert stats.n_elements == 8
+
+    def test_service_stats_track_elements(self, service_setup,
+                                          session_samples):
+        service, thread, client = service_setup()
+        metrics, schedules, adjacencies = _stacks(session_samples[:3])
+        client.ascent(metrics, schedules, adjacencies, gamma=1e-2, max_steps=2)
+        client.confidences(metrics, schedules, adjacencies)
+        client.close()
+        thread.join(timeout=10)
+        assert service.stats.n_requests == 2
+        assert service.stats.n_elements == 6
+        assert service.stats.n_batches == 2
+
+
+class TestFleetScorer:
+    def test_copy_on_write_divergence(self, service_setup, trained_gon,
+                                      session_samples):
+        _service, thread, client = service_setup()
+        replica = GONDiscriminator(np.random.default_rng(9), hidden=16,
+                                   n_layers=2)
+        replica.load_state_dict(
+            freeze_state(trained_gon.state_dict()), copy=False
+        )
+        scorer = FleetScorer(client, replica)
+        assert scorer.generation == 0
+        assert not replica.parameters()[0].data.flags.writeable
+
+        sample = session_samples[0]
+        assert scorer.confidence(sample) == trained_gon.score(sample)
+
+        scorer.fine_tune(
+            session_samples[:6],
+            TrainingConfig(epochs=1, generation_steps=2, seed=0),
+            iterations=1,
+            rng=np.random.default_rng(0),
+        )
+        assert scorer.generation == 1
+        assert replica.parameters()[0].data.flags.writeable
+        # The published weights must be untouched by the divergence.
+        assert np.array_equal(
+            trained_gon.parameters()[0].data,
+            freeze_state(trained_gon.state_dict())[
+                next(iter(trained_gon.state_dict()))
+            ],
+        )
+        # Post-divergence ascents run locally (no service round-trip).
+        metrics, schedules, adjacencies = _stacks(session_samples[:2])
+        local = scorer.ascent(metrics, schedules, adjacencies,
+                              gamma=1e-2, max_steps=2)
+        assert len(local) == 2
+        client.close()
+        thread.join(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# Persistent surrogate cache
+# ----------------------------------------------------------------------
+def _fresh_carol(trained_gon, **config_overrides):
+    gon = trained_gon.clone_architecture(np.random.default_rng(0))
+    gon.load_state_dict(trained_gon.state_dict())
+    defaults = dict(
+        surrogate_steps=3, tabu_iterations=2, tabu_patience=1,
+        neighbourhood_sample=6, pot_calibration=5, min_buffer=2, seed=0,
+    )
+    defaults.update(config_overrides)
+    return CAROL(gon, 0.5, 0.5, CAROLConfig(**defaults))
+
+
+def _healthy_interval(small_config):
+    federation = EdgeFederation(small_config)
+    federation.begin_interval()
+    federation.set_topology(federation.propose_topology())
+    federation.run_interval()
+    report = federation.begin_interval()
+    proposal = federation.propose_topology()
+    healthy = FailureReport(
+        interval=report.interval, failed_brokers=(), failed_workers=(),
+        detection_delay_seconds=0.0,
+    )
+    return federation, healthy, proposal
+
+
+class TestPersistentCache:
+    def test_counters_monotone_within_quiet_interval(
+        self, trained_gon, small_config
+    ):
+        carol = _fresh_carol(trained_gon)
+        federation, healthy, proposal = _healthy_interval(small_config)
+        diag = carol.diagnostics
+
+        carol.repair(federation.view, healthy, proposal)
+        h1, m1 = diag.cache_hits, diag.cache_misses
+        assert m1 > 0 and diag.cache_evictions == 0
+
+        # Same context, same slate: everything is served from cache,
+        # and the counters only ever move up.
+        carol.repair(federation.view, healthy, proposal)
+        assert diag.cache_misses == m1
+        assert diag.cache_hits > h1
+        assert diag.tabu_evaluations[-1] == 0  # no fresh ascents
+
+    def test_context_scope_misses_on_new_context(
+        self, trained_gon, small_config
+    ):
+        carol = _fresh_carol(trained_gon)
+        federation, healthy, proposal = _healthy_interval(small_config)
+        carol.repair(federation.view, healthy, proposal)
+        misses = carol.diagnostics.cache_misses
+        # A perturbed observation changes the context hash: exact
+        # scope must re-score rather than serve stale entries.
+        federation.view.last_metrics.host_metrics[0, 0] += 0.25
+        carol.repair(federation.view, healthy, proposal)
+        assert carol.diagnostics.cache_misses > misses
+
+    def test_generation_scope_survives_context_drift(
+        self, trained_gon, small_config
+    ):
+        carol = _fresh_carol(trained_gon, score_cache_scope="generation")
+        federation, healthy, proposal = _healthy_interval(small_config)
+        carol.repair(federation.view, healthy, proposal)
+        misses = carol.diagnostics.cache_misses
+        federation.view.last_metrics.host_metrics[0, 0] += 0.25
+        carol.repair(federation.view, healthy, proposal)
+        # Topology keys unchanged -> all hits despite the drift.
+        assert carol.diagnostics.cache_misses == misses
+
+    def test_invalidation_exactly_when_fine_tune_fires(
+        self, trained_gon, small_config
+    ):
+        carol = _fresh_carol(trained_gon)
+        federation = EdgeFederation(small_config)
+        flushed_sizes = []
+        for _ in range(10):
+            report = federation.begin_interval()
+            proposal = federation.propose_topology()
+            topology = carol.repair(federation.view, report, proposal)
+            federation.set_topology(topology)
+            metrics = federation.run_interval()
+            entries_before = len(carol._score_cache)
+            evictions_before = carol.diagnostics.cache_evictions
+            carol.observe(metrics, federation.view)
+            if carol.diagnostics.fine_tuned[-1]:
+                # The POT gate opened: full flush, counted as evictions.
+                assert len(carol._score_cache) == 0
+                assert (
+                    carol.diagnostics.cache_evictions
+                    == evictions_before + entries_before
+                )
+                flushed_sizes.append(entries_before)
+            else:
+                # No model change: every entry survives observe().
+                assert len(carol._score_cache) == entries_before
+                assert (
+                    carol.diagnostics.cache_evictions == evictions_before
+                )
+        # The POT gate genuinely opens on this seeded run: the flush
+        # path above was exercised, not vacuously skipped.
+        assert carol.diagnostics.n_fine_tunes == len(flushed_sizes) >= 1
+
+    def test_capacity_eviction_is_fifo_and_counted(
+        self, trained_gon, small_config
+    ):
+        carol = _fresh_carol(trained_gon, score_cache_capacity=3)
+        federation, healthy, proposal = _healthy_interval(small_config)
+        carol.repair(federation.view, healthy, proposal)
+        assert len(carol._score_cache) <= 3
+        assert carol.diagnostics.cache_evictions > 0
+
+    def test_scope_validation(self):
+        with pytest.raises(ValueError, match="score_cache_scope"):
+            CAROLConfig(score_cache_scope="telepathy")
+
+    def test_local_scorer_generation_tracks_fine_tunes(
+        self, trained_gon, session_samples
+    ):
+        scorer = LocalScorer(trained_gon.clone_architecture(
+            np.random.default_rng(1)
+        ))
+        assert scorer.generation == 0
+        scorer.fine_tune(
+            session_samples[:4],
+            TrainingConfig(epochs=1, generation_steps=2, seed=0),
+            iterations=1,
+            rng=np.random.default_rng(0),
+        )
+        assert scorer.generation == 1
+
+    def test_tabu_passes_keys_to_batched_objective(self, small_topology):
+        from repro.core.tabu import batched_objective, tabu_search
+        from repro.core.nodeshift import neighbours
+
+        seen_keys = []
+
+        @batched_objective
+        def objective(candidates, keys=None):
+            seen_keys.append(keys)
+            return [float(len(c.brokers)) for c in candidates]
+
+        result = tabu_search(
+            small_topology, objective, neighbours,
+            tabu_size=10, max_iterations=2, patience=1,
+        )
+        assert all(keys is not None for keys in seen_keys)
+        for candidates_keys in seen_keys[1:]:
+            assert all(isinstance(k, tuple) for k in candidates_keys)
+        assert result.best_key == result.best.canonical_key()
+
+
+# ----------------------------------------------------------------------
+# Fleet campaigns
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def tiny_fleet_grid():
+    from repro.experiments import fleet_ci_campaign_config
+
+    return fleet_ci_campaign_config(workers=2)
+
+
+@pytest.fixture(scope="module")
+def tiny_fleet_assets(tiny_fleet_grid):
+    from repro.experiments import prepare_campaign_assets
+
+    return prepare_campaign_assets(tiny_fleet_grid)
+
+
+class TestFleetCampaign:
+    def test_fleet_mode_bit_identical_to_serial(
+        self, tiny_fleet_grid, tiny_fleet_assets
+    ):
+        from dataclasses import replace
+
+        from repro.experiments import run_campaign
+
+        serial = run_campaign(
+            replace(tiny_fleet_grid, mode="process", workers=1),
+            prepared_assets=tiny_fleet_assets,
+        )
+        fleet = run_campaign(
+            tiny_fleet_grid, prepared_assets=tiny_fleet_assets
+        )
+        assert serial.rows() == fleet.rows()
+
+    def test_fleet_mode_matches_process_pool(
+        self, tiny_fleet_grid, tiny_fleet_assets
+    ):
+        from dataclasses import replace
+
+        from repro.experiments import run_campaign
+
+        pool = run_campaign(
+            replace(tiny_fleet_grid, mode="process", workers=2),
+            prepared_assets=tiny_fleet_assets,
+        )
+        fleet = run_campaign(
+            tiny_fleet_grid, prepared_assets=tiny_fleet_assets
+        )
+        assert pool.rows() == fleet.rows()
+
+    def test_fleet_service_actually_scores(
+        self, tiny_fleet_grid, tiny_fleet_assets
+    ):
+        from repro.experiments.campaign import plan_tasks
+        from repro.experiments.fleet import run_fleet_campaign
+
+        sink = []
+        records = run_fleet_campaign(
+            tiny_fleet_grid, plan_tasks(tiny_fleet_grid),
+            tiny_fleet_assets, stats_sink=sink,
+        )
+        assert len(records) == 2
+        assert sink[0].n_requests > 0
+        assert sink[0].n_elements > 0
+
+    def test_fleet_implies_shared_assets(self):
+        from repro.experiments import CampaignConfig
+
+        config = CampaignConfig(
+            scenarios=("fault-free",), models=("dyverse",), mode="fleet"
+        )
+        assert config.shared_assets
+
+    def test_mode_validation(self):
+        from repro.experiments import CampaignConfig
+
+        with pytest.raises(ValueError, match="mode"):
+            CampaignConfig(
+                scenarios=("fault-free",), models=("dyverse",),
+                mode="quantum",
+            )
+
+    def test_fleet_heuristic_models_need_no_assets(self):
+        from repro.experiments import CampaignConfig, run_campaign
+
+        result = run_campaign(CampaignConfig(
+            scenarios=("fault-free",), models=("dyverse",),
+            n_intervals=2, workers=2, mode="fleet",
+        ))
+        assert len(result.records) == 1
+
+    def test_shared_asset_preparation_is_deterministic(
+        self, tiny_fleet_grid, tiny_fleet_assets
+    ):
+        from repro.experiments import prepare_campaign_assets
+
+        again = prepare_campaign_assets(tiny_fleet_grid)
+        for scenario, assets in tiny_fleet_assets.items():
+            other = again[scenario]
+            assert assets.seed == other.seed
+            for name, array in assets.gon_state.items():
+                assert np.array_equal(array, other.gon_state[name])
