@@ -100,9 +100,15 @@ def run_legacy(args: argparse.Namespace) -> dict:
 # --fleet: process-pool vs fleet-batched CAROL campaigns
 # ----------------------------------------------------------------------
 def fleet_grid(args: argparse.Namespace) -> CampaignConfig:
+    # --proactive sweeps the §VI scheme instead of reactive CAROL; its
+    # aggressive fine-tuning makes the fleet numbers lean on the
+    # scoring service's per-client weight overlays.  The POT gate is
+    # opened early (carol_overrides) so the overlay path is actually
+    # on the timed path, not just configured.
+    proactive = getattr(args, "proactive", False)
     return CampaignConfig(
         scenarios=("paper-default",),
-        models=("carol",),
+        models=("carol-proactive",) if proactive else ("carol",),
         n_seeds=args.runs,
         workers=args.workers,
         seed=1,
@@ -111,6 +117,9 @@ def fleet_grid(args: argparse.Namespace) -> CampaignConfig:
         gon_hidden=args.gon_hidden,
         gon_layers=args.gon_layers,
         gon_epochs=args.gon_epochs,
+        carol_overrides=(
+            (("pot_calibration", 5), ("min_buffer", 2)) if proactive else ()
+        ),
     )
 
 
@@ -118,8 +127,9 @@ def run_fleet_bench(args: argparse.Namespace) -> dict:
     process_config = fleet_grid(args)
     fleet_config = replace(process_config, mode="fleet", shared_assets=True)
     shared_config = replace(process_config, shared_assets=True)
+    model_name = process_config.models[0]
     print(
-        f"\n-- fleet bench: {process_config.n_seeds} x CAROL on "
+        f"\n-- fleet bench: {process_config.n_seeds} x {model_name} on "
         f"paper-default, {process_config.n_intervals} intervals, "
         f"GON {process_config.gon_hidden}x{process_config.gon_layers}, "
         f"{process_config.workers} workers --"
@@ -172,15 +182,30 @@ def run_fleet_bench(args: argparse.Namespace) -> dict:
     speedup = pr1_seconds / max(fleet_total, 1e-9)
     exec_speedup = shared_seconds / max(fleet_seconds, 1e-9)
     stats = stats_sink[0]
+    # Degradation telemetry: with overlays on, no fleet run may fall
+    # back to worker-local scoring, however often it fine-tuned.
+    fallbacks = sum(
+        r.diagnostics.get("local_fallbacks", 0) for r in fleet_records
+    )
+    overlays = sum(
+        r.diagnostics.get("overlay_installs", 0) for r in fleet_records
+    )
+    assert fallbacks == 0, (
+        f"{fallbacks} fleet ascents degraded to worker-local scoring"
+    )
     print(
         f"speedup vs PR-1 path: {speedup:.2f}x end-to-end "
         f"({exec_speedup:.2f}x exec-only vs process/shared); "
         f"service saw {stats.n_requests} requests / "
-        f"{stats.n_elements} stacked candidates"
+        f"{stats.n_elements} stacked candidates; "
+        f"{overlays} weight overlays installed, {fallbacks} local fallbacks"
     )
 
     return {
         "scenario": "paper-default",
+        "model": model_name,
+        "local_fallbacks": fallbacks,
+        "overlay_installs": overlays,
         "n_runs": process_config.n_seeds,
         "workers": process_config.workers,
         "n_intervals": process_config.n_intervals,
@@ -299,9 +324,23 @@ def run_cache_bench(args: argparse.Namespace) -> dict:
 
 # ----------------------------------------------------------------------
 def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        epilog=(
+            "examples: "
+            "`bench_campaign.py --fleet` times reactive CAROL; "
+            "`bench_campaign.py --fleet --proactive` sweeps the §VI "
+            "ProactiveCAROL scheme through the scoring service, with "
+            "per-client weight overlays keeping fine-tuned runs in "
+            "the consolidated stream (zero local fallbacks asserted)."
+        ),
+    )
     parser.add_argument("--fleet", action="store_true",
                         help="run the process-vs-fleet CAROL head-to-head")
+    parser.add_argument("--proactive", action="store_true",
+                        help="fleet bench sweeps CAROL-Proactive instead "
+                             "of reactive CAROL (POT gate opened early so "
+                             "fine-tuning + overlays are on the timed path)")
     parser.add_argument("--quick", action="store_true",
                         help="reduced sizes for CI smoke")
     parser.add_argument("--runs", type=int, default=8,
@@ -321,9 +360,16 @@ def main(argv=None) -> int:
     parser.add_argument("--json", type=str, default="BENCH_campaign.json",
                         help="write machine-readable results here")
     args = parser.parse_args(argv)
+    if args.proactive:
+        # The proactive sweep is a fleet-bench variant.
+        args.fleet = True
     if args.quick:
         args.runs = min(args.runs, 8)
-        args.intervals = min(args.intervals, 4)
+        # The POT gate needs >= pot_calibration (floor 5) observations
+        # before it can open: the proactive quick bench keeps enough
+        # intervals that fine-tuning -- and therefore the overlay path
+        # -- genuinely lands on the timed path.
+        args.intervals = min(args.intervals, 6 if args.proactive else 4)
         args.trace_intervals = min(args.trace_intervals, 16)
         args.gon_hidden = min(args.gon_hidden, 12)
         args.gon_epochs = min(args.gon_epochs, 2)

@@ -9,7 +9,6 @@ fraction of intervals that actually triggered fine-tuning.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.experiments import Fig2Config, format_fig2, run_fig2
 

@@ -8,7 +8,6 @@ falls, MSE falls, confidence rises, convergence within ~30 epochs.
 from __future__ import annotations
 
 import numpy as np
-import pytest
 
 from repro.core import GONDiscriminator, TrainingConfig, train_gon
 from repro.experiments import format_fig4

@@ -23,7 +23,6 @@ from repro.experiments import (
     headline_deltas,
     run_fig5,
 )
-from repro.experiments.fig5_comparison import METRIC_PANELS
 from repro.experiments.report import format_relative_table
 
 from conftest import bench_config

@@ -1,0 +1,196 @@
+"""CI bench regression gate: compare fresh BENCH_*.json to a baseline.
+
+The benches (``bench_surrogate.py``, ``bench_campaign.py``) emit
+machine-readable JSON.  This gate keeps two classes of regression out
+of main without turning CI into a flaky timing oracle:
+
+* **Speedup collapse** -- every numeric key containing ``speedup`` is
+  a ratio of two timings measured on the *same* box in the *same* job,
+  so it is far more stable than raw wall-clock.  The gate fails only
+  when a fresh ratio drops below ``baseline / tolerance`` (default
+  tolerance 2.0, i.e. a >2x relative slowdown) -- generous enough for
+  noisy CI runners, tight enough to catch "the batched path silently
+  became the slow path".
+* **Parity breakage** -- boolean keys such as ``bit_identical_*`` or
+  ``*_equal_*`` assert exactness contracts (fleet == serial records,
+  batched == sequential scores).  Any ``false`` in a fresh result
+  fails immediately; there is no tolerance on correctness.
+
+Keys present in the baseline but missing from a fresh result (or vice
+versa) are reported but do not fail: bench grids evolve across PRs,
+and the gate should never force a lockstep baseline refresh for an
+additive change.
+
+Usage::
+
+    # gate (CI): compare fresh results against the committed baseline
+    python benchmarks/check_regression.py --baseline BENCH_baseline.json \
+        BENCH_surrogate.json BENCH_campaign.json
+
+    # refresh the committed baseline from fresh quick-mode results
+    python benchmarks/check_regression.py --baseline BENCH_baseline.json \
+        --write-baseline BENCH_surrogate.json BENCH_campaign.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Iterator, List, Tuple
+
+DEFAULT_TOLERANCE = 2.0
+
+#: Numeric keys matching this substring are tracked speedup ratios.
+SPEEDUP_MARKER = "speedup"
+#: Boolean keys matching any of these substrings are parity contracts.
+PARITY_MARKERS = ("bit_identical", "identical", "parity", "_equal")
+#: ...except keys about merged-bucket execution: the serving layer
+#: explicitly waives the bitwise guarantee there (scores match only to
+#: ~1e-15, see repro/serving/service.py), so benches report the
+#: observed equality as telemetry, not as a contract the gate may
+#: turn into a hard failure.
+PARITY_WAIVED_MARKERS = ("merged",)
+
+
+def _walk(payload, prefix: str = "") -> Iterator[Tuple[str, object]]:
+    """Yield ``(dotted.path, leaf)`` for every leaf of a JSON tree."""
+    if isinstance(payload, dict):
+        for key, value in payload.items():
+            yield from _walk(value, f"{prefix}{key}." if prefix else f"{key}.")
+    elif isinstance(payload, list):
+        for index, value in enumerate(payload):
+            yield from _walk(value, f"{prefix}{index}.")
+    else:
+        yield prefix.rstrip("."), payload
+
+
+def extract(payload) -> Dict[str, Dict[str, object]]:
+    """Pull the gated values out of one bench result tree."""
+    speedups: Dict[str, float] = {}
+    parity: Dict[str, bool] = {}
+    for path, value in _walk(payload):
+        key = path.rsplit(".", 1)[-1].lower()
+        if isinstance(value, bool):
+            if any(marker in key for marker in PARITY_MARKERS) and not any(
+                marker in key for marker in PARITY_WAIVED_MARKERS
+            ):
+                parity[path] = value
+        elif isinstance(value, (int, float)):
+            if SPEEDUP_MARKER in key:
+                speedups[path] = float(value)
+    return {"speedups": speedups, "parity": parity}
+
+
+def _load(path: str):
+    with open(path) as source:
+        return json.load(source)
+
+
+def check_file(
+    name: str,
+    fresh: Dict[str, Dict[str, object]],
+    baseline: Dict[str, Dict[str, object]],
+    tolerance: float,
+) -> List[str]:
+    """Failure messages for one bench result (empty means pass)."""
+    failures: List[str] = []
+    for path, value in sorted(fresh["parity"].items()):
+        if not value:
+            failures.append(f"{name}: parity contract {path} is false")
+    base_speedups = baseline.get("speedups", {})
+    for path, fresh_value in sorted(fresh["speedups"].items()):
+        base_value = base_speedups.get(path)
+        if base_value is None:
+            print(f"  note: {name}: {path} has no baseline entry (skipped)")
+            continue
+        floor = base_value / tolerance
+        status = "ok" if fresh_value >= floor else "FAIL"
+        print(
+            f"  {status}: {name}: {path} = {fresh_value:.2f}x "
+            f"(baseline {base_value:.2f}x, floor {floor:.2f}x)"
+        )
+        if fresh_value < floor:
+            failures.append(
+                f"{name}: {path} regressed to {fresh_value:.2f}x, "
+                f"more than {tolerance:.1f}x below baseline {base_value:.2f}x"
+            )
+    for path in sorted(set(base_speedups) - set(fresh["speedups"])):
+        print(f"  note: {name}: baseline key {path} absent from fresh result")
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "results",
+        nargs="*",
+        default=["BENCH_surrogate.json", "BENCH_campaign.json"],
+        help="fresh bench result files (default: the two CI smoke outputs)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default="BENCH_baseline.json",
+        help="committed baseline file (default: BENCH_baseline.json)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.0,
+        help="relative slowdown allowed before failing "
+        "(0 = use the baseline file's own tolerance, falling back to 2.0)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="regenerate the baseline from the fresh results instead of gating",
+    )
+    args = parser.parse_args(argv)
+
+    paths = list(args.results)
+    if args.write_baseline:
+        # Baseline refresh tolerates missing files; the gate does not
+        # (a missing result means a bench silently stopped running).
+        paths = [path for path in paths if os.path.exists(path)]
+    fresh_by_name = {os.path.basename(path): extract(_load(path)) for path in paths}
+
+    if args.write_baseline:
+        payload = {
+            "_comment": (
+                "Quick-mode bench baseline for the CI regression gate; "
+                "regenerate with benchmarks/check_regression.py "
+                "--write-baseline after intentional perf changes."
+            ),
+            "tolerance": args.tolerance or DEFAULT_TOLERANCE,
+            "benches": fresh_by_name,
+        }
+        with open(args.baseline, "w") as sink:
+            json.dump(payload, sink, indent=2)
+        print(f"wrote {args.baseline} from {sorted(fresh_by_name)}")
+        return 0
+
+    baseline = _load(args.baseline)
+    tolerance = args.tolerance or float(baseline.get("tolerance", DEFAULT_TOLERANCE))
+    benches = baseline.get("benches", {})
+
+    print(f"-- bench regression gate (tolerance {tolerance:.1f}x) --")
+    failures: List[str] = []
+    for name, fresh in sorted(fresh_by_name.items()):
+        base = benches.get(name)
+        if base is None:
+            print(f"  note: {name}: not in baseline (skipped)")
+            continue
+        failures.extend(check_file(name, fresh, base, tolerance))
+
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s):")
+        for failure in failures:
+            print(f"  - {failure}")
+        return 1
+    print("\nOK: no speedup regression beyond tolerance, all parity holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,6 @@ trace, 128-wide GON) are a config change away -- see
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.config import ExperimentConfig, FaultConfig, FederationConfig, WorkloadConfig

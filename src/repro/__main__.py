@@ -25,6 +25,12 @@ The scenario subsystem adds two commands:
 scenario instead of once per run; ``--fleet`` additionally runs the
 campaign through the shared-memory scoring service of
 :mod:`repro.serving` (``--ci --fleet`` runs the tiny fleet smoke grid).
+The §VI proactive scheme is a first-class campaign model
+(``--models carol-proactive``, alias ``proactive``) in every mode --
+in fleet mode its fine-tuned replicas stay on the scoring service via
+per-client weight overlays.  ``--record-json PATH`` dumps the full
+per-run records (metrics + scorer diagnostics) as JSON; CI uploads
+the fleet smoke's dump as a build artifact.
 """
 
 from __future__ import annotations
@@ -188,6 +194,12 @@ def _cmd_campaign(args) -> int:
         message = error.args[0] if error.args else str(error)
         print(message, file=sys.stderr)
         return 2
+    if args.record_json:
+        import json
+
+        with open(args.record_json, "w") as sink:
+            json.dump(result.to_payload(), sink, indent=2)
+        print(f"wrote {len(result.records)} records to {args.record_json}")
     print(result.format_summary())
     return 0
 
@@ -236,7 +248,9 @@ def main(argv=None) -> int:
     campaign.add_argument("--scenarios", type=str, default="",
                           help="comma-separated scenario names")
     campaign.add_argument("--models", type=str, default="carol",
-                          help="comma-separated model names (default: carol)")
+                          help="comma-separated model names, e.g. "
+                               "carol,carol-proactive,dyverse "
+                               "(default: carol)")
     campaign.add_argument("--seeds", type=int, default=1,
                           help="independent repetitions per cell")
     campaign.add_argument("--workers", type=int, default=1,
@@ -253,6 +267,9 @@ def main(argv=None) -> int:
     campaign.add_argument("--shared-assets", action="store_true",
                           help="train CAROL-family assets once per "
                                "scenario (campaign-root seeded)")
+    campaign.add_argument("--record-json", type=str, default="",
+                          help="write per-run records (metrics + scorer "
+                               "diagnostics) to this JSON file")
 
     args = parser.parse_args(argv)
 

@@ -16,7 +16,7 @@ in the heuristic models").
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict
 
 import numpy as np
 

@@ -14,7 +14,7 @@ overloads", which is preserved: the class boundaries look at CPU only.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict
 
 import numpy as np
 

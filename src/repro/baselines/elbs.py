@@ -15,7 +15,7 @@ regression form: Nadaraya-Watson kernel smoothing over stored
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 import numpy as np
 
@@ -25,7 +25,6 @@ from ..simulator.metrics import IntervalMetrics
 from ..simulator.topology import Topology
 from .base import (
     ResilienceModel,
-    combined_utilisation,
     merge_into_least_loaded,
     orphans_of,
     promote_least_utilised,

@@ -16,7 +16,7 @@ baseline in Fig. 5f.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

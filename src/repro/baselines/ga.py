@@ -10,7 +10,7 @@ LBOS over recorded QoS history to re-derive the weights.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional
+from typing import Callable, Optional
 
 import numpy as np
 

@@ -20,7 +20,7 @@ from typing import List
 
 import numpy as np
 
-from ..nn import Adam, Conv1d, Linear, Tensor, max_pool1d
+from ..nn import Adam, Conv1d, Linear, Tensor
 from ..simulator.detection import FailureReport
 from ..simulator.engine import SystemView
 from ..simulator.metrics import IntervalMetrics

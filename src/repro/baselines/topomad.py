@@ -16,7 +16,7 @@ thresholding family cited in §II).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

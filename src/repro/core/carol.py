@@ -127,6 +127,15 @@ class CAROLDiagnostics:
         lookups = self.cache_hits + self.cache_misses
         return self.cache_hits / lookups if lookups else 0.0
 
+    def counters(self) -> dict:
+        """The integer telemetry as a plain dict (campaign records)."""
+        return {
+            "n_fine_tunes": self.n_fine_tunes,
+            "cache_hits": self.cache_hits,
+            "cache_misses": self.cache_misses,
+            "cache_evictions": self.cache_evictions,
+        }
+
 
 class CAROL(ResilienceModel):
     """Confidence-aware resilience model over a trained GON."""
@@ -391,6 +400,20 @@ class CAROL(ResilienceModel):
             threshold if np.isfinite(threshold) else float("nan")
         )
         self.diagnostics.fine_tuned.append(fine_tuned)
+
+    # ------------------------------------------------------------------
+    def scorer_diagnostics(self) -> dict:
+        """The execution backend's counters plus this model's own.
+
+        Flat integer dict (``local_fallbacks``, ``overlay_installs``
+        when fleet-mounted, the cache counters, ``n_fine_tunes``),
+        surfaced into campaign records so fleet runs can assert, e.g.,
+        that overlays kept every diverged ascent on the service
+        (``local_fallbacks == 0``).
+        """
+        counters = dict(getattr(self.scorer, "diagnostics", None) or {})
+        counters.update(self.diagnostics.counters())
+        return counters
 
     # ------------------------------------------------------------------
     def memory_bytes(self) -> int:

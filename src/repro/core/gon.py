@@ -18,7 +18,7 @@ width is fixed at 128 and the layer count is the knob grid-searched in
 
 from __future__ import annotations
 
-from typing import Optional, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -18,7 +18,7 @@ tabu search.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Set
+from typing import List, Sequence
 
 import numpy as np
 

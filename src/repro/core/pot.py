@@ -13,7 +13,7 @@ is robust at the small excess counts seen early in a run.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 

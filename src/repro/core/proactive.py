@@ -16,6 +16,15 @@ This module implements that scheme on top of the reactive CAROL loop:
 * the trade the paper anticipates is preserved and measurable: the
   per-interval prediction and occasional searches raise decision time
   (Fig. 5d axis) in exchange for fewer realised broker failures.
+
+Campaigns sweep this scheme under the model name ``CAROL-Proactive``
+(``python -m repro campaign --models carol-proactive ...``), in every
+execution mode including ``--fleet``: the proactive loop scores all
+its slates through the shared :class:`~repro.core.scoring.SurrogateScorer`
+seam, so fleet runs consolidate into the batched scoring service, and
+-- because ProactiveCAROL fine-tunes like reactive CAROL does -- rely
+on the service's per-client weight overlays to stay there after the
+POT gate first opens (see :mod:`repro.serving`).
 """
 
 from __future__ import annotations
@@ -63,6 +72,11 @@ class ProactiveCAROL(CAROL):
         self.risk_threshold = risk_threshold
         #: Intervals on which a preventive search ran (telemetry).
         self.preventive_actions: List[int] = []
+
+    def scorer_diagnostics(self) -> dict:
+        counters = super().scorer_diagnostics()
+        counters["preventive_actions"] = len(self.preventive_actions)
+        return counters
 
     # ------------------------------------------------------------------
     def repair(

@@ -9,19 +9,27 @@ down as the *scorer* interface so the execution backend is swappable:
   model CAROL owns -- the PR-2 batched engine, unchanged behaviour;
 * ``repro.serving.FleetScorer`` routes ascent stacks to a shared
   scoring service consolidating many concurrent federations into one
-  batched GON stream, falling back to a private copy of the weights
-  once fine-tuning diverges this replica from the fleet.
+  batched GON stream; when fine-tuning diverges this replica from the
+  fleet, the new weights ship to the service as a per-client overlay
+  so the run stays in the consolidated stream.
 
 Every scorer carries a monotone ``generation`` counter, bumped exactly
 when :meth:`fine_tune` mutates the model.  CAROL's persistent surrogate
 cache keys its validity on this counter: scores stay reusable across
 scheduling intervals precisely as long as the generation stands still
 (the model only changes when the POT gate opens -- §III-B).
+
+Scorers also expose a ``diagnostics`` mapping of integer counters.
+The ``local_fallbacks`` key is the degradation telemetry campaigns
+assert on: it counts ascents a scorer had to run outside its
+consolidated stream (always 0 for :class:`LocalScorer`, whose stream
+*is* local; 0 for ``FleetScorer`` precisely when overlays keep every
+diverged ascent on the service).
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Protocol, Sequence
+from typing import Dict, List, Optional, Protocol, Sequence
 
 import numpy as np
 
@@ -38,6 +46,11 @@ class SurrogateScorer(Protocol):
 
     #: Bumped once per :meth:`fine_tune`; persistent caches key on it.
     generation: int
+
+    #: Integer telemetry counters; every scorer carries at least
+    #: ``local_fallbacks`` (ascents degraded out of the scorer's
+    #: consolidated stream -- see the module docstring).
+    diagnostics: Dict[str, int]
 
     def ascent(
         self,
@@ -71,6 +84,9 @@ class LocalScorer:
     def __init__(self, model: GONDiscriminator) -> None:
         self.model = model
         self.generation = 0
+        # In-process scoring is the consolidated stream here: nothing
+        # to fall back from, so the counter stays 0 by construction.
+        self.diagnostics: Dict[str, int] = {"local_fallbacks": 0}
 
     def ascent(
         self,

@@ -8,8 +8,8 @@ pipeline so each figure's experiment reuses the same trained assets.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -28,12 +28,13 @@ from ..baselines import (
     WithGAN,
     WithTraditionalSurrogate,
 )
-from ..config import ExperimentConfig, FederationConfig, WorkloadConfig
+from ..config import ExperimentConfig
 from ..core import (
     CAROL,
     CAROLConfig,
     GONDiscriminator,
     GONInput,
+    ProactiveCAROL,
     TrainingConfig,
     TrainingHistory,
     train_gon,
@@ -45,6 +46,7 @@ from ..simulator.trace import Trace, collect_trace
 __all__ = [
     "BASELINE_NAMES",
     "ABLATION_NAMES",
+    "PROACTIVE_NAME",
     "TrainedAssets",
     "defog_config",
     "collect_defog_trace",
@@ -67,6 +69,8 @@ ABLATION_NAMES = (
     "CAROL-WithGAN",
     "CAROL-FFSurrogate",
 )
+#: The §VI proactive scheme's campaign-model name (fleet-capable).
+PROACTIVE_NAME = "CAROL-Proactive"
 
 
 @dataclass
@@ -163,6 +167,8 @@ def build_model(
 
     if name == "CAROL":
         return CAROL(assets.fresh_gon(), alpha, beta, carol_config)
+    if name == PROACTIVE_NAME:
+        return ProactiveCAROL(assets.fresh_gon(), alpha, beta, carol_config)
     if name == "CAROL-AlwaysFT":
         return AlwaysFineTune(assets.fresh_gon(), alpha, beta, carol_config)
     if name == "CAROL-NeverFT":

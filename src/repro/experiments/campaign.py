@@ -35,17 +35,18 @@ same grid produce identical records.
 from __future__ import annotations
 
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..core import TrainingConfig
+from ..core import CAROLConfig, TrainingConfig
 from ..scenarios import ScenarioSpec, build_topology, get_scenario
 from ..simulator.engine import EdgeFederation
 from .calibration import (
     ABLATION_NAMES,
     BASELINE_NAMES,
+    PROACTIVE_NAME,
     TrainedAssets,
     build_model,
     prepare_assets,
@@ -60,6 +61,7 @@ __all__ = [
     "RunRecord",
     "CampaignResult",
     "canonical_model_name",
+    "cell_carol_config",
     "plan_tasks",
     "prepare_campaign_assets",
     "run_campaign",
@@ -79,12 +81,14 @@ DETERMINISTIC_METRICS = (
 )
 
 #: Models whose construction consumes offline-trained assets.
-_CAROL_FAMILY = ("CAROL", *ABLATION_NAMES)
+_CAROL_FAMILY = ("CAROL", PROACTIVE_NAME, *ABLATION_NAMES)
 
 _MODEL_LOOKUP = {
     name.lower(): name
-    for name in ("CAROL", *BASELINE_NAMES, *ABLATION_NAMES)
+    for name in ("CAROL", PROACTIVE_NAME, *BASELINE_NAMES, *ABLATION_NAMES)
 }
+#: Convenience alias: ``--models proactive`` means the §VI scheme.
+_MODEL_LOOKUP["proactive"] = PROACTIVE_NAME
 
 
 def canonical_model_name(name: str) -> str:
@@ -92,7 +96,8 @@ def canonical_model_name(name: str) -> str:
     canonical = _MODEL_LOOKUP.get(name.strip().lower())
     if canonical is None:
         raise ValueError(
-            f"unknown model {name!r}; known: {sorted(_MODEL_LOOKUP.values())}"
+            f"unknown model {name!r}; "
+            f"known: {sorted(set(_MODEL_LOOKUP.values()))}"
         )
     return canonical
 
@@ -132,6 +137,13 @@ class CampaignConfig:
     #: so the bitwise record guarantee is waived -- see
     #: :mod:`repro.serving.service`.
     fleet_merge: bool = False
+    #: Extra :class:`~repro.core.CAROLConfig` fields applied to every
+    #: CAROL-family cell, as ``((field, value), ...)`` pairs (hashable
+    #: and picklable).  Part of the grid spec, so the serial == process
+    #: == fleet bit-identity contract covers it -- e.g.
+    #: ``(("pot_calibration", 5),)`` makes short grids open the POT
+    #: gate and exercise fine-tuning (the overlay path in fleet mode).
+    carol_overrides: Tuple[Tuple[str, object], ...] = ()
 
     def __post_init__(self) -> None:
         if not self.scenarios:
@@ -151,6 +163,22 @@ class CampaignConfig:
                 f"unknown campaign mode {self.mode!r}; "
                 "expected 'process' or 'fleet'"
             )
+        known_fields = {f.name for f in fields(CAROLConfig)}
+        for name, _value in self.carol_overrides:
+            if name == "seed":
+                # The CAROL seed is derived from each cell's run seed
+                # (the cross-mode bit-identity contract); overriding it
+                # campaign-wide would both break that contract and
+                # collide with the seed= kwarg in cell_carol_config.
+                raise ValueError(
+                    "carol_overrides cannot override 'seed'; per-run "
+                    "seeds derive from the campaign root SeedSequence"
+                )
+            if name not in known_fields:
+                raise ValueError(
+                    f"unknown CAROLConfig field {name!r} in "
+                    f"carol_overrides; known: {sorted(known_fields)}"
+                )
         if self.mode == "fleet" and not self.shared_assets:
             # Fleet consolidation requires one published weight set per
             # scenario; per-run training would give every run a private
@@ -182,6 +210,9 @@ class RunTask:
     gon_hidden: int
     gon_layers: int
     gon_epochs: int
+    #: CAROLConfig field overrides for CAROL-family cells (see
+    #: :attr:`CampaignConfig.carol_overrides`).
+    carol_overrides: Tuple[Tuple[str, object], ...] = ()
 
 
 @dataclass(frozen=True)
@@ -195,6 +226,13 @@ class RunRecord:
     #: The integer seed actually used for the run.
     seed: int
     metrics: Dict[str, float]
+    #: Execution telemetry (scorer fallback/overlay counters, cache
+    #: and fine-tune counts).  Deliberately excluded from :meth:`row`:
+    #: it describes *how* the cell executed, not the deterministic
+    #: outcome, so the cross-mode bit-identity contract ignores it
+    #: (a fleet record legitimately reports overlay installs where its
+    #: serial twin has none).
+    diagnostics: Dict[str, int] = field(default_factory=dict)
 
     def row(self) -> Dict[str, object]:
         """Tidy-format row: identity columns plus one column per metric."""
@@ -255,6 +293,16 @@ def prepare_campaign_assets(
     return assets
 
 
+def cell_carol_config(task: RunTask, config) -> CAROLConfig:
+    """The CAROL hyper-parameters of one grid cell.
+
+    Seeded from the compiled run config and extended with the
+    campaign's ``carol_overrides`` -- shared by the process and fleet
+    builders so the override surface cannot drift between modes.
+    """
+    return CAROLConfig(seed=config.seed, **dict(task.carol_overrides))
+
+
 def run_cell(task: RunTask, model_factory) -> RunRecord:
     """The shared tail of every execution mode for one grid cell.
 
@@ -271,6 +319,14 @@ def run_cell(task: RunTask, model_factory) -> RunRecord:
     federation = EdgeFederation(config, topology=build_topology(spec))
     result = run_experiment(model, config, federation=federation, edge_slowdown=0.0)
     summary = result.summary()
+    # CAROL-family models expose their scorer/cache counters; pure
+    # heuristics have no execution telemetry to report.
+    diagnostics_source = getattr(model, "scorer_diagnostics", None)
+    diagnostics = (
+        {key: int(value) for key, value in diagnostics_source().items()}
+        if callable(diagnostics_source)
+        else {}
+    )
     return RunRecord(
         run_index=task.run_index,
         scenario=task.scenario,
@@ -278,6 +334,7 @@ def run_cell(task: RunTask, model_factory) -> RunRecord:
         seed_index=task.seed_index,
         seed=run_seed,
         metrics={key: float(summary[key]) for key in DETERMINISTIC_METRICS},
+        diagnostics=diagnostics,
     )
 
 
@@ -304,7 +361,10 @@ def _execute_run(
                     learning_rate=1e-3, generation_steps=20, seed=run_seed,
                 ),
             )
-        return build_model(task.model, cell_assets, config)
+        return build_model(
+            task.model, cell_assets, config,
+            carol_config=cell_carol_config(task, config),
+        )
 
     return run_cell(task, build)
 
@@ -341,6 +401,7 @@ def plan_tasks(config: CampaignConfig) -> List[RunTask]:
             gon_hidden=config.gon_hidden,
             gon_layers=config.gon_layers,
             gon_epochs=config.gon_epochs,
+            carol_overrides=config.carol_overrides,
         )
         for index, (scenario, model, seed_index) in enumerate(cells)
     ]
@@ -356,6 +417,37 @@ class CampaignResult:
     def rows(self) -> List[Dict[str, object]]:
         """Tidy table: one row per run, identity + metric columns."""
         return [record.row() for record in self.records]
+
+    def to_payload(self) -> Dict[str, object]:
+        """JSON-serialisable dump: grid spec + per-run records.
+
+        What ``python -m repro campaign --record-json`` writes and CI
+        uploads as an artifact; records carry both the deterministic
+        metrics (the bit-identity surface) and the execution
+        diagnostics (fallback/overlay/cache counters).
+        """
+        return {
+            "config": {
+                "scenarios": list(self.config.scenarios),
+                "models": [canonical_model_name(m) for m in self.config.models],
+                "n_seeds": self.config.n_seeds,
+                "workers": self.config.workers,
+                "seed": self.config.seed,
+                "n_intervals": self.config.n_intervals,
+                "mode": self.config.mode,
+                "shared_assets": self.config.shared_assets,
+                "fleet_merge": self.config.fleet_merge,
+                "carol_overrides": [list(p) for p in self.config.carol_overrides],
+            },
+            "records": [
+                {
+                    **record.row(),
+                    "run_index": record.run_index,
+                    "diagnostics": dict(record.diagnostics),
+                }
+                for record in self.records
+            ],
+        }
 
     def aggregate(self) -> Dict[Tuple[str, str], Dict[str, Tuple[float, float]]]:
         """Per (scenario, model) cell: metric -> (mean, std) over seeds."""
@@ -454,30 +546,39 @@ def run_campaign(
 def ci_campaign_config(workers: int = 2) -> CampaignConfig:
     """The smoke-test grid CI runs on every push: tiny but end-to-end.
 
-    Two scenarios x one heuristic model (no offline training) x one
-    seed at five intervals -- seconds of work, yet it exercises the
-    registry, the compiler, the parallel executor and the aggregation.
+    Two scenarios x {one heuristic model, the §VI proactive scheme} x
+    one seed at five intervals with a midget shared-asset GON --
+    seconds of work, yet it exercises the registry, the compiler, the
+    parallel executor, offline asset sharing, the proactive decision
+    loop and the aggregation.
     """
     return CampaignConfig(
         scenarios=("paper-default", "fault-free"),
-        models=("DYVERSE",),
+        models=("DYVERSE", "CAROL-Proactive"),
         n_seeds=1,
         workers=workers,
         n_intervals=5,
+        trace_intervals=12,
+        gon_hidden=8,
+        gon_layers=2,
+        gon_epochs=2,
+        shared_assets=True,
     )
 
 
 def fleet_ci_campaign_config(workers: int = 2) -> CampaignConfig:
-    """The fleet-mode smoke grid: a tiny CAROL campaign through the
-    shared-memory assets and the batched scoring service.
+    """The fleet-mode smoke grid: a tiny CAROL + ProactiveCAROL
+    campaign through the shared-memory assets and the batched scoring
+    service.
 
-    One scenario x CAROL x two seeds at three intervals with a midget
-    GON -- seconds of work, yet it exercises asset publication, the
-    worker/scorer queues, bucketed batching and record collection.
+    One scenario x {CAROL, CAROL-Proactive} x two seeds at three
+    intervals with a midget GON -- seconds of work, yet it exercises
+    asset publication, the worker/scorer queues, bucketed batching,
+    proactive fleet routing and record collection.
     """
     return CampaignConfig(
         scenarios=("paper-default",),
-        models=("CAROL",),
+        models=("CAROL", "CAROL-Proactive"),
         n_seeds=2,
         workers=workers,
         seed=1,

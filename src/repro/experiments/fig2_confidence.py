@@ -10,7 +10,7 @@ many intervals triggered fine-tuning -- the parsimony claim).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 import numpy as np
 

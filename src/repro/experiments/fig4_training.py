@@ -14,7 +14,7 @@ from typing import Optional
 
 from ..config import ExperimentConfig, ci_scale
 from ..core import TrainingConfig, TrainingHistory
-from .calibration import TrainedAssets, prepare_assets
+from .calibration import prepare_assets
 from .report import format_table, sparkline
 
 __all__ = ["Fig4Config", "run_fig4", "format_fig4"]

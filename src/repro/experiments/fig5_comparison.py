@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..config import ExperimentConfig, ci_scale
-from ..core import CAROLConfig
 from .calibration import (
     ABLATION_NAMES,
     BASELINE_NAMES,

@@ -14,7 +14,7 @@ scheduling/decision time, energy, SLO violation rate):
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 

@@ -18,8 +18,11 @@ Record-level bit-identity with serial execution holds because (a) the
 scored stacks are exactly the stacks an in-process scorer would run
 (exact policy -- see :mod:`repro.serving.service` for why merging
 cannot be bitwise), (b) workers keep every RNG stream local, and (c) a
-run whose POT gate opens diverges onto a private copy-on-write weight
-copy, exactly as its serial twin would mutate its own model.
+run whose POT gate opens fine-tunes a private copy-on-write weight
+copy exactly as its serial twin would mutate its own model, then ships
+the diverged state back to the service as a per-client overlay
+(``pack_state`` roundtrips are bit-exact), so even post-fine-tune
+ascents stay in the consolidated stream without leaving the contract.
 """
 
 from __future__ import annotations
@@ -33,7 +36,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from ..baselines import AlwaysFineTune, NeverFineTune
-from ..core import CAROL, CAROLConfig, GONDiscriminator, GONInput
+from ..core import CAROL, GONDiscriminator, GONInput, ProactiveCAROL
 from ..serving import (
     AttachedArrayPack,
     ClientDone,
@@ -44,14 +47,18 @@ from ..serving import (
     SharedArrayPack,
     SharedPackHandle,
 )
-from .calibration import TrainedAssets, build_model
-from .campaign import RunRecord, RunTask, run_cell
+from .calibration import PROACTIVE_NAME, TrainedAssets, build_model
+from .campaign import RunRecord, RunTask, cell_carol_config, run_cell
 
 __all__ = ["run_fleet_campaign"]
 
 #: CAROL-family models whose GON evaluations route through the service.
+#: ProactiveCAROL fine-tunes aggressively, so its fleet presence leans
+#: on the service's per-client weight overlays to stay consolidated
+#: past the first POT-gated fine-tune.
 _GON_CAROL_CLASSES = {
     "CAROL": CAROL,
+    PROACTIVE_NAME: ProactiveCAROL,
     "CAROL-AlwaysFT": AlwaysFineTune,
     "CAROL-NeverFT": NeverFineTune,
 }
@@ -148,7 +155,10 @@ def _execute_fleet_run(
     def build(config, _run_seed):
         model_class = _GON_CAROL_CLASSES.get(task.model)
         if model_class is None:
-            return build_model(task.model, assets, config)
+            return build_model(
+                task.model, assets, config,
+                carol_config=cell_carol_config(task, config),
+            )
         if assets is None:
             raise RuntimeError(
                 f"fleet run {task.model!r} needs published scenario assets"
@@ -161,7 +171,7 @@ def _execute_fleet_run(
             gon,
             config.alpha,
             config.beta,
-            CAROLConfig(seed=config.seed),
+            cell_carol_config(task, config),
             scorer=FleetScorer(client, gon),
         )
 

@@ -6,7 +6,7 @@ helpers keep the formatting consistent and terminal-friendly.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import List, Mapping, Optional, Sequence
 
 import numpy as np
 

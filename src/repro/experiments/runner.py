@@ -16,10 +16,8 @@ link between fine-tuning overhead and broker contention (§I).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
-
-import numpy as np
 
 from ..config import ExperimentConfig
 from ..core.interface import ResilienceModel

@@ -9,8 +9,6 @@ ascends :func:`log` of the discriminator output.
 
 from __future__ import annotations
 
-import numpy as np
-
 from .tensor import ArrayLike, Tensor, as_tensor, concatenate, stack, where
 
 __all__ = [

@@ -12,8 +12,6 @@ topology graph ``G``.
 
 from __future__ import annotations
 
-from typing import Sequence
-
 import numpy as np
 
 from . import init

@@ -14,7 +14,7 @@ import numpy as np
 
 from . import init
 from .module import Module, Parameter
-from .tensor import Tensor, as_tensor, concatenate, stack
+from .tensor import Tensor, as_tensor, stack
 
 
 class LSTMCell(Module):

@@ -8,7 +8,7 @@ form so it acts as true L2 shrinkage regardless of gradient scale.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Iterable, List
 
 import numpy as np
 

@@ -24,6 +24,39 @@ fleets).  The request path::
   worker-side :class:`ScoringClient`, and :class:`FleetScorer`, the
   ``repro.core.scoring.SurrogateScorer`` backend CAROL mounts in
   fleet campaigns (see :mod:`repro.experiments.fleet`).
+
+The overlay protocol
+--------------------
+CAROL fine-tunes its GON whenever the POT confidence gate opens, and a
+fine-tuned replica no longer matches the fleet's published weights.
+Instead of ejecting such runs to slow worker-local scoring, the
+:class:`FleetScorer` ships its packed post-fine-tune state
+(``nn/serialization.pack_state``) to the service as an
+:class:`OverlayUpdate`; the service installs it as a *copy-on-write
+per-client weight overlay* and keeps answering that client's ascents
+from the consolidated batched stream.  Three invariants make this
+safe and exact:
+
+1. **Ordering** -- overlay installs and scoring requests share one
+   FIFO request queue and clients are synchronous, so an install
+   always lands before the first request at its generation and no
+   request can observe a stale replica.
+2. **Isolation** -- bucket keys extend with ``(generation, owner)``:
+   generation-0 requests from any client still share (and may merge
+   into) the base bucket, while generation > 0 buckets are private to
+   the owning client -- two clients at different generations, or two
+   diverged clients at the same generation, never share a bucket.
+3. **Bit-identity** -- ``pack_state``/``unpack_state`` roundtrips are
+   bit-exact and the service runs the same ``generate_metrics_batch``
+   on identical stack shapes, so overlay-scored fleet records remain
+   bit-identical to serial execution even after fine-tuning; the
+   contract `tests/test_fleet.py::TestOverlayLifecycle` asserts.
+
+Overlays are evicted when their owning client signs off
+(:class:`ClientDone`).  ``FleetScorer(..., overlays=False)`` restores
+the pre-overlay behaviour (local scoring after divergence); that path
+counts every degraded ascent in ``diagnostics["local_fallbacks"]``
+instead of silently leaving the stream.
 """
 
 from .service import (
@@ -32,6 +65,7 @@ from .service import (
     ConfidenceRequest,
     FleetScorer,
     GONScoringService,
+    OverlayUpdate,
     ScoringClient,
     ServiceStats,
 )
@@ -43,6 +77,7 @@ __all__ = [
     "ConfidenceRequest",
     "FleetScorer",
     "GONScoringService",
+    "OverlayUpdate",
     "ScoringClient",
     "ServiceStats",
     "AttachedArrayPack",

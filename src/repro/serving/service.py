@@ -33,6 +33,29 @@ are positional in the submitted stack.  Two execution policies:
   within ~1e-15 (see ``benchmarks/bench_surrogate.py``); decisions are
   score-argmins, so campaign results almost always still coincide,
   but the bitwise guarantee is waived.
+
+Per-client weight overlays
+--------------------------
+A client whose replica fine-tunes past generation 0 no longer matches
+the published weights, but it does not have to leave the consolidated
+stream: it ships its full packed state (``nn/serialization.pack_state``)
+as an :class:`OverlayUpdate`, and the service installs a *copy-on-write
+overlay* -- a private replica mounted over the shipped buffer, resident
+next to the generation-0 base model.  Requests carry the client's
+``generation``; the bucket key extends with ``(generation, owner)`` so
+
+* generation-0 requests from any client keep sharing the base bucket
+  (and may merge under ``merge_requests``);
+* two clients at *different* generations never share a bucket;
+* overlay weights are private per client, so generation > 0 buckets
+  are additionally keyed by the owning client -- only requests from
+  the same diverged client may merge with each other.
+
+Queue FIFO ordering makes the protocol race-free: a client installs
+its overlay (one fire-and-forget message) before submitting any
+generation-N request, and the service applies messages in arrival
+order, so an ascent can never observe a stale replica.  Overlays are
+evicted when their client signs off (:class:`ClientDone`).
 """
 
 from __future__ import annotations
@@ -40,7 +63,7 @@ from __future__ import annotations
 import queue as queue_module
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -48,16 +71,30 @@ from ..core.features import GONInput
 from ..core.gon import GONDiscriminator
 from ..core.surrogate import SurrogateResult, generate_metrics_batch
 from ..core.training import TrainingConfig, fine_tune
+from ..nn.serialization import pack_state, unpack_state
 
 __all__ = [
     "AscentRequest",
     "ConfidenceRequest",
+    "OverlayUpdate",
     "ClientDone",
     "ServiceStats",
     "GONScoringService",
     "ScoringClient",
     "FleetScorer",
 ]
+
+
+def _generation_bucket(client_id: int, generation: int) -> tuple:
+    """The bucket-key suffix isolating diverged clients.
+
+    Generation 0 is the shared published weight set: every client's
+    requests are compatible and the owner slot collapses to -1.  Past
+    generation 0 the weights are a per-client overlay, so the owning
+    client enters the key -- two clients at different generations (or
+    two diverged clients at the same generation) never share a bucket.
+    """
+    return (generation, client_id if generation else -1)
 
 
 @dataclass(frozen=True)
@@ -72,12 +109,16 @@ class AscentRequest:
     adjacencies: np.ndarray  # [B, n, n]
     gamma: float
     max_steps: int
+    #: The client replica's fine-tune generation; > 0 scores on that
+    #: client's installed weight overlay instead of the base model.
+    generation: int = 0
 
     @property
     def bucket(self) -> tuple:
         return (
             "ascent", self.model_key, self.metrics.shape[1],
             self.gamma, self.max_steps,
+            *_generation_bucket(self.client_id, self.generation),
         )
 
     @property
@@ -95,14 +136,40 @@ class ConfidenceRequest:
     metrics: np.ndarray
     schedules: np.ndarray
     adjacencies: np.ndarray
+    generation: int = 0
 
     @property
     def bucket(self) -> tuple:
-        return ("confidence", self.model_key, self.metrics.shape[1])
+        return (
+            "confidence", self.model_key, self.metrics.shape[1],
+            *_generation_bucket(self.client_id, self.generation),
+        )
 
     @property
     def n_elements(self) -> int:
         return int(self.metrics.shape[0])
+
+
+@dataclass(frozen=True)
+class OverlayUpdate:
+    """A diverged client shipping its packed fine-tuned state.
+
+    ``buffer``/``manifest`` come from ``nn/serialization.pack_state``
+    on the client's post-fine-tune state dict; the roundtrip is
+    bit-exact, which is what keeps overlay-scored fleet records
+    bit-identical to worker-local scoring.  Fire-and-forget: queue
+    FIFO ordering guarantees the install lands before any request at
+    this generation.
+    """
+
+    client_id: int
+    model_key: str
+    generation: int
+    buffer: np.ndarray
+    manifest: Tuple[Tuple[str, Tuple[int, ...], str, int], ...]
+
+    #: Overlay installs never consume micro-batch window budget.
+    n_elements: int = 0
 
 
 @dataclass(frozen=True)
@@ -138,6 +205,13 @@ class ServiceStats:
     merged_elements: int = 0
     #: Per-batch element counts (the consolidation histogram).
     batch_sizes: List[int] = field(default_factory=list)
+    #: Per-client weight overlays installed (including re-installs when
+    #: a client fine-tunes again and replaces its previous overlay).
+    overlay_installs: int = 0
+    #: Overlays dropped because their owning client signed off.
+    overlay_evictions: int = 0
+    #: Stacked elements scored on an overlay replica (generation > 0).
+    overlay_elements: int = 0
 
 
 class GONScoringService:
@@ -181,6 +255,10 @@ class GONScoringService:
         self.merge_requests = merge_requests
         self.poll_seconds = poll_seconds
         self.stats = ServiceStats()
+        #: Copy-on-write per-client replicas installed by
+        #: :class:`OverlayUpdate`: ``(client_id, model_key) ->
+        #: (generation, replica)``.  Base models stay untouched.
+        self._overlays: Dict[Tuple[int, str], Tuple[int, GONDiscriminator]] = {}
 
     # ------------------------------------------------------------------
     def serve(self, abort: Optional[Callable[[], bool]] = None) -> ServiceStats:
@@ -218,13 +296,66 @@ class GONScoringService:
         return sum(getattr(m, "n_elements", 0) for m in pending)
 
     # ------------------------------------------------------------------
+    # Per-client weight overlays
+    # ------------------------------------------------------------------
+    def _install_overlay(self, update: OverlayUpdate) -> None:
+        """Mount a diverged client's shipped weights as a replica.
+
+        The replica's parameters are zero-copy views into the shipped
+        buffer (the service only scores, never trains, so read-only
+        views suffice); installing at a newer generation replaces the
+        client's previous overlay.
+        """
+        base = self.models[update.model_key]
+        replica = base.clone_architecture(np.random.default_rng(0))
+        replica.load_state_dict(
+            unpack_state(update.buffer, list(update.manifest)), copy=False
+        )
+        self._overlays[(update.client_id, update.model_key)] = (
+            update.generation, replica,
+        )
+        self.stats.overlay_installs += 1
+
+    def _evict_overlays(self, client_id: int) -> None:
+        """Drop every overlay owned by a disconnecting client."""
+        owned = [key for key in self._overlays if key[0] == client_id]
+        for key in owned:
+            del self._overlays[key]
+        self.stats.overlay_evictions += len(owned)
+
+    def _resolve_model(self, request) -> GONDiscriminator:
+        """The replica a request scores on: base weights or overlay."""
+        generation = getattr(request, "generation", 0)
+        if generation == 0:
+            return self.models[request.model_key]
+        entry = self._overlays.get((request.client_id, request.model_key))
+        if entry is None or entry[0] != generation:
+            raise RuntimeError(
+                f"client {request.client_id} requested generation "
+                f"{generation} of {request.model_key!r} but the installed "
+                f"overlay is {entry[0] if entry else 'absent'}: overlay "
+                "protocol violated (updates must precede requests)"
+            )
+        self.stats.overlay_elements += request.n_elements
+        return entry[1]
+
+    # ------------------------------------------------------------------
     def _dispatch(self, pending: Sequence) -> set:
-        """Bucket the drained messages, score, reply; returns sign-offs."""
+        """Bucket the drained messages, score, reply; returns sign-offs.
+
+        Messages apply in arrival order, so an :class:`OverlayUpdate`
+        drained alongside its client's follow-up requests installs
+        before any bucket is scored.
+        """
         signed_off: set = set()
         buckets: "Dict[tuple, List]" = {}
         for message in pending:
             if isinstance(message, ClientDone):
                 signed_off.add(message.client_id)
+                self._evict_overlays(message.client_id)
+                continue
+            if isinstance(message, OverlayUpdate):
+                self._install_overlay(message)
                 continue
             buckets.setdefault(message.bucket, []).append(message)
             self.stats.n_requests += 1
@@ -246,7 +377,7 @@ class GONScoringService:
     def _run_exact(self, kind: str, request) -> None:
         self.stats.n_batches += 1
         self.stats.batch_sizes.append(request.n_elements)
-        model = self.models[request.model_key]
+        model = self._resolve_model(request)
         if kind == "ascent":
             results = generate_metrics_batch(
                 model,
@@ -267,8 +398,15 @@ class GONScoringService:
 
     # -- merged policy: one evaluation per bucket ----------------------
     def _run_merged(self, kind: str, requests: List) -> None:
+        # Bucket keys carry (generation, owner), so every request here
+        # resolves to the same replica -- merging across overlays is
+        # impossible by construction.
         self.stats.n_batches += 1
-        model = self.models[requests[0].model_key]
+        model = self._resolve_model(requests[0])
+        for request in requests[1:]:
+            self.stats.overlay_elements += (
+                request.n_elements if request.generation else 0
+            )
         metrics = np.concatenate([r.metrics for r in requests])
         schedules = np.concatenate([r.schedules for r in requests])
         adjacencies = np.concatenate([r.adjacencies for r in requests])
@@ -314,7 +452,13 @@ def _ascent_reply(
 
 
 class ScoringClient:
-    """Worker-side stub: submit stacks, block for the keyed reply."""
+    """Worker-side stub: submit stacks, block for the keyed reply.
+
+    ``generation`` on the scoring calls names the weight set to score
+    on: 0 is the published base model, anything newer must first have
+    been shipped through :meth:`install_overlay` (fire-and-forget;
+    queue FIFO ordering makes install-before-score automatic).
+    """
 
     def __init__(self, client_id: int, model_key: str,
                  request_queue, reply_queue) -> None:
@@ -334,6 +478,19 @@ class ScoringClient:
             )
         return reply
 
+    def install_overlay(
+        self, state: Dict[str, np.ndarray], generation: int
+    ) -> None:
+        """Ship this client's fine-tuned state as a service overlay."""
+        buffer, manifest = pack_state(dict(state))
+        self.request_queue.put(OverlayUpdate(
+            client_id=self.client_id,
+            model_key=self.model_key,
+            generation=generation,
+            buffer=buffer,
+            manifest=tuple(manifest),
+        ))
+
     def ascent(
         self,
         metrics: np.ndarray,
@@ -341,6 +498,7 @@ class ScoringClient:
         adjacencies: np.ndarray,
         gamma: float,
         max_steps: int,
+        generation: int = 0,
     ) -> List[SurrogateResult]:
         self._next_request += 1
         reply = self._round_trip(AscentRequest(
@@ -352,6 +510,7 @@ class ScoringClient:
             adjacencies=np.asarray(adjacencies, dtype=float),
             gamma=gamma,
             max_steps=max_steps,
+            generation=generation,
         ))
         return [
             SurrogateResult(
@@ -368,6 +527,7 @@ class ScoringClient:
         metrics: np.ndarray,
         schedules: np.ndarray,
         adjacencies: np.ndarray,
+        generation: int = 0,
     ) -> np.ndarray:
         self._next_request += 1
         reply = self._round_trip(ConfidenceRequest(
@@ -377,11 +537,13 @@ class ScoringClient:
             metrics=np.asarray(metrics, dtype=float),
             schedules=np.asarray(schedules, dtype=float),
             adjacencies=np.asarray(adjacencies, dtype=float),
+            generation=generation,
         ))
         return reply.confidences
 
     def close(self) -> None:
-        """Sign off; the service exits once every client has."""
+        """Sign off; the service evicts this client's overlays and
+        exits once every client has."""
         self.request_queue.put(ClientDone(self.client_id))
 
 
@@ -390,22 +552,40 @@ class FleetScorer:
 
     Implements the :class:`repro.core.scoring.SurrogateScorer` surface:
 
-    * **ascent** -- forwarded to the service while this replica still
-      equals the published generation-0 weights, so concurrent
-      federations consolidate into one batched GON stream;
-    * **confidence** -- computed locally on the zero-copy shared
-      weight views (a single forward; cheaper than a queue round-trip
-      and bitwise-identical to in-process execution);
+    * **ascent** -- forwarded to the service: at generation 0 it scores
+      on the published shared weights, and past the first fine-tune on
+      this client's installed overlay, so diverged replicas stay in
+      the consolidated batched stream;
+    * **confidence** -- computed locally on the replica (a single
+      forward; cheaper than a queue round-trip and bitwise-identical
+      to in-process execution);
     * **fine_tune** -- copy-on-write divergence: the read-only shared
       parameters are materialised into private writable arrays, the
-      fine-tune runs locally, and every later evaluation stays local
-      (the replica no longer matches the fleet's published weights).
+      fine-tune runs locally, and the new state ships to the service
+      as a weight overlay (``overlays=True``, the default).
+
+    With ``overlays=False`` (the pre-overlay behaviour) a diverged
+    replica falls back to worker-local scoring instead; every such
+    ascent increments ``diagnostics["local_fallbacks"]``, the counter
+    campaigns assert to be zero once overlays are on.
     """
 
-    def __init__(self, client: ScoringClient, model: GONDiscriminator) -> None:
+    def __init__(
+        self,
+        client: ScoringClient,
+        model: GONDiscriminator,
+        overlays: bool = True,
+    ) -> None:
         self.client = client
         self.model = model
+        self.overlays = overlays
         self.generation = 0
+        #: Scorer-side telemetry, surfaced into campaign records by
+        #: ``experiments.campaign.run_cell``.
+        self.diagnostics: Dict[str, int] = {
+            "local_fallbacks": 0,
+            "overlay_installs": 0,
+        }
 
     def ascent(
         self,
@@ -415,10 +595,14 @@ class FleetScorer:
         gamma: float,
         max_steps: int,
     ) -> List[SurrogateResult]:
-        if self.generation == 0:
+        if self.generation == 0 or self.overlays:
             return self.client.ascent(
-                metrics, schedules, adjacencies, gamma, max_steps
+                metrics, schedules, adjacencies, gamma, max_steps,
+                generation=self.generation,
             )
+        # Pre-overlay degradation path: a diverged replica can only
+        # score on its private weights.  Counted, never silent.
+        self.diagnostics["local_fallbacks"] += 1
         return generate_metrics_batch(
             self.model,
             schedules,
@@ -450,4 +634,12 @@ class FleetScorer:
             rng=rng,
         )
         self.generation += 1
+        if self.overlays:
+            # Ship the diverged state before any further scoring call:
+            # FIFO queue order guarantees the service installs it ahead
+            # of this client's next generation-N request.
+            self.client.install_overlay(
+                self.model.state_dict(), self.generation
+            )
+            self.diagnostics["overlay_installs"] += 1
         return loss

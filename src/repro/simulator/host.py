@@ -14,10 +14,8 @@ scenarios can exercise genuinely heterogeneous federations;
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
-
-import numpy as np
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from .power import NUC_POWER, PI4B_POWER, XEON_POWER, PowerModel
 

@@ -9,7 +9,7 @@ interval follows from the host's effective MIPS share.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 __all__ = ["TaskSpec", "Task"]

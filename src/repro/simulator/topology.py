@@ -9,7 +9,7 @@ broker.  CAROL's whole action space is transformations of this object
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Mapping, Tuple
+from typing import Dict, FrozenSet, Iterable, Mapping, Tuple
 
 import networkx as nx
 import numpy as np

@@ -15,9 +15,9 @@ from typing import Callable, List, Optional
 
 import numpy as np
 
-from ..config import ExperimentConfig, FederationConfig, WorkloadConfig
+from ..config import ExperimentConfig
 from .engine import EdgeFederation
-from .metrics import M_FEATURES, S_FEATURES
+from .metrics import M_FEATURES
 from .topology import Topology
 
 __all__ = ["TraceSample", "Trace", "collect_trace"]

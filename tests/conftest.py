@@ -13,7 +13,7 @@ import pytest
 from repro.config import ExperimentConfig, FaultConfig, FederationConfig, WorkloadConfig
 from repro.core import GONDiscriminator, GONInput, TrainingConfig, train_gon
 from repro.core.nodeshift import random_node_shift
-from repro.simulator import EdgeFederation, Topology, collect_trace, initial_topology
+from repro.simulator import EdgeFederation, collect_trace, initial_topology
 
 
 @pytest.fixture

@@ -14,9 +14,8 @@ from repro.baselines import (
     WithTraditionalSurrogate,
     summary_features,
 )
-from repro.core import CAROLConfig, GONInput
+from repro.core import CAROLConfig
 from repro.experiments import (
-    BASELINE_NAMES,
     EDGE_SLOWDOWN,
     TABLE1,
     build_model,

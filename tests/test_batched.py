@@ -25,7 +25,6 @@ from repro.core import (
     predict_qos_batch,
     tabu_search,
 )
-from repro.core.features import from_interval
 from repro.core.nodeshift import neighbours, random_node_shift
 from repro.core.tabu import as_batched, batched_objective
 from repro.nn import GraphEncoder

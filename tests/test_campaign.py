@@ -80,6 +80,9 @@ class TestPlanning:
         assert canonical_model_name("carol") == "CAROL"
         assert canonical_model_name(" Dyverse ") == "DYVERSE"
         assert canonical_model_name("carol-neverft") == "CAROL-NeverFT"
+        # The §VI proactive scheme is a first-class campaign model.
+        assert canonical_model_name("carol-proactive") == "CAROL-Proactive"
+        assert canonical_model_name("proactive") == "CAROL-Proactive"
 
 
 class TestExecution:
@@ -231,3 +234,24 @@ class TestCLI:
         assert code == 0
         out = capsys.readouterr().out
         assert "fault-free" in out and "ECLB" in out
+
+    def test_campaign_record_json(self, capsys, tmp_path):
+        """--record-json dumps per-run records with diagnostics (the
+        payload CI uploads from the fleet smoke as an artifact)."""
+        import json
+
+        target = tmp_path / "records.json"
+        code = cli_main([
+            "campaign", "--scenarios", "fault-free", "--models", "dyverse",
+            "--seeds", "2", "--intervals", "2",
+            "--record-json", str(target),
+        ])
+        assert code == 0
+        payload = json.loads(target.read_text())
+        assert payload["config"]["models"] == ["DYVERSE"]
+        assert payload["config"]["mode"] == "process"
+        assert len(payload["records"]) == 2
+        for record in payload["records"]:
+            assert record["scenario"] == "fault-free"
+            assert "energy_kwh" in record
+            assert isinstance(record["diagnostics"], dict)

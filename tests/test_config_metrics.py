@@ -11,13 +11,7 @@ from repro.config import (
     ci_scale,
     paper_scale,
 )
-from repro.simulator import (
-    EdgeFederation,
-    IntervalMetrics,
-    M_FEATURES,
-    RunMetrics,
-    S_FEATURES,
-)
+from repro.simulator import IntervalMetrics, M_FEATURES, RunMetrics, S_FEATURES
 
 
 class TestFederationConfig:

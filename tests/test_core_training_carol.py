@@ -156,7 +156,6 @@ class TestCAROL:
     def test_maintenance_picks_incumbent_or_better(self, carol, small_config):
         """Per-interval maintenance never adopts a topology the
         surrogate scores worse than the engine's proposal."""
-        from repro.core.objectives import QoSObjective
         from repro.core.surrogate import predict_qos
         from repro.core.features import GONInput
         from repro.simulator import EdgeFederation

@@ -23,13 +23,13 @@ from repro.core import (
     CAROL,
     CAROLConfig,
     GONDiscriminator,
-    GONInput,
     LocalScorer,
     TrainingConfig,
 )
 from repro.core.surrogate import generate_metrics_batch
 from repro.nn.serialization import freeze_state, pack_state, unpack_state
 from repro.serving import (
+    AscentRequest,
     AttachedArrayPack,
     FleetScorer,
     GONScoringService,
@@ -243,16 +243,22 @@ class TestScoringService:
         assert service.stats.n_batches == 2
 
 
+def _shared_replica(trained_gon):
+    """A worker-side replica mounted read-only over the base weights."""
+    replica = GONDiscriminator(np.random.default_rng(9), hidden=16,
+                               n_layers=2)
+    replica.load_state_dict(
+        freeze_state(trained_gon.state_dict()), copy=False
+    )
+    return replica
+
+
 class TestFleetScorer:
     def test_copy_on_write_divergence(self, service_setup, trained_gon,
                                       session_samples):
         _service, thread, client = service_setup()
-        replica = GONDiscriminator(np.random.default_rng(9), hidden=16,
-                                   n_layers=2)
-        replica.load_state_dict(
-            freeze_state(trained_gon.state_dict()), copy=False
-        )
-        scorer = FleetScorer(client, replica)
+        replica = _shared_replica(trained_gon)
+        scorer = FleetScorer(client, replica, overlays=False)
         assert scorer.generation == 0
         assert not replica.parameters()[0].data.flags.writeable
 
@@ -274,13 +280,172 @@ class TestFleetScorer:
                 next(iter(trained_gon.state_dict()))
             ],
         )
-        # Post-divergence ascents run locally (no service round-trip).
+        # Post-divergence ascents run locally (no service round-trip)
+        # in the pre-overlay mode -- and are counted, never silent.
         metrics, schedules, adjacencies = _stacks(session_samples[:2])
         local = scorer.ascent(metrics, schedules, adjacencies,
                               gamma=1e-2, max_steps=2)
         assert len(local) == 2
+        assert scorer.diagnostics["local_fallbacks"] == 1
+        assert scorer.diagnostics["overlay_installs"] == 0
         client.close()
         thread.join(timeout=10)
+
+
+# ----------------------------------------------------------------------
+# Per-client weight overlays
+# ----------------------------------------------------------------------
+class TestOverlayLifecycle:
+    def test_fine_tune_installs_overlay_scores_bitwise(
+        self, service_setup, trained_gon, session_samples
+    ):
+        """fine-tune -> overlay install -> service scores bit-identical
+        to worker-local scoring on the fine-tuned weights."""
+        service, thread, client = service_setup()
+        scorer = FleetScorer(client, _shared_replica(trained_gon))
+
+        scorer.fine_tune(
+            session_samples[:6],
+            TrainingConfig(epochs=1, generation_steps=2, seed=0),
+            iterations=1,
+            rng=np.random.default_rng(0),
+        )
+        assert scorer.generation == 1
+        assert scorer.diagnostics["overlay_installs"] == 1
+
+        metrics, schedules, adjacencies = _stacks(session_samples[:5])
+        remote = scorer.ascent(metrics, schedules, adjacencies,
+                               gamma=1e-2, max_steps=5)
+        local = generate_metrics_batch(
+            scorer.model, schedules, adjacencies, init_metrics=metrics,
+            gamma=1e-2, max_steps=5,
+        )
+        for r, ref in zip(remote, local):
+            assert np.array_equal(r.metrics, ref.metrics)
+            assert r.confidence == ref.confidence
+            assert r.n_steps == ref.n_steps
+        # The diverged replica stayed in the consolidated stream.
+        assert scorer.diagnostics["local_fallbacks"] == 0
+        client.close()
+        thread.join(timeout=10)
+        assert service.stats.overlay_installs == 1
+        assert service.stats.overlay_elements == 5
+        # Base weights are untouched by the overlay.
+        state = trained_gon.state_dict()
+        assert np.array_equal(
+            trained_gon.parameters()[0].data, state[next(iter(state))]
+        )
+
+    def test_second_fine_tune_replaces_overlay(
+        self, service_setup, trained_gon, session_samples
+    ):
+        service, thread, client = service_setup()
+        scorer = FleetScorer(client, _shared_replica(trained_gon))
+        for seed in (0, 1):
+            scorer.fine_tune(
+                session_samples[:4],
+                TrainingConfig(epochs=1, generation_steps=2, seed=seed),
+                iterations=1,
+                rng=np.random.default_rng(seed),
+            )
+        assert scorer.generation == 2
+        metrics, schedules, adjacencies = _stacks(session_samples[:3])
+        remote = scorer.ascent(metrics, schedules, adjacencies,
+                               gamma=1e-2, max_steps=3)
+        local = generate_metrics_batch(
+            scorer.model, schedules, adjacencies, init_metrics=metrics,
+            gamma=1e-2, max_steps=3,
+        )
+        for r, ref in zip(remote, local):
+            assert np.array_equal(r.metrics, ref.metrics)
+        client.close()
+        thread.join(timeout=10)
+        assert service.stats.overlay_installs == 2
+        assert scorer.diagnostics["local_fallbacks"] == 0
+
+    def test_overlay_evicted_on_disconnect(
+        self, service_setup, trained_gon, session_samples
+    ):
+        service, thread, client = service_setup()
+        scorer = FleetScorer(client, _shared_replica(trained_gon))
+        scorer.fine_tune(
+            session_samples[:4],
+            TrainingConfig(epochs=1, generation_steps=2, seed=0),
+            iterations=1,
+            rng=np.random.default_rng(0),
+        )
+        # One scored request so the install is definitely applied.
+        metrics, schedules, adjacencies = _stacks(session_samples[:2])
+        scorer.ascent(metrics, schedules, adjacencies, gamma=1e-2, max_steps=2)
+        client.close()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+        assert service._overlays == {}
+        assert service.stats.overlay_evictions == 1
+
+    def test_remote_confidences_on_overlay(
+        self, service_setup, trained_gon, session_samples
+    ):
+        """The overlay protocol covers confidence forwards too: a
+        diverged client can score D(M, S, G) stacks on the service."""
+        _service, thread, client = service_setup()
+        scorer = FleetScorer(client, _shared_replica(trained_gon))
+        scorer.fine_tune(
+            session_samples[:4],
+            TrainingConfig(epochs=1, generation_steps=2, seed=0),
+            iterations=1,
+            rng=np.random.default_rng(0),
+        )
+        metrics, schedules, adjacencies = _stacks(session_samples[:4])
+        remote = client.confidences(
+            metrics, schedules, adjacencies, generation=scorer.generation
+        )
+        local = scorer.model.forward_batch(
+            metrics, schedules, adjacencies
+        ).data
+        assert np.array_equal(remote, local)
+        # And at generation 0 the same call still hits the base model.
+        base = client.confidences(metrics, schedules, adjacencies)
+        assert np.array_equal(
+            base, trained_gon.forward_batch(metrics, schedules, adjacencies).data
+        )
+        client.close()
+        thread.join(timeout=10)
+
+    def test_generations_never_share_a_bucket(self, session_samples):
+        metrics, schedules, adjacencies = _stacks(session_samples[:2])
+
+        def request(client_id, generation):
+            return AscentRequest(
+                client_id=client_id, request_id=1, model_key="scenario",
+                metrics=metrics, schedules=schedules,
+                adjacencies=adjacencies, gamma=1e-2, max_steps=5,
+                generation=generation,
+            )
+
+        # Generation 0 is the shared base model: clients may merge.
+        assert request(0, 0).bucket == request(1, 0).bucket
+        # Different generations never share a bucket...
+        assert request(0, 0).bucket != request(0, 1).bucket
+        assert request(0, 1).bucket != request(0, 2).bucket
+        # ...and neither do two diverged clients at equal generation
+        # (their overlay weights are private).
+        assert request(0, 1).bucket != request(1, 1).bucket
+
+    def test_stale_generation_request_is_a_protocol_error(
+        self, trained_gon, session_samples
+    ):
+        service = GONScoringService(
+            {"scenario": trained_gon}, queue.Queue(), {0: queue.Queue()}
+        )
+        metrics, schedules, adjacencies = _stacks(session_samples[:1])
+        orphan = AscentRequest(
+            client_id=0, request_id=1, model_key="scenario",
+            metrics=metrics, schedules=schedules, adjacencies=adjacencies,
+            gamma=1e-2, max_steps=2, generation=3,
+        )
+        with pytest.raises(RuntimeError, match="overlay"):
+            service._resolve_model(orphan)
 
 
 # ----------------------------------------------------------------------
@@ -498,9 +663,72 @@ class TestFleetCampaign:
             tiny_fleet_grid, plan_tasks(tiny_fleet_grid),
             tiny_fleet_assets, stats_sink=sink,
         )
-        assert len(records) == 2
+        # 2 models (CAROL, CAROL-Proactive) x 2 seeds.
+        assert len(records) == 4
+        assert {r.model for r in records} == {"CAROL", "CAROL-Proactive"}
         assert sink[0].n_requests > 0
         assert sink[0].n_elements > 0
+        # No run degraded to worker-local scoring.
+        assert all(
+            r.diagnostics.get("local_fallbacks", 0) == 0 for r in records
+        )
+
+    def test_proactive_fleet_with_fine_tunes_bit_identical(
+        self, tiny_fleet_grid, tiny_fleet_assets
+    ):
+        """The acceptance contract: a fleet ProactiveCAROL campaign
+        whose POT gate opens stays bit-identical to serial execution,
+        with overlays keeping every diverged ascent on the service."""
+        from dataclasses import replace
+
+        from repro.experiments import run_campaign
+
+        # Same scenario/asset knobs as the module fixture (so the
+        # trained assets are reusable), but long enough -- and with an
+        # early-opening POT gate -- that fine-tuning genuinely fires.
+        grid = replace(
+            tiny_fleet_grid,
+            models=("CAROL-Proactive",),
+            n_seeds=1,
+            n_intervals=10,
+            carol_overrides=(("pot_calibration", 5), ("min_buffer", 2)),
+        )
+        serial = run_campaign(
+            replace(grid, mode="process", workers=1),
+            prepared_assets=tiny_fleet_assets,
+        )
+        fleet = run_campaign(grid, prepared_assets=tiny_fleet_assets)
+        assert serial.rows() == fleet.rows()
+
+        (record,) = fleet.records
+        # The gate opened, the overlay shipped, nothing degraded.
+        assert record.diagnostics["n_fine_tunes"] >= 1
+        assert record.diagnostics["overlay_installs"] >= 1
+        assert record.diagnostics["local_fallbacks"] == 0
+        # The serial twin fine-tuned identically (same decision path).
+        (serial_record,) = serial.records
+        assert (
+            serial_record.diagnostics["n_fine_tunes"]
+            == record.diagnostics["n_fine_tunes"]
+        )
+        assert serial_record.diagnostics["local_fallbacks"] == 0
+
+    def test_carol_overrides_validated(self):
+        from repro.experiments import CampaignConfig
+
+        with pytest.raises(ValueError, match="carol_overrides"):
+            CampaignConfig(
+                scenarios=("fault-free",), models=("carol",),
+                carol_overrides=(("not_a_field", 1),),
+            )
+        # 'seed' is a CAROLConfig field but derives from the per-run
+        # seed by contract: overriding it must fail at config time,
+        # not as a TypeError inside a worker process.
+        with pytest.raises(ValueError, match="seed"):
+            CampaignConfig(
+                scenarios=("fault-free",), models=("carol",),
+                carol_overrides=(("seed", 3),),
+            )
 
     def test_fleet_implies_shared_assets(self):
         from repro.experiments import CampaignConfig

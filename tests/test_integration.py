@@ -2,11 +2,10 @@
 
 from dataclasses import replace
 
-import numpy as np
 import pytest
 
 from repro.config import ExperimentConfig, FaultConfig, FederationConfig, WorkloadConfig
-from repro.core import CAROLConfig, GONInput, TrainingConfig
+from repro.core import CAROLConfig, TrainingConfig
 from repro.experiments import (
     Fig2Config,
     Fig4Config,

@@ -9,7 +9,6 @@ from repro.nn import (
     FeedForward,
     LeakyReLU,
     Linear,
-    Module,
     Parameter,
     ReLU,
     SGD,

@@ -9,7 +9,7 @@ from repro.core import PeakOverThreshold, neighbours, random_node_shift
 from repro.core.tabu import tabu_search
 from repro.nn import Tensor
 from repro.nn.tensor import _unbroadcast
-from repro.simulator import Topology, initial_topology
+from repro.simulator import Topology
 from repro.simulator.task import Task, TaskSpec
 
 

@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.config import ExperimentConfig, FaultConfig, FederationConfig, WorkloadConfig
 from repro.simulator import (
     EdgeFederation,
     GOBIScheduler,
@@ -14,7 +13,6 @@ from repro.simulator import (
     S_FEATURES,
     Trace,
     collect_trace,
-    initial_topology,
 )
 from repro.core.nodeshift import random_node_shift
 

@@ -13,7 +13,6 @@ from repro.simulator import (
     TaskSpec,
     WorkloadGenerator,
     make_aiot_generator,
-    make_defog_generator,
     make_generator,
 )
 from repro.simulator.workloads.aiot import HEAVY_APPS, LIGHT_APPS
