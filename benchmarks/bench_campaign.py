@@ -22,14 +22,21 @@ Two comparisons, both emitting machine-readable results to
   A merged-bucket fleet variant (``fleet_merge``) is timed as well,
   and the persistent surrogate-cache hit rates are reported for both
   cache scopes on paper-default plus the fault-free control.
+* **--tcp** -- the transport head-to-head: the same fleet grid
+  executed over the in-machine queue transport and over TCP sockets
+  on localhost (length-prefixed binary frames, workers fetching
+  assets over the wire).  Records are asserted bit-identical across
+  transports; the ``tcp_vs_queue_speedup`` ratio tracks the framing
+  overhead so a serialization regression cannot land silently.
 
-Run:  PYTHONPATH=src python benchmarks/bench_campaign.py [--fleet] [--quick]
+Run:  PYTHONPATH=src python benchmarks/bench_campaign.py [--fleet] [--tcp] [--quick]
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 from dataclasses import replace
@@ -49,6 +56,13 @@ from repro.experiments.fleet import run_fleet_campaign
 from repro.experiments.runner import run_experiment
 from repro.scenarios import build_topology, get_scenario
 from repro.simulator.engine import EdgeFederation
+
+
+#: Local runs write under benchmarks/out/ so stray BENCH_*.json never
+#: litter the working tree; CI passes explicit --json artifact paths.
+_DEFAULT_JSON = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "out", "BENCH_campaign.json"
+)
 
 
 def _timed(fn, *args, **kwargs):
@@ -230,6 +244,68 @@ def run_fleet_bench(args: argparse.Namespace) -> dict:
 
 
 # ----------------------------------------------------------------------
+# --tcp: queue vs TCP transport head-to-head on the same fleet grid
+# ----------------------------------------------------------------------
+def run_tcp_bench(args: argparse.Namespace) -> dict:
+    """Queue-transport vs TCP-transport fleet execution, bit-identity
+    asserted -- the framing/socket overhead measured on localhost."""
+    base = fleet_grid(args)
+    queue_config = replace(base, mode="fleet", shared_assets=True)
+    tcp_config = replace(queue_config, transport="tcp")
+    print(
+        f"\n-- transport bench: {queue_config.n_seeds} x "
+        f"{queue_config.models[0]} on paper-default, "
+        f"{queue_config.workers} workers, queue vs tcp --"
+    )
+
+    prep_seconds, assets = _timed(prepare_campaign_assets, queue_config)
+    print(f"shared asset preparation (once)   : {prep_seconds:6.2f} s")
+
+    queue_sink: list = []
+    queue_seconds, queue_records = _timed(
+        run_fleet_campaign, queue_config, plan_tasks(queue_config),
+        assets, queue_sink,
+    )
+    print(f"fleet exec, queue transport       : {queue_seconds:6.2f} s")
+
+    tcp_sink: list = []
+    tcp_seconds, tcp_records = _timed(
+        run_fleet_campaign, tcp_config, plan_tasks(tcp_config),
+        assets, tcp_sink,
+    )
+    print(f"fleet exec, tcp transport (local) : {tcp_seconds:6.2f} s")
+
+    queue_rows = CampaignResult(config=queue_config, records=queue_records).rows()
+    tcp_rows = CampaignResult(config=tcp_config, records=tcp_records).rows()
+    identical = queue_rows == tcp_rows
+    assert identical, "tcp fleet records diverged from queue transport"
+
+    ratio = queue_seconds / max(tcp_seconds, 1e-9)
+    print(
+        f"tcp/queue wall-clock ratio        : {ratio:.2f}x "
+        f"(>1 means tcp was faster; framing overhead shows as <1); "
+        f"records bit-identical: {identical}"
+    )
+    return {
+        "scenario": "paper-default",
+        "model": queue_config.models[0],
+        "n_runs": queue_config.n_seeds,
+        "workers": queue_config.workers,
+        "n_intervals": queue_config.n_intervals,
+        "queue_exec_s": round(queue_seconds, 3),
+        "tcp_exec_s": round(tcp_seconds, 3),
+        "tcp_vs_queue_speedup": round(ratio, 2),
+        "bit_identical_tcp_vs_queue": identical,
+        "service": {
+            "queue_requests": queue_sink[0].n_requests,
+            "tcp_requests": tcp_sink[0].n_requests,
+            "queue_elements": queue_sink[0].n_elements,
+            "tcp_elements": tcp_sink[0].n_elements,
+        },
+    }
+
+
+# ----------------------------------------------------------------------
 # Persistent surrogate-cache telemetry
 # ----------------------------------------------------------------------
 def cache_stats(
@@ -337,6 +413,9 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--fleet", action="store_true",
                         help="run the process-vs-fleet CAROL head-to-head")
+    parser.add_argument("--tcp", action="store_true",
+                        help="run the queue-vs-tcp transport head-to-head "
+                             "on the fleet grid (localhost sockets)")
     parser.add_argument("--proactive", action="store_true",
                         help="fleet bench sweeps CAROL-Proactive instead "
                              "of reactive CAROL (POT gate opened early so "
@@ -357,8 +436,10 @@ def main(argv=None) -> int:
                              "speedup (0 disables)")
     parser.add_argument("--no-cache-bench", action="store_true",
                         help="skip the surrogate-cache telemetry section")
-    parser.add_argument("--json", type=str, default="BENCH_campaign.json",
-                        help="write machine-readable results here")
+    parser.add_argument("--json", type=str, default=_DEFAULT_JSON,
+                        help="write machine-readable results here "
+                             "(default: benchmarks/out/, kept out of the "
+                             "working tree; CI passes an explicit path)")
     args = parser.parse_args(argv)
     if args.proactive:
         # The proactive sweep is a fleet-bench variant.
@@ -383,9 +464,12 @@ def main(argv=None) -> int:
         payload["fleet"] = run_fleet_bench(args)
         if not args.no_cache_bench:
             payload["cache"] = run_cache_bench(args)
-    else:
+    if args.tcp:
+        payload["tcp"] = run_tcp_bench(args)
+    if not args.fleet and not args.tcp:
         payload["serial_vs_process"] = run_legacy(args)
 
+    os.makedirs(os.path.dirname(os.path.abspath(args.json)), exist_ok=True)
     with open(args.json, "w") as sink:
         json.dump(payload, sink, indent=2)
     print(f"\nwrote {args.json}")

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 import time
 
@@ -49,6 +50,12 @@ from repro.nn import Tensor
 from repro.simulator import initial_topology
 
 _EPS = 1e-8
+
+#: Local runs write under benchmarks/out/ so stray BENCH_*.json never
+#: litter the working tree; CI passes explicit --json artifact paths.
+_DEFAULT_JSON = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "out", "BENCH_surrogate.json"
+)
 
 
 def seed_predict_qos(model, sample, objective, gamma, max_steps, tol=1e-5):
@@ -281,6 +288,7 @@ def run(args: argparse.Namespace) -> int:
         "parity_max_abs_diff": float(np.abs(bat_scores - seed_scores).max()),
         "flat_gemm": flat_gemm,
     }
+    os.makedirs(os.path.dirname(os.path.abspath(args.json)), exist_ok=True)
     with open(args.json, "w") as sink:
         json.dump(payload, sink, indent=2)
     print(f"\nwrote {args.json}")
@@ -307,8 +315,10 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--min-speedup", type=float, default=0.0,
                         help="exit non-zero below this speedup (0 disables)")
-    parser.add_argument("--json", type=str, default="BENCH_surrogate.json",
-                        help="write machine-readable results here")
+    parser.add_argument("--json", type=str, default=_DEFAULT_JSON,
+                        help="write machine-readable results here "
+                             "(default: benchmarks/out/, kept out of the "
+                             "working tree; CI passes an explicit path)")
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
     if args.quick:

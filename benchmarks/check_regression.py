@@ -16,10 +16,13 @@ of main without turning CI into a flaky timing oracle:
   batched == sequential scores).  Any ``false`` in a fresh result
   fails immediately; there is no tolerance on correctness.
 
-Keys present in the baseline but missing from a fresh result (or vice
-versa) are reported but do not fail: bench grids evolve across PRs,
-and the gate should never force a lockstep baseline refresh for an
-additive change.
+Coverage is part of the contract: a gated key present in the baseline
+but missing from a fresh result means a bench section silently stopped
+running, and a fresh key absent from the baseline means a new section
+landed without being gated.  Both are **hard errors**, as is a fresh
+result file the baseline has never seen -- additive bench changes must
+ship a regenerated ``BENCH_baseline.json`` (``--write-baseline``) in
+the same PR.
 
 Usage::
 
@@ -100,11 +103,25 @@ def check_file(
         if not value:
             failures.append(f"{name}: parity contract {path} is false")
     base_speedups = baseline.get("speedups", {})
+    for path in sorted(set(fresh["speedups"]) - set(base_speedups)):
+        failures.append(
+            f"{name}: {path} has no baseline entry -- an ungated bench "
+            "section; regenerate BENCH_baseline.json with --write-baseline"
+        )
+    for path in sorted(set(base_speedups) - set(fresh["speedups"])):
+        failures.append(
+            f"{name}: baseline key {path} missing from the fresh result "
+            "-- a bench section silently stopped running"
+        )
+    for path in sorted(set(baseline.get("parity", {})) - set(fresh["parity"])):
+        failures.append(
+            f"{name}: baseline parity contract {path} missing from the "
+            "fresh result -- a bench assertion silently stopped running"
+        )
     for path, fresh_value in sorted(fresh["speedups"].items()):
         base_value = base_speedups.get(path)
         if base_value is None:
-            print(f"  note: {name}: {path} has no baseline entry (skipped)")
-            continue
+            continue  # already a failure above
         floor = base_value / tolerance
         status = "ok" if fresh_value >= floor else "FAIL"
         print(
@@ -116,8 +133,6 @@ def check_file(
                 f"{name}: {path} regressed to {fresh_value:.2f}x, "
                 f"more than {tolerance:.1f}x below baseline {base_value:.2f}x"
             )
-    for path in sorted(set(base_speedups) - set(fresh["speedups"])):
-        print(f"  note: {name}: baseline key {path} absent from fresh result")
     return failures
 
 
@@ -179,9 +194,17 @@ def main(argv=None) -> int:
     for name, fresh in sorted(fresh_by_name.items()):
         base = benches.get(name)
         if base is None:
-            print(f"  note: {name}: not in baseline (skipped)")
+            failures.append(
+                f"{name}: not in the baseline -- a new bench output must "
+                "ship a regenerated BENCH_baseline.json (--write-baseline)"
+            )
             continue
         failures.extend(check_file(name, fresh, base, tolerance))
+    for name in sorted(set(benches) - set(fresh_by_name)):
+        failures.append(
+            f"{name}: in the baseline but absent from this gate run -- "
+            "a bench silently stopped running (or wasn't passed here)"
+        )
 
     if failures:
         print(f"\nFAIL: {len(failures)} regression(s):")

@@ -1,0 +1,70 @@
+"""Assert two ``campaign --record-json`` dumps agree record-for-record.
+
+CI runs the fleet smoke twice -- once over the queue transport, once
+over TCP sockets against a separately served scoring service -- and
+this check pins the transport contract in the pipeline itself: the
+deterministic record surface (scenario, model, seeds, every metric)
+must be **bit-identical** across transports.  Execution diagnostics
+(overlay/fallback/cache counters) legitimately differ between modes
+and are excluded, exactly as in ``RunRecord.row()``.
+
+Usage::
+
+    python benchmarks/compare_records.py A.json B.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List
+
+
+def record_rows(path: str) -> List[Dict[str, object]]:
+    with open(path) as source:
+        payload = json.load(source)
+    records = payload.get("records")
+    if not isinstance(records, list) or not records:
+        raise SystemExit(f"{path}: no records in payload")
+    rows = [
+        {key: value for key, value in record.items() if key != "diagnostics"}
+        for record in records
+    ]
+    return sorted(rows, key=lambda row: row.get("run_index", 0))
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("left", help="first --record-json dump")
+    parser.add_argument("right", help="second --record-json dump")
+    args = parser.parse_args(argv)
+
+    left_rows = record_rows(args.left)
+    right_rows = record_rows(args.right)
+    if len(left_rows) != len(right_rows):
+        print(
+            f"FAIL: {args.left} has {len(left_rows)} records, "
+            f"{args.right} has {len(right_rows)}"
+        )
+        return 1
+    for index, (left, right) in enumerate(zip(left_rows, right_rows)):
+        if left != right:
+            diff = sorted(
+                key
+                for key in set(left) | set(right)
+                if left.get(key) != right.get(key)
+            )
+            print(f"FAIL: record {index} differs on {diff}:")
+            for key in diff:
+                print(f"  {key}: {left.get(key)!r} != {right.get(key)!r}")
+            return 1
+    print(
+        f"OK: {len(left_rows)} records bit-identical between "
+        f"{args.left} and {args.right}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

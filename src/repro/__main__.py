@@ -23,14 +23,27 @@ The scenario subsystem adds two commands:
 
 ``--shared-assets`` trains CAROL-family offline assets once per
 scenario instead of once per run; ``--fleet`` additionally runs the
-campaign through the shared-memory scoring service of
-:mod:`repro.serving` (``--ci --fleet`` runs the tiny fleet smoke grid).
-The §VI proactive scheme is a first-class campaign model
-(``--models carol-proactive``, alias ``proactive``) in every mode --
-in fleet mode its fine-tuned replicas stay on the scoring service via
-per-client weight overlays.  ``--record-json PATH`` dumps the full
-per-run records (metrics + scorer diagnostics) as JSON; CI uploads
-the fleet smoke's dump as a build artifact.
+campaign through the shared scoring service of :mod:`repro.serving`
+(``--ci --fleet`` runs the tiny fleet smoke grid).  The §VI proactive
+scheme is a first-class campaign model (``--models carol-proactive``,
+alias ``proactive``) in every mode -- in fleet mode its fine-tuned
+replicas stay on the scoring service via per-client weight overlays.
+``--record-json PATH`` dumps the full per-run records (metrics +
+scorer diagnostics) as JSON; CI uploads the fleet smokes' dumps as
+build artifacts.
+
+Multi-node fleets split the two halves across commands::
+
+    # machine A: host the scoring service (trains/publishes assets)
+    python -m repro serve --ci --expect-workers 2 --port 7911
+
+    # machine B (or the same box): run the simulation workers
+    python -m repro campaign --ci --fleet --transport tcp \\
+        --connect hostA:7911 --workers 2
+
+``--transport tcp`` without ``--connect`` self-hosts the service on an
+ephemeral localhost port (single-box TCP mode); both sides must be
+launched with the same grid flags so the asset catalogs agree.
 """
 
 from __future__ import annotations
@@ -153,17 +166,29 @@ def _cmd_campaign(args) -> int:
         run_campaign,
     )
 
+    transport = args.transport or ("tcp" if args.connect else "queue")
     if args.ci:
         if args.fleet:
             config = fleet_ci_campaign_config(workers=args.workers)
         else:
             config = ci_campaign_config(workers=args.workers)
+        overrides = {}
         if args.shared_assets and not config.shared_assets:
             # Honour the flag on the smoke grid too (a no-op for its
             # heuristic models, but never silently ignored).
-            from dataclasses import replace as _replace
-
-            config = _replace(config, shared_assets=True)
+            overrides["shared_assets"] = True
+        if transport != "queue" or args.connect:
+            # Applied regardless of --fleet so a forgotten flag fails
+            # config validation loudly instead of silently running a
+            # local process campaign while a remote service waits.
+            overrides["transport"] = transport
+            overrides["service_addr"] = args.connect
+        if overrides:
+            try:
+                config = replace(config, **overrides)
+            except ValueError as error:
+                print(error, file=sys.stderr)
+                return 2
     else:
         if not args.scenarios:
             print("campaign requires --scenarios (or --ci)", file=sys.stderr)
@@ -181,11 +206,18 @@ def _cmd_campaign(args) -> int:
                 seed=args.seed,
                 n_intervals=args.intervals or None,
                 mode="fleet" if args.fleet else "process",
+                # Passed through unconditionally: --transport tcp
+                # without --fleet must fail validation loudly, never
+                # silently run a local queue campaign.
+                transport=transport,
+                service_addr=args.connect,
                 shared_assets=args.shared_assets or args.fleet,
             )
         except ValueError as error:
             print(error, file=sys.stderr)
             return 2
+    from .serving import TransportError
+
     try:
         result = run_campaign(config)
     except (KeyError, ValueError) as error:
@@ -194,6 +226,9 @@ def _cmd_campaign(args) -> int:
         message = error.args[0] if error.args else str(error)
         print(message, file=sys.stderr)
         return 2
+    except TransportError as error:
+        print(f"fleet transport failed: {error}", file=sys.stderr)
+        return 1
     if args.record_json:
         import json
 
@@ -201,6 +236,84 @@ def _cmd_campaign(args) -> int:
             json.dump(result.to_payload(), sink, indent=2)
         print(f"wrote {len(result.records)} records to {args.record_json}")
     print(result.format_summary())
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    from .experiments import (
+        CampaignConfig,
+        fleet_ci_campaign_config,
+        plan_tasks,
+        prepare_campaign_assets,
+    )
+    from .experiments.fleet import serve_fleet_service
+    from .serving import TransportError
+
+    if args.ci:
+        config = fleet_ci_campaign_config(workers=args.expect_workers)
+    else:
+        if not args.scenarios:
+            print("serve requires --scenarios (or --ci)", file=sys.stderr)
+            return 2
+        try:
+            config = CampaignConfig(
+                scenarios=tuple(
+                    s.strip() for s in args.scenarios.split(",") if s.strip()
+                ),
+                models=tuple(
+                    m for m in (args.models or "carol").split(",") if m.strip()
+                ),
+                n_seeds=args.seeds,
+                workers=args.expect_workers,
+                seed=args.seed,
+                n_intervals=args.intervals or None,
+                mode="fleet",
+            )
+        except ValueError as error:
+            print(error, file=sys.stderr)
+            return 2
+    config = replace(config, transport="tcp", workers=args.expect_workers)
+
+    try:
+        tasks = plan_tasks(config)
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(message, file=sys.stderr)
+        return 2
+    print(
+        f"preparing shared assets for {len(config.scenarios)} scenario(s)...",
+        flush=True,
+    )
+    assets = prepare_campaign_assets(config, tasks)
+
+    def ready(host: str, port: int) -> None:
+        print(
+            f"fleet scoring service listening on {host}:{port} "
+            f"(expecting {args.expect_workers} workers; connect with "
+            f"`python -m repro campaign ... --fleet --transport tcp "
+            f"--connect {host}:{port}`)",
+            flush=True,
+        )
+
+    try:
+        stats = serve_fleet_service(
+            config,
+            assets,
+            host=args.host,
+            port=args.port,
+            n_clients=args.expect_workers,
+            idle_timeout=args.idle_timeout,
+            on_ready=ready,
+        )
+    except (TransportError, RuntimeError) as error:
+        print(f"scoring service failed: {error}", file=sys.stderr)
+        return 1
+    print(
+        f"service done: {stats.n_requests} requests / {stats.n_elements} "
+        f"stacked candidates in {stats.n_batches} batches; "
+        f"{stats.overlay_installs} overlay installs, "
+        f"{stats.overlay_evictions} evictions"
+    )
     return 0
 
 
@@ -262,14 +375,56 @@ def main(argv=None) -> int:
     campaign.add_argument("--ci", action="store_true",
                           help="run the tiny CI smoke grid")
     campaign.add_argument("--fleet", action="store_true",
-                          help="fleet mode: shared-memory assets + one "
+                          help="fleet mode: shared assets + one "
                                "batched GON scoring service")
+    campaign.add_argument("--transport", type=str, default="",
+                          choices=["", "queue", "tcp"],
+                          help="fleet plumbing: 'queue' (single machine, "
+                               "default) or 'tcp' (sockets; multi-node "
+                               "capable)")
+    campaign.add_argument("--connect", type=str, default="",
+                          help="host:port of an external scoring service "
+                               "(python -m repro serve); implies "
+                               "--transport tcp")
     campaign.add_argument("--shared-assets", action="store_true",
                           help="train CAROL-family assets once per "
                                "scenario (campaign-root seeded)")
     campaign.add_argument("--record-json", type=str, default="",
                           help="write per-run records (metrics + scorer "
                                "diagnostics) to this JSON file")
+
+    serve = subparsers.add_parser(
+        "serve",
+        help="host a TCP GON scoring service for remote fleet workers",
+    )
+    serve.add_argument("--scenarios", type=str, default="",
+                       help="comma-separated scenario names (must match "
+                            "the connecting campaign's grid)")
+    serve.add_argument("--models", type=str, default="carol",
+                       help="comma-separated model names of the grid")
+    serve.add_argument("--seeds", type=int, default=1,
+                       help="independent repetitions per cell")
+    serve.add_argument("--seed", type=int, default=0,
+                       help="campaign root seed (drives asset training)")
+    serve.add_argument("--intervals", type=int, default=0,
+                       help="override each scenario's interval count")
+    serve.add_argument("--ci", action="store_true",
+                       help="serve the tiny fleet CI smoke grid's assets")
+    serve.add_argument("--host", type=str, default="127.0.0.1",
+                       help="bind address (0.0.0.0 to accept remote "
+                            "machines)")
+    serve.add_argument("--port", type=int, default=0,
+                       help="bind port (0 picks an ephemeral port, "
+                            "printed on startup)")
+    serve.add_argument("--expect-workers", type=int, default=2,
+                       help="total worker connections across all "
+                            "connecting campaigns; the service exits "
+                            "after this many sign-offs.  Must equal the "
+                            "connecting side's effective worker count, "
+                            "min(--workers, number of grid cells)")
+    serve.add_argument("--idle-timeout", type=float, default=600.0,
+                       help="abort (exit nonzero) after this many "
+                            "seconds without traffic; 0 waits forever")
 
     args = parser.parse_args(argv)
 
@@ -285,6 +440,8 @@ def main(argv=None) -> int:
         return _cmd_fig6(args, args.command[-1])
     if args.command == "scenarios":
         return _cmd_scenarios(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     return _cmd_campaign(args)
 
 

@@ -125,6 +125,20 @@ class CampaignConfig:
     #: "fleet" runs simulation workers against one shared batched GON
     #: scoring service (implies ``shared_assets``).
     mode: str = "process"
+    #: Fleet plumbing: "queue" keeps the single-machine
+    #: ``multiprocessing`` path (bit-for-bit the historical
+    #: behaviour); "tcp" frames the same request/reply dataclasses
+    #: over sockets (:mod:`repro.serving.wire`) so workers may live on
+    #: other machines.  Both transports produce records bit-identical
+    #: to serial execution.
+    transport: str = "queue"
+    #: TCP only: ``"host:port"`` of an externally hosted scoring
+    #: service (``python -m repro serve``).  When set, this campaign
+    #: spawns only simulation workers -- they connect to the remote
+    #: service and fetch the offline assets over the socket, so no
+    #: local asset training happens here.  Empty means self-host on an
+    #: ephemeral localhost port.
+    service_addr: str = ""
     #: Prepare CAROL-family offline assets once per scenario (seeded
     #: from the campaign root) instead of once per run.  Changes what
     #: CAROL-family records contain -- it is part of the grid spec, so
@@ -163,6 +177,30 @@ class CampaignConfig:
                 f"unknown campaign mode {self.mode!r}; "
                 "expected 'process' or 'fleet'"
             )
+        if self.transport not in ("queue", "tcp"):
+            raise ValueError(
+                f"unknown fleet transport {self.transport!r}; "
+                "expected 'queue' or 'tcp'"
+            )
+        if self.transport == "tcp" and self.mode != "fleet":
+            raise ValueError(
+                "transport='tcp' requires mode='fleet' (only fleet "
+                "campaigns route scoring through a service)"
+            )
+        if self.service_addr:
+            if self.transport != "tcp":
+                raise ValueError(
+                    "service_addr requires transport='tcp' (queue "
+                    "transports cannot reach a remote service)"
+                )
+            # One source of truth for what a valid address looks like
+            # (imported lazily: serving pulls in the nn stack).
+            from ..serving.transports import TransportError, parse_address
+
+            try:
+                parse_address(self.service_addr)
+            except TransportError as error:
+                raise ValueError(str(error)) from None
         known_fields = {f.name for f in fields(CAROLConfig)}
         for name, _value in self.carol_overrides:
             if name == "seed":
@@ -435,6 +473,8 @@ class CampaignResult:
                 "seed": self.config.seed,
                 "n_intervals": self.config.n_intervals,
                 "mode": self.config.mode,
+                "transport": self.config.transport,
+                "service_addr": self.config.service_addr,
                 "shared_assets": self.config.shared_assets,
                 "fleet_merge": self.config.fleet_merge,
                 "carol_overrides": [list(p) for p in self.config.carol_overrides],
@@ -513,11 +553,16 @@ def run_campaign(
     tasks = plan_tasks(config)
     shared: Optional[Dict[str, TrainedAssets]] = None
     if config.shared_assets:
-        shared = (
-            prepared_assets
-            if prepared_assets is not None
-            else prepare_campaign_assets(config, tasks)
-        )
+        if config.mode == "fleet" and config.service_addr:
+            # The external service already trained and published the
+            # assets; workers fetch them over the socket instead.
+            shared = {}
+        else:
+            shared = (
+                prepared_assets
+                if prepared_assets is not None
+                else prepare_campaign_assets(config, tasks)
+            )
 
     if config.mode == "fleet":
         from .fleet import run_fleet_campaign

@@ -6,51 +6,75 @@ stream.  Fleet mode splits the run differently (see
 :mod:`repro.serving` for the subsystem diagram):
 
 * the parent publishes each scenario's trained GON weights and trace
-  stacks *once* into ``multiprocessing.shared_memory``;
-* ``N`` lightweight simulation workers mount zero-copy views of those
+  stacks *once*;
+* ``N`` lightweight simulation workers mount read-only views of those
   assets and run the discrete-interval loop;
-* every CAROL-family surrogate ascent is submitted to the parent's
+* every CAROL-family surrogate ascent is submitted to the
   :class:`~repro.serving.GONScoringService`, which buckets concurrent
   requests by ``(scenario, host count)`` and answers them with batched
   eq.-1 ascents on the single resident weight replica.
 
-Record-level bit-identity with serial execution holds because (a) the
-scored stacks are exactly the stacks an in-process scorer would run
-(exact policy -- see :mod:`repro.serving.service` for why merging
-cannot be bitwise), (b) workers keep every RNG stream local, and (c) a
-run whose POT gate opens fine-tunes a private copy-on-write weight
-copy exactly as its serial twin would mutate its own model, then ships
-the diverged state back to the service as a per-client overlay
-(``pack_state`` roundtrips are bit-exact), so even post-fine-tune
-ascents stay in the consolidated stream without leaving the contract.
+Two transports carry that traffic (``CampaignConfig.transport``):
+
+* ``"queue"`` -- ``multiprocessing`` queues and shared-memory asset
+  segments; the fleet lives on one machine (the historical path,
+  preserved bit-for-bit behind :class:`~repro.serving.QueueTransport`);
+* ``"tcp"`` -- length-prefixed binary frames over sockets
+  (:mod:`repro.serving.wire`); workers fetch assets over the socket
+  and may live on other machines.  With ``CampaignConfig.service_addr``
+  set, workers connect to an externally hosted service
+  (``python -m repro serve``) instead of one spawned here.
+
+Record-level bit-identity with serial execution holds on both
+transports because (a) the scored stacks are exactly the stacks an
+in-process scorer would run (exact policy -- see
+:mod:`repro.serving.service` for why merging cannot be bitwise), (b)
+workers keep every RNG stream local, (c) a run whose POT gate opens
+fine-tunes a private copy-on-write weight copy exactly as its serial
+twin would, then ships the diverged state back as a per-client overlay
+(``pack_state`` roundtrips are bit-exact), and (d) the TCP wire moves
+float64 payloads as raw packed bytes, never through text.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import queue as queue_module
+import sys
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..baselines import AlwaysFineTune, NeverFineTune
 from ..core import CAROL, GONDiscriminator, GONInput, ProactiveCAROL
+from ..nn.serialization import pack_state, unpack_state
 from ..serving import (
     AttachedArrayPack,
     ClientDone,
     FleetScorer,
     GONScoringService,
+    QueueTransport,
     ScoringClient,
     ServiceStats,
     SharedArrayPack,
     SharedPackHandle,
+    TcpTransport,
+    TcpWorkerChannel,
+    fetch_array_pack,
+    serve_transport,
 )
 from .calibration import PROACTIVE_NAME, TrainedAssets, build_model
-from .campaign import RunRecord, RunTask, cell_carol_config, run_cell
+from .campaign import (
+    RunRecord,
+    RunTask,
+    _CAROL_FAMILY,
+    cell_carol_config,
+    run_cell,
+)
 
-__all__ = ["run_fleet_campaign"]
+__all__ = ["run_fleet_campaign", "serve_fleet_service"]
 
 #: CAROL-family models whose GON evaluations route through the service.
 #: ProactiveCAROL fine-tunes aggressively, so its fleet presence leans
@@ -79,17 +103,22 @@ class _ScenarioHandles:
     gan_seed: int
 
 
+def _trace_arrays(assets: TrainedAssets) -> Dict[str, np.ndarray]:
+    """The offline trace as stacked arrays (the published layout)."""
+    return {
+        "metrics": np.stack([s.metrics for s in assets.samples]),
+        "schedules": np.stack([s.schedule for s in assets.samples]),
+        "adjacencies": np.stack([s.adjacency for s in assets.samples]),
+        "objectives": np.asarray(assets.objectives, dtype=float),
+    }
+
+
 def _publish_assets(
     assets: TrainedAssets,
 ) -> tuple:
     """Publish one scenario's weights + trace into shared memory."""
     weight_pack = SharedArrayPack(assets.gon_state)
-    trace_pack = SharedArrayPack({
-        "metrics": np.stack([s.metrics for s in assets.samples]),
-        "schedules": np.stack([s.schedule for s in assets.samples]),
-        "adjacencies": np.stack([s.adjacency for s in assets.samples]),
-        "objectives": np.asarray(assets.objectives, dtype=float),
-    })
+    trace_pack = SharedArrayPack(_trace_arrays(assets))
     handles = _ScenarioHandles(
         weights=weight_pack.handle,
         trace=trace_pack.handle,
@@ -112,29 +141,47 @@ def _mount_gon(
     return model
 
 
+def _rebuild_assets(
+    weight_arrays: Dict[str, np.ndarray],
+    trace_arrays: Dict[str, np.ndarray],
+    gon_hidden: int,
+    gon_layers: int,
+    seed: int,
+    gan_seed: int,
+) -> TrainedAssets:
+    """Worker side: :class:`TrainedAssets` over published array views."""
+    n_samples = trace_arrays["metrics"].shape[0]
+    return TrainedAssets(
+        trace=None,
+        samples=[
+            GONInput(
+                trace_arrays["metrics"][i],
+                trace_arrays["schedules"][i],
+                trace_arrays["adjacencies"][i],
+            )
+            for i in range(n_samples)
+        ],
+        objectives=[float(v) for v in trace_arrays["objectives"]],
+        gon_state=weight_arrays,
+        gon_hidden=gon_hidden,
+        gon_layers=gon_layers,
+        training_history=None,
+        gan_seed=gan_seed,
+        seed=seed,
+    )
+
+
 def _attach_assets(handles: _ScenarioHandles) -> tuple:
     """Worker side: rebuild :class:`TrainedAssets` over shared views."""
     weight_pack = AttachedArrayPack(handles.weights)
     trace_pack = AttachedArrayPack(handles.trace)
-    arrays = trace_pack.arrays
-    n_samples = arrays["metrics"].shape[0]
-    assets = TrainedAssets(
-        trace=None,
-        samples=[
-            GONInput(
-                arrays["metrics"][i],
-                arrays["schedules"][i],
-                arrays["adjacencies"][i],
-            )
-            for i in range(n_samples)
-        ],
-        objectives=[float(v) for v in arrays["objectives"]],
-        gon_state=weight_pack.arrays,
-        gon_hidden=handles.gon_hidden,
-        gon_layers=handles.gon_layers,
-        training_history=None,
-        gan_seed=handles.gan_seed,
-        seed=handles.seed,
+    assets = _rebuild_assets(
+        weight_pack.arrays,
+        trace_pack.arrays,
+        handles.gon_hidden,
+        handles.gon_layers,
+        handles.seed,
+        handles.gan_seed,
     )
     return assets, (weight_pack, trace_pack)
 
@@ -210,6 +257,135 @@ def _fleet_worker_main(
             pack.close()
 
 
+def _tcp_fleet_worker_main(
+    worker_id: int,
+    tasks: Sequence[RunTask],
+    address: str,
+    results_queue,
+) -> None:
+    """TCP worker: connect, fetch assets over the socket, run cells.
+
+    Mirrors :func:`_fleet_worker_main` with the network asset path:
+    each needed scenario's weight and trace packs are fetched once
+    (cached per process by :func:`repro.serving.fetch_array_pack`)
+    instead of attaching ``multiprocessing.shared_memory``.  The
+    client id is assigned by the service at handshake; ``worker_id``
+    only names the task partition.
+    """
+    channel = TcpWorkerChannel(address)
+    try:
+        index = channel.fetch_index()
+        assets_by_scenario: Dict[str, TrainedAssets] = {}
+        needed = sorted(
+            {task.scenario for task in tasks if task.model in _CAROL_FAMILY}
+        )
+        for scenario in needed:
+            meta = index.get(scenario)
+            if meta is None:
+                continue
+            weights = fetch_array_pack(channel, f"{scenario}/weights")
+            trace = fetch_array_pack(channel, f"{scenario}/trace")
+            assets_by_scenario[scenario] = _rebuild_assets(
+                weights.arrays,
+                trace.arrays,
+                int(meta["gon_hidden"]),
+                int(meta["gon_layers"]),
+                int(meta["seed"]),
+                int(meta["gan_seed"]),
+            )
+        for task in tasks:
+            client = ScoringClient(
+                channel.client_id, task.scenario, channel, channel
+            )
+            record = _execute_fleet_run(
+                task, assets_by_scenario.get(task.scenario), client
+            )
+            results_queue.put(record)
+    finally:
+        try:
+            channel.put(ClientDone(channel.client_id))
+        except Exception:
+            pass  # the socket is already gone; the service saw the EOF
+        channel.close()
+
+
+def _pack_campaign_assets(
+    shared_assets: Dict[str, TrainedAssets],
+) -> Tuple[Dict[str, tuple], Dict[str, Dict[str, int]], Dict[str, GONDiscriminator]]:
+    """Pack every scenario's assets for TCP publication.
+
+    Returns ``(asset_packs, asset_index, models)``: the named
+    ``(buffer, manifest)`` packs the transport serves to remote
+    workers, the scenario metadata index, and the service-side GON
+    replicas mounted as zero-copy views over the very same buffers --
+    the weights exist once in the serving process.
+    """
+    packs: Dict[str, tuple] = {}
+    index: Dict[str, Dict[str, int]] = {}
+    models: Dict[str, GONDiscriminator] = {}
+    for scenario, assets in shared_assets.items():
+        weight_buffer, weight_manifest = pack_state(assets.gon_state)
+        packs[f"{scenario}/weights"] = (weight_buffer, weight_manifest)
+        packs[f"{scenario}/trace"] = pack_state(_trace_arrays(assets))
+        index[scenario] = {
+            "gon_hidden": assets.gon_hidden,
+            "gon_layers": assets.gon_layers,
+            "seed": assets.seed,
+            "gan_seed": assets.gan_seed,
+        }
+        models[scenario] = _mount_gon(
+            unpack_state(weight_buffer, weight_manifest),
+            assets.gon_hidden,
+            assets.gon_layers,
+            assets.seed,
+        )
+    return packs, index, models
+
+
+def _collect_records(
+    results_queue,
+    n_expected: int,
+    worker_crashed: Callable[[], bool],
+    workers_alive: Callable[[], bool],
+) -> List[RunRecord]:
+    """Drain worker records; fail fast when a worker can't deliver.
+
+    Liveness, not a wall-clock budget, decides when to give up: as
+    long as workers are alive and healthy we keep waiting (remote-mode
+    collection starts while cells are still executing, and a single
+    long cell must not trip an arbitrary deadline -- process-pool
+    campaigns wait indefinitely too).  A crashed worker fails fast; a
+    clean universal exit with records still missing gets one short
+    drain grace period, then fails loudly.
+    """
+    records: List[RunRecord] = []
+    while len(records) < n_expected:
+        try:
+            records.append(results_queue.get(timeout=1.0))
+            continue
+        except queue_module.Empty:
+            pass
+        if worker_crashed():
+            raise RuntimeError(
+                f"fleet campaign lost records: got {len(records)} "
+                f"of {n_expected} (a worker crashed -- check stderr "
+                "above)"
+            ) from None
+        if not workers_alive():
+            # Every worker exited cleanly: whatever is coming is
+            # already in the queue's pipe buffer.
+            try:
+                records.append(results_queue.get(timeout=5.0))
+                continue
+            except queue_module.Empty:
+                raise RuntimeError(
+                    f"fleet campaign lost records: got {len(records)} "
+                    f"of {n_expected} although every worker exited "
+                    "cleanly -- records were dropped in transit"
+                ) from None
+    return records
+
+
 def run_fleet_campaign(
     config,
     tasks: Sequence[RunTask],
@@ -221,11 +397,15 @@ def run_fleet_campaign(
     ``shared_assets`` maps scenario name -> offline assets (from
     :func:`~repro.experiments.campaign.prepare_campaign_assets`).
     ``stats_sink``, when given, receives the scorer's
-    :class:`ServiceStats` for telemetry/benchmarks.
+    :class:`ServiceStats` for telemetry/benchmarks (empty when the
+    service is remote -- its stats live in the serving process).
+    ``config.transport`` selects queue or TCP plumbing.
     """
     tasks = list(tasks)
     if not tasks:
         return []
+    if getattr(config, "transport", "queue") == "tcp":
+        return _run_tcp_fleet_campaign(config, tasks, shared_assets, stats_sink)
     ctx = multiprocessing.get_context()
     n_workers = max(1, min(config.workers, len(tasks)))
     partitions = [tasks[i::n_workers] for i in range(n_workers)]
@@ -246,15 +426,14 @@ def run_fleet_campaign(
                 assets.seed,
             )
 
-        request_queue = ctx.Queue()
-        reply_queues = {i: ctx.Queue() for i in range(n_workers)}
+        transport = QueueTransport(n_workers, ctx=ctx)
         results_queue = ctx.Queue()
         workers.extend(
             ctx.Process(
                 target=_fleet_worker_main,
                 args=(
                     i, partitions[i], handles,
-                    request_queue, reply_queues[i], results_queue,
+                    *transport.worker_endpoints(i), results_queue,
                 ),
                 daemon=True,
             )
@@ -269,31 +448,22 @@ def run_fleet_campaign(
                 for worker in workers
             )
 
+        def workers_alive() -> bool:
+            return any(worker.is_alive() for worker in workers)
+
         service = GONScoringService(
             models,
-            request_queue,
-            reply_queues,
+            transport.request_queue,
+            transport.reply_queues,
             merge_requests=bool(getattr(config, "fleet_merge", False)),
         )
-        stats = service.serve(abort=worker_crashed)
+        stats = serve_transport(service, transport, abort=worker_crashed)
         if stats_sink is not None:
             stats_sink.append(stats)
 
-        records: List[RunRecord] = []
-        deadline = time.monotonic() + _COLLECT_TIMEOUT
-        while len(records) < len(tasks):
-            try:
-                records.append(results_queue.get(timeout=1.0))
-            except queue_module.Empty:
-                # Nothing in flight: a crashed worker can never refill
-                # the queue, so fail fast instead of waiting out the
-                # full timeout (kept as a backstop for silent hangs).
-                if worker_crashed() or time.monotonic() > deadline:
-                    raise RuntimeError(
-                        f"fleet campaign lost records: got {len(records)} "
-                        f"of {len(tasks)} (a worker likely crashed -- "
-                        "check stderr above)"
-                    ) from None
+        records = _collect_records(
+            results_queue, len(tasks), worker_crashed, workers_alive
+        )
         for worker in workers:
             worker.join(timeout=_COLLECT_TIMEOUT)
         return sorted(records, key=lambda record: record.run_index)
@@ -308,3 +478,152 @@ def run_fleet_campaign(
         for pack in packs:
             pack.close()
             pack.unlink()
+
+
+def _run_tcp_fleet_campaign(
+    config,
+    tasks: Sequence[RunTask],
+    shared_assets: Dict[str, TrainedAssets],
+    stats_sink: Optional[List[ServiceStats]] = None,
+) -> List[RunRecord]:
+    """Fleet execution over sockets: self-hosted or external service.
+
+    Without ``config.service_addr`` the parent binds an ephemeral
+    localhost port, serves the scoring loop itself and spawns local
+    workers that connect to it (the single-box TCP mode CI smokes).
+    With ``service_addr`` the workers connect to an externally hosted
+    service (``python -m repro serve``) and fetch assets from it --
+    this process never trains or publishes anything.
+    """
+    ctx = multiprocessing.get_context()
+    n_workers = max(1, min(config.workers, len(tasks)))
+    partitions = [tasks[i::n_workers] for i in range(n_workers)]
+    service_addr = str(getattr(config, "service_addr", "") or "")
+    if service_addr and n_workers != config.workers:
+        # The external service winds down after exactly
+        # --expect-workers sign-offs; a silently clamped worker count
+        # would leave it waiting for clients that never come.
+        print(
+            f"note: fleet worker count clamped to {n_workers} (the grid "
+            f"has only {len(tasks)} tasks); the service at "
+            f"{service_addr} must have been started with "
+            f"--expect-workers {n_workers}",
+            file=sys.stderr,
+        )
+
+    transport: Optional[TcpTransport] = None
+    workers: List = []
+    try:
+        if service_addr:
+            address = service_addr
+            models: Dict[str, GONDiscriminator] = {}
+        else:
+            asset_packs, asset_index, models = _pack_campaign_assets(shared_assets)
+            transport = TcpTransport(
+                n_workers, asset_packs=asset_packs, asset_index=asset_index
+            )
+            transport.start()
+            address = transport.address
+
+        results_queue = ctx.Queue()
+        workers.extend(
+            ctx.Process(
+                target=_tcp_fleet_worker_main,
+                args=(i, partitions[i], address, results_queue),
+                daemon=True,
+            )
+            for i in range(n_workers)
+        )
+        for worker in workers:
+            worker.start()
+
+        def worker_crashed() -> bool:
+            return any(
+                not worker.is_alive() and worker.exitcode not in (0, None)
+                for worker in workers
+            )
+
+        def workers_alive() -> bool:
+            return any(worker.is_alive() for worker in workers)
+
+        if transport is not None:
+            service = GONScoringService(
+                models,
+                transport.request_queue,
+                transport.reply_queues,
+                merge_requests=bool(getattr(config, "fleet_merge", False)),
+            )
+            stats = serve_transport(service, transport, abort=worker_crashed)
+            if stats_sink is not None:
+                stats_sink.append(stats)
+
+        records = _collect_records(
+            results_queue, len(tasks), worker_crashed, workers_alive
+        )
+        for worker in workers:
+            worker.join(timeout=_COLLECT_TIMEOUT)
+        return sorted(records, key=lambda record: record.run_index)
+    finally:
+        for worker in workers:
+            if worker.is_alive():
+                worker.terminate()
+                worker.join(timeout=5.0)
+        if transport is not None:
+            transport.close()
+
+
+def serve_fleet_service(
+    config,
+    shared_assets: Dict[str, TrainedAssets],
+    host: str = "127.0.0.1",
+    port: int = 0,
+    n_clients: int = 2,
+    idle_timeout: float = 0.0,
+    on_ready: Optional[Callable[[str, int], None]] = None,
+) -> ServiceStats:
+    """Host one scoring service for remote campaign workers.
+
+    The backbone of ``python -m repro serve``: publishes
+    ``shared_assets`` on a :class:`TcpTransport`, calls ``on_ready``
+    with the bound ``(host, port)``, then scores until ``n_clients``
+    workers have signed off.  ``idle_timeout > 0`` aborts loudly when
+    no frame has arrived for that many seconds (covers workers that
+    never connect as well as ones that silently die).
+    """
+    from ..serving.transports import TransportError
+
+    asset_packs, asset_index, models = _pack_campaign_assets(shared_assets)
+    transport = TcpTransport(
+        n_clients,
+        host=host,
+        port=port,
+        asset_packs=asset_packs,
+        asset_index=asset_index,
+    )
+    transport.start()
+    try:
+        if on_ready is not None:
+            on_ready(transport.host, transport.port)
+        service = GONScoringService(
+            models,
+            transport.request_queue,
+            transport.reply_queues,
+            merge_requests=bool(getattr(config, "fleet_merge", False)),
+        )
+
+        abort = None
+        if idle_timeout > 0:
+
+            def abort() -> bool:
+                idle = time.monotonic() - transport.last_activity
+                if idle > idle_timeout:
+                    raise TransportError(
+                        f"scoring service idle for {idle:.0f}s "
+                        f"({transport.n_connected} of {n_clients} workers "
+                        "connected); shutting down"
+                    )
+                return False
+
+        return serve_transport(service, transport, abort=abort)
+    finally:
+        transport.close()

@@ -57,6 +57,56 @@ Overlays are evicted when their owning client signs off
 the pre-overlay behaviour (local scoring after divergence); that path
 counts every degraded ascent in ``diagnostics["local_fallbacks"]``
 instead of silently leaving the stream.
+
+Transports and the wire format
+------------------------------
+The service is transport-agnostic: it drains one FIFO with the stdlib
+``get(timeout)`` surface and replies through per-client ``put``
+endpoints.  :mod:`repro.serving.transports` provides two bundles of
+those endpoints:
+
+* :class:`QueueTransport` -- ``multiprocessing`` queues, the
+  single-machine path, bit-for-bit the pre-transport behaviour;
+* :class:`TcpTransport` / :class:`TcpWorkerChannel` -- sockets, so one
+  service can host workers from many machines
+  (``python -m repro serve`` + ``python -m repro campaign --connect``).
+
+The TCP wire format (:mod:`repro.serving.wire`) is pickle-free
+length-prefixed binary framing::
+
+    frame := MAGIC(4) | type(1) | header_len(u32) | body_len(u32)
+             | header(JSON scalars + array manifest)
+             | body(pack_state buffer: raw array bytes)
+
+and it carries exactly the queue transport's dataclasses
+(:class:`AscentRequest`, :class:`ConfidenceRequest`,
+:class:`OverlayUpdate`, :class:`ClientDone`, the replies) plus a
+handshake (HELLO/WELCOME assigns client ids in accept order) and an
+asset channel (remote workers fetch each scenario's packed weights and
+trace stacks once, cached per process, instead of mapping
+``multiprocessing.shared_memory`` -- see
+:func:`~repro.serving.shared.fetch_array_pack`).
+
+Transport guarantees, in the same spirit as the overlay invariants:
+
+1. **Ordering** -- each client's socket is read by one dedicated
+   reader thread feeding the service's single FIFO, so a client's
+   messages enter the queue in send order and install-before-score
+   survives the network hop.  Cross-client interleaving is unordered
+   and harmless: generation > 0 buckets are private per client.
+2. **Bit-identity** -- float64 payloads cross the wire as raw packed
+   bytes (no text round-trip), so a TCP fleet campaign on localhost
+   produces records bit-identical to serial execution, overlays
+   included (asserted by ``tests/test_fleet.py::TestTcpFleetCampaign``).
+3. **Loud failure, no hangs** -- malformed or truncated frames,
+   clients disconnecting before :class:`ClientDone`, unknown asset
+   packs and stale-generation requests all raise
+   :class:`~repro.serving.transports.TransportError` out of
+   ``serve()``; :func:`~repro.serving.transports.serve_transport`
+   broadcasts the failure to every connected client before re-raising,
+   so blocked workers raise instead of waiting forever.  Frame sizes
+   are bounded, so a corrupt length prefix cannot trigger unbounded
+   allocation.
 """
 
 from .service import (
@@ -69,7 +119,21 @@ from .service import (
     ScoringClient,
     ServiceStats,
 )
-from .shared import AttachedArrayPack, SharedArrayPack, SharedPackHandle
+from .shared import (
+    AttachedArrayPack,
+    FetchedArrayPack,
+    SharedArrayPack,
+    SharedPackHandle,
+    fetch_array_pack,
+)
+from .transports import (
+    QueueTransport,
+    TcpTransport,
+    TcpWorkerChannel,
+    TransportError,
+    parse_address,
+    serve_transport,
+)
 
 __all__ = [
     "AscentRequest",
@@ -81,6 +145,14 @@ __all__ = [
     "ScoringClient",
     "ServiceStats",
     "AttachedArrayPack",
+    "FetchedArrayPack",
     "SharedArrayPack",
     "SharedPackHandle",
+    "fetch_array_pack",
+    "QueueTransport",
+    "TcpTransport",
+    "TcpWorkerChannel",
+    "TransportError",
+    "parse_address",
+    "serve_transport",
 ]

@@ -1,11 +1,21 @@
-"""Shared-memory publication of fleet assets (weights, traces).
+"""Publication of fleet assets (weights, traces): shared memory or wire.
 
-One process packs a dict of named arrays into a single
-``multiprocessing.shared_memory`` segment; any number of worker
-processes attach *read-only zero-copy views* onto it.  This replaces
-the per-worker pickled copies a process pool pays for large assets:
-the GON weight matrices and the offline trace stacks are materialised
-exactly once per machine, whatever the fleet size.
+One process packs a dict of named arrays into a single buffer; workers
+consume *read-only zero-copy views* of it.  Two distribution paths
+share the ``pack_state`` layout:
+
+* **Same machine** (:class:`SharedArrayPack` / :class:`AttachedArrayPack`)
+  -- the buffer lives in one ``multiprocessing.shared_memory`` segment
+  and every worker maps it, so the GON weight matrices and offline
+  trace stacks are materialised exactly once per machine, whatever the
+  fleet size.
+* **Remote worker** (:func:`fetch_array_pack`) -- a worker on another
+  host cannot map the service's memory, so it fetches the packed
+  buffer **once** over its scoring socket
+  (:meth:`repro.serving.transports.TcpWorkerChannel.fetch_pack`) and
+  caches it per process; views are rebuilt over the received bytes.
+  The bytes are identical to the shared-memory path's, which is what
+  keeps TCP-fleet records bit-identical to serial execution.
 
 Layout and manifests come from :func:`repro.nn.serialization.pack_state`
 / :func:`~repro.nn.serialization.unpack_state`, so anything expressible
@@ -14,7 +24,8 @@ as a ``{name: ndarray}`` dict ships the same way.
 Lifecycle: the owner keeps the :class:`SharedArrayPack` alive for the
 campaign and calls :meth:`SharedArrayPack.unlink` when done; workers
 wrap attachment in :class:`AttachedArrayPack` (a context manager) and
-merely :meth:`AttachedArrayPack.close` their mapping.
+merely :meth:`AttachedArrayPack.close` their mapping.  Fetched packs
+are plain process-local memory and need no unlink.
 """
 
 from __future__ import annotations
@@ -28,7 +39,13 @@ import numpy as np
 
 from ..nn.serialization import pack_state, unpack_state
 
-__all__ = ["SharedPackHandle", "SharedArrayPack", "AttachedArrayPack"]
+__all__ = [
+    "SharedPackHandle",
+    "SharedArrayPack",
+    "AttachedArrayPack",
+    "FetchedArrayPack",
+    "fetch_array_pack",
+]
 
 
 @dataclass(frozen=True)
@@ -104,3 +121,42 @@ class AttachedArrayPack:
     def close(self) -> None:
         self.arrays = {}
         self._shm.close()
+
+
+class FetchedArrayPack:
+    """Worker side of the network asset path: a pack pulled over TCP.
+
+    ``arrays`` are read-only zero-copy views over the received buffer
+    (exactly the views :class:`AttachedArrayPack` exposes over shared
+    memory); the buffer is ordinary process memory, so there is no
+    segment to unlink.
+    """
+
+    def __init__(self, buffer: np.ndarray, manifest) -> None:
+        self.arrays: Dict[str, np.ndarray] = unpack_state(buffer, list(manifest))
+
+    def close(self) -> None:
+        self.arrays = {}
+
+
+#: Per-process cache of fetched packs: ``(service address, pack name)``.
+_FETCHED_PACKS: Dict[Tuple[str, str], FetchedArrayPack] = {}
+
+
+def fetch_array_pack(channel, name: str, cache: bool = True) -> FetchedArrayPack:
+    """Fetch a published pack over a worker channel, once per process.
+
+    ``channel`` is a :class:`repro.serving.transports.TcpWorkerChannel`
+    (anything with ``address`` and ``fetch_pack``).  Repeat calls for
+    the same ``(service, pack)`` reuse the cached copy instead of
+    re-downloading -- remote workers pay the transfer exactly once,
+    mirroring the attach-once discipline of the shared-memory path.
+    """
+    key = (str(channel.address), name)
+    if cache and key in _FETCHED_PACKS:
+        return _FETCHED_PACKS[key]
+    buffer, manifest = channel.fetch_pack(name)
+    pack = FetchedArrayPack(buffer, manifest)
+    if cache:
+        _FETCHED_PACKS[key] = pack
+    return pack

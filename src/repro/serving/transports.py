@@ -1,0 +1,463 @@
+"""Pluggable fleet transports: in-machine queues or TCP sockets.
+
+:class:`GONScoringService` is transport-agnostic: it drains *any*
+object with the stdlib ``get(timeout)`` surface and replies through
+*any* per-client object with ``put``.  A transport bundles those two
+endpoints plus the worker-side counterparts:
+
+* :class:`QueueTransport` -- the PR-3/4 single-machine path,
+  ``multiprocessing`` queues created in exactly the historical order,
+  preserving that mode's behaviour bit-for-bit;
+* :class:`TcpTransport` -- the multi-node path.  The service listens on
+  a socket; each accepted client gets a dedicated **reader thread**
+  that decodes length-prefixed frames (:mod:`repro.serving.wire`) and
+  feeds them into the service's single FIFO request queue.  A client's
+  socket is read sequentially, so its messages enter the FIFO in send
+  order and the overlay protocol's install-before-score guarantee
+  survives the network hop; cross-client interleaving is harmless
+  because generation > 0 buckets are private per client.
+
+Failure semantics are deliberately loud.  A malformed or truncated
+frame, a client vanishing before :class:`ClientDone`, or a reply to a
+dead socket all surface as :class:`TransportError` out of
+``service.serve`` -- never a hang.  :func:`serve_transport` broadcasts
+the failure to every connected client before re-raising, so remote
+workers blocked on a reply fail loudly too.
+
+The TCP transport doubles as the asset channel: publish
+``pack_state``-packed buffers via ``asset_packs`` and remote workers
+fetch each one once at startup (see
+:func:`repro.serving.shared.fetch_array_pack`) instead of attaching
+``multiprocessing.shared_memory``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import queue as queue_module
+import socket
+import threading
+import time
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from . import wire
+from .service import ClientDone
+from .wire import (
+    AssetIndex,
+    AssetIndexRequest,
+    AssetReply,
+    AssetRequest,
+    Hello,
+    ServiceError,
+    Welcome,
+)
+
+__all__ = [
+    "TransportError",
+    "QueueTransport",
+    "TcpTransport",
+    "TcpWorkerChannel",
+    "parse_address",
+    "serve_transport",
+]
+
+
+class TransportError(RuntimeError):
+    """A fleet transport failure (always loud, never a hang)."""
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split ``"host:port"``; loud on anything else."""
+    host, _, port = address.rpartition(":")
+    if not host or not port.isdigit():
+        raise TransportError(
+            f"malformed service address {address!r}; expected 'host:port'"
+        )
+    return host, int(port)
+
+
+# ----------------------------------------------------------------------
+# Queue transport (single machine, the historical fleet path)
+# ----------------------------------------------------------------------
+class QueueTransport:
+    """``multiprocessing`` queues: one request FIFO, per-client replies.
+
+    Queue construction order matches the pre-transport fleet runner
+    exactly (request queue first, then reply queues 0..N-1), so queue
+    campaigns behave bit-for-bit as before the refactor.
+    """
+
+    def __init__(self, n_clients: int, ctx=None) -> None:
+        ctx = ctx or multiprocessing.get_context()
+        self.n_clients = n_clients
+        self.request_queue = ctx.Queue()
+        self.reply_queues = {i: ctx.Queue() for i in range(n_clients)}
+
+    def start(self) -> None:
+        """Queues need no background machinery."""
+
+    def worker_endpoints(self, client_id: int):
+        """Picklable ``(request_queue, reply_queue)`` for one worker."""
+        return self.request_queue, self.reply_queues[client_id]
+
+    def close(self) -> None:
+        """Queues are reclaimed with the processes; nothing to do."""
+
+
+# ----------------------------------------------------------------------
+# TCP transport (service side)
+# ----------------------------------------------------------------------
+class _Fault:
+    def __init__(self, error: BaseException) -> None:
+        self.error = error
+
+
+class _FaultableQueue:
+    """A FIFO whose readers can be failed loudly from another thread.
+
+    Reader threads enqueue decoded messages with :meth:`put`; on a
+    protocol error they enqueue the exception with :meth:`fail`, and
+    the next service-side :meth:`get` raises it -- turning any client
+    misbehaviour into a loud ``serve()`` failure instead of a hang.
+    """
+
+    def __init__(self) -> None:
+        self._queue: "queue_module.Queue" = queue_module.Queue()
+
+    def put(self, item) -> None:
+        self._queue.put(item)
+
+    def fail(self, error: BaseException) -> None:
+        self._queue.put(_Fault(error))
+
+    def get(self, timeout: Optional[float] = None):
+        item = self._queue.get(timeout=timeout)
+        if isinstance(item, _Fault):
+            raise item.error
+        return item
+
+
+class _TcpReplyWriter:
+    """The service's per-client reply endpoint: frames onto the socket."""
+
+    def __init__(self, transport: "TcpTransport", client_id: int) -> None:
+        self._transport = transport
+        self._client_id = client_id
+
+    def put(self, reply) -> None:
+        self._transport.send_to_client(self._client_id, reply)
+
+
+class TcpTransport:
+    """Service side of the socket transport.
+
+    Listens on ``host:port`` (port 0 picks an ephemeral port; read it
+    back from :attr:`address`), accepts exactly ``n_clients``
+    connections, assigns client ids in accept order via the
+    HELLO/WELCOME handshake, and runs one reader thread per client.
+    ``asset_packs`` maps pack name to a ``(buffer, manifest)`` pair
+    from ``pack_state``; ``asset_index`` is the scenario metadata
+    served to :class:`wire.AssetIndexRequest`.
+    """
+
+    def __init__(
+        self,
+        n_clients: int,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        asset_packs: Optional[Dict[str, Tuple[np.ndarray, list]]] = None,
+        asset_index: Optional[Dict[str, Dict[str, int]]] = None,
+    ) -> None:
+        self.n_clients = n_clients
+        self._asset_packs = dict(asset_packs or {})
+        self._asset_index = {
+            name: dict(meta) for name, meta in (asset_index or {}).items()
+        }
+        self._listener = socket.create_server((host, port))
+        self.host, self.port = self._listener.getsockname()[:2]
+        self.request_queue = _FaultableQueue()
+        self.reply_queues: Dict[int, _TcpReplyWriter] = {
+            i: _TcpReplyWriter(self, i) for i in range(n_clients)
+        }
+        self._sockets: Dict[int, socket.socket] = {}
+        self._send_locks: Dict[int, threading.Lock] = {}
+        self._threads: list = []
+        self._closed = threading.Event()
+        #: Monotonic timestamp of the last frame received from any
+        #: client (idle-timeout watchdogs key off this).
+        self.last_activity = time.monotonic()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def n_connected(self) -> int:
+        return len(self._sockets)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        thread = threading.Thread(
+            target=self._accept_loop, name="fleet-tcp-accept", daemon=True
+        )
+        self._threads.append(thread)
+        thread.start()
+
+    def _accept_loop(self) -> None:
+        try:
+            for client_id in range(self.n_clients):
+                conn, _addr = self._listener.accept()
+                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                hello = wire.recv_message(conn)
+                if not isinstance(hello, Hello):
+                    raise TransportError(
+                        f"connection {client_id} opened with "
+                        f"{type(hello).__name__} instead of Hello"
+                    )
+                if hello.protocol != wire.PROTOCOL_VERSION:
+                    raise TransportError(
+                        f"client speaks wire protocol {hello.protocol}, "
+                        f"service speaks {wire.PROTOCOL_VERSION}"
+                    )
+                self._send_locks[client_id] = threading.Lock()
+                self._sockets[client_id] = conn
+                self.last_activity = time.monotonic()
+                wire.send_message(conn, Welcome(client_id=client_id))
+                reader = threading.Thread(
+                    target=self._reader_loop,
+                    args=(client_id, conn),
+                    name=f"fleet-tcp-reader-{client_id}",
+                    daemon=True,
+                )
+                self._threads.append(reader)
+                reader.start()
+        except Exception as error:
+            # Any escape here would strand serve() polling an empty
+            # queue forever; fault it instead -- loudness over hangs.
+            if not self._closed.is_set():
+                self.request_queue.fail(
+                    TransportError(f"fleet transport handshake failed: {error}")
+                )
+
+    def _reader_loop(self, client_id: int, conn: socket.socket) -> None:
+        try:
+            while True:
+                try:
+                    message = wire.recv_message(conn)
+                except wire.ConnectionClosed:
+                    raise TransportError(
+                        f"client {client_id} disconnected before signing off "
+                        "(worker crashed or was killed mid-campaign)"
+                    ) from None
+                self.last_activity = time.monotonic()
+                if isinstance(message, AssetIndexRequest):
+                    self.send_to_client(client_id, AssetIndex(index=self._asset_index))
+                    continue
+                if isinstance(message, AssetRequest):
+                    pack = self._asset_packs.get(message.pack)
+                    if pack is None:
+                        raise TransportError(
+                            f"client {client_id} requested unknown asset pack "
+                            f"{message.pack!r}; published: {sorted(self._asset_packs)}"
+                        )
+                    buffer, manifest = pack
+                    self.send_to_client(
+                        client_id,
+                        AssetReply(
+                            pack=message.pack,
+                            manifest=tuple(tuple(e) for e in manifest),
+                            buffer=buffer,
+                        ),
+                    )
+                    continue
+                owner = getattr(message, "client_id", client_id)
+                if owner != client_id:
+                    raise TransportError(
+                        f"client {client_id} sent a {type(message).__name__} "
+                        f"claiming client id {owner}"
+                    )
+                self.request_queue.put(message)
+                if isinstance(message, ClientDone):
+                    return
+        except TransportError as error:
+            if not self._closed.is_set():
+                self.request_queue.fail(error)
+        except Exception as error:
+            # Catch-all for the same reason as the accept loop: a
+            # dead reader with no fault enqueued is a silent hang.
+            if not self._closed.is_set():
+                self.request_queue.fail(
+                    TransportError(f"client {client_id} protocol error: {error}")
+                )
+
+    # ------------------------------------------------------------------
+    def send_to_client(self, client_id: int, message) -> None:
+        conn = self._sockets.get(client_id)
+        if conn is None:
+            raise TransportError(
+                f"no connection for client {client_id} (never connected or gone)"
+            )
+        try:
+            wire.send_message(conn, message, lock=self._send_locks[client_id])
+        except wire.WireError as error:
+            raise TransportError(
+                f"sending {type(message).__name__} to client {client_id} "
+                f"failed: {error}"
+            ) from None
+
+    def broadcast_error(self, message: str) -> None:
+        """Best-effort fatal-error notice so no client blocks forever."""
+        for client_id in list(self._sockets):
+            try:
+                self.send_to_client(client_id, ServiceError(message=message))
+            except TransportError:  # pragma: no cover - socket already dead
+                pass
+
+    def close(self) -> None:
+        self._closed.set()
+        try:
+            self._listener.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+        for conn in self._sockets.values():
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover - double close
+                pass
+        self._sockets.clear()
+
+
+# ----------------------------------------------------------------------
+# TCP transport (worker side)
+# ----------------------------------------------------------------------
+class TcpWorkerChannel:
+    """Worker endpoint: one socket, queue-compatible ``put``/``get``.
+
+    Slots directly into :class:`repro.serving.ScoringClient` as both
+    its request and reply queue -- requests are framed onto the socket,
+    replies are read back off it.  The client id is assigned by the
+    service during the HELLO/WELCOME handshake (:attr:`client_id`).
+    Connection attempts retry until ``connect_timeout`` so workers may
+    start before the service finishes binding.
+    """
+
+    def __init__(
+        self,
+        address: str,
+        connect_timeout: float = 30.0,
+        retry_interval: float = 0.2,
+    ) -> None:
+        self.address = address
+        host, port = parse_address(address)
+        deadline = time.monotonic() + connect_timeout
+        while True:
+            try:
+                self._sock = socket.create_connection((host, port), timeout=30.0)
+                break
+            except OSError as error:
+                if time.monotonic() >= deadline:
+                    raise TransportError(
+                        f"could not reach the scoring service at {address} "
+                        f"within {connect_timeout:.0f}s: {error}"
+                    ) from None
+                time.sleep(retry_interval)
+        # Keep the timeout through the handshake: a connection sitting
+        # unaccepted in the listen backlog (e.g. more workers than the
+        # service's --expect-workers) must fail loudly here rather
+        # than block on the Welcome forever.
+        self._sock.settimeout(connect_timeout)
+        self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        try:
+            wire.send_message(self._sock, Hello())
+            welcome = self._recv()
+        except wire.WireError as error:
+            raise TransportError(f"handshake with {address} failed: {error}") from None
+        except TransportError as error:
+            raise TransportError(
+                f"handshake with {address} failed (is the service "
+                f"expecting this many workers?): {error}"
+            ) from None
+        if not isinstance(welcome, Welcome):
+            raise TransportError(
+                f"service at {address} answered Hello with "
+                f"{type(welcome).__name__}"
+            )
+        self.client_id: int = welcome.client_id
+        self._sock.settimeout(None)
+
+    def _recv(self):
+        try:
+            message = wire.recv_message(self._sock)
+        except wire.ConnectionClosed:
+            raise TransportError(
+                f"scoring service at {self.address} closed the connection "
+                "(it likely aborted; check the service log)"
+            ) from None
+        except wire.WireError as error:
+            raise TransportError(
+                f"bad frame from the scoring service at {self.address}: {error}"
+            ) from None
+        if isinstance(message, ServiceError):
+            raise TransportError(f"scoring service reported: {message.message}")
+        return message
+
+    # -- queue surface used by ScoringClient ---------------------------
+    def put(self, message) -> None:
+        try:
+            wire.send_message(self._sock, message)
+        except wire.WireError as error:
+            raise TransportError(
+                f"sending {type(message).__name__} to {self.address} "
+                f"failed: {error}"
+            ) from None
+
+    def get(self):
+        return self._recv()
+
+    # -- asset fetch path ----------------------------------------------
+    def fetch_index(self) -> Dict[str, Dict[str, int]]:
+        """The service's scenario metadata (``AssetIndex``)."""
+        self.put(AssetIndexRequest())
+        reply = self._recv()
+        if not isinstance(reply, AssetIndex):
+            raise TransportError(
+                f"asset index request answered with {type(reply).__name__}"
+            )
+        return reply.index
+
+    def fetch_pack(self, name: str) -> Tuple[np.ndarray, tuple]:
+        """One published pack's ``(buffer, manifest)``, fetched raw."""
+        self.put(AssetRequest(pack=name))
+        reply = self._recv()
+        if not isinstance(reply, AssetReply) or reply.pack != name:
+            raise TransportError(
+                f"asset request for {name!r} answered with "
+                f"{type(reply).__name__}"
+            )
+        return reply.buffer, reply.manifest
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:  # pragma: no cover - double close
+            pass
+
+
+# ----------------------------------------------------------------------
+def serve_transport(service, transport, abort=None):
+    """Run ``service.serve`` and fail every client loudly on error.
+
+    Whatever kills the scorer loop (protocol violation, stale
+    generation, transport fault) is broadcast to connected clients as
+    a :class:`wire.ServiceError` before re-raising, so synchronous
+    workers blocked on a reply raise instead of hanging.
+    """
+    try:
+        return service.serve(abort=abort)
+    except BaseException as error:
+        broadcast = getattr(transport, "broadcast_error", None)
+        if broadcast is not None:
+            broadcast(f"{type(error).__name__}: {error}")
+        raise

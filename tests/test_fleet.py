@@ -713,6 +713,33 @@ class TestFleetCampaign:
         )
         assert serial_record.diagnostics["local_fallbacks"] == 0
 
+    def test_transport_and_service_addr_validated(self):
+        from repro.experiments import CampaignConfig
+
+        with pytest.raises(ValueError, match="transport"):
+            CampaignConfig(
+                scenarios=("fault-free",), models=("carol",),
+                mode="fleet", transport="carrier-pigeon",
+            )
+        # TCP plumbing only exists for fleet campaigns.
+        with pytest.raises(ValueError, match="mode='fleet'"):
+            CampaignConfig(
+                scenarios=("fault-free",), models=("carol",),
+                transport="tcp",
+            )
+        # An external service implies the TCP transport...
+        with pytest.raises(ValueError, match="service_addr"):
+            CampaignConfig(
+                scenarios=("fault-free",), models=("carol",),
+                mode="fleet", service_addr="127.0.0.1:7911",
+            )
+        # ...and a well-formed host:port.
+        with pytest.raises(ValueError, match="host:port"):
+            CampaignConfig(
+                scenarios=("fault-free",), models=("carol",),
+                mode="fleet", transport="tcp", service_addr="nonsense",
+            )
+
     def test_carol_overrides_validated(self):
         from repro.experiments import CampaignConfig
 
@@ -767,3 +794,138 @@ class TestFleetCampaign:
             assert assets.seed == other.seed
             for name, array in assets.gon_state.items():
                 assert np.array_equal(array, other.gon_state[name])
+
+
+# ----------------------------------------------------------------------
+# TCP fleet campaigns (multi-node transport on localhost)
+# ----------------------------------------------------------------------
+class TestTcpFleetCampaign:
+    def test_tcp_fleet_bit_identical_to_serial(
+        self, tiny_fleet_grid, tiny_fleet_assets
+    ):
+        """The socket transport changes the plumbing, not one bit of
+        the records: same grid, serial vs TCP fleet, rows equal."""
+        from dataclasses import replace
+
+        from repro.experiments import run_campaign
+
+        serial = run_campaign(
+            replace(tiny_fleet_grid, mode="process", workers=1),
+            prepared_assets=tiny_fleet_assets,
+        )
+        tcp = run_campaign(
+            replace(tiny_fleet_grid, transport="tcp"),
+            prepared_assets=tiny_fleet_assets,
+        )
+        assert serial.rows() == tcp.rows()
+
+    def test_tcp_matches_queue_transport(
+        self, tiny_fleet_grid, tiny_fleet_assets
+    ):
+        from dataclasses import replace
+
+        from repro.experiments import run_campaign
+
+        queue_result = run_campaign(
+            tiny_fleet_grid, prepared_assets=tiny_fleet_assets
+        )
+        tcp_result = run_campaign(
+            replace(tiny_fleet_grid, transport="tcp"),
+            prepared_assets=tiny_fleet_assets,
+        )
+        assert queue_result.rows() == tcp_result.rows()
+
+    def test_tcp_proactive_fleet_with_fine_tunes_bit_identical(
+        self, tiny_fleet_grid, tiny_fleet_assets
+    ):
+        """The acceptance contract for the socket transport: a
+        two-worker ProactiveCAROL campaign over TCP on localhost, POT
+        gate opening and overlays shipping across the wire, stays
+        bit-identical to serial execution with zero local fallbacks."""
+        from dataclasses import replace
+
+        from repro.experiments import run_campaign
+
+        grid = replace(
+            tiny_fleet_grid,
+            models=("CAROL-Proactive",),
+            n_seeds=2,
+            n_intervals=10,
+            carol_overrides=(("pot_calibration", 5), ("min_buffer", 2)),
+        )
+        serial = run_campaign(
+            replace(grid, mode="process", workers=1),
+            prepared_assets=tiny_fleet_assets,
+        )
+        fleet = run_campaign(
+            replace(grid, transport="tcp"),
+            prepared_assets=tiny_fleet_assets,
+        )
+        assert serial.rows() == fleet.rows()
+        # Fine-tuning fired somewhere in the grid, its overlay crossed
+        # the socket, and no ascent degraded to worker-local scoring.
+        assert sum(
+            r.diagnostics["n_fine_tunes"] for r in fleet.records
+        ) >= 1
+        assert sum(
+            r.diagnostics["overlay_installs"] for r in fleet.records
+        ) >= 1
+        assert all(
+            r.diagnostics["local_fallbacks"] == 0 for r in fleet.records
+        )
+
+    def test_remote_service_campaign_matches_serial(
+        self, tiny_fleet_grid, tiny_fleet_assets
+    ):
+        """The multi-node split: a separately hosted scoring service
+        (``python -m repro serve``'s backbone) answering a campaign
+        that fetches its assets over the socket."""
+        import threading
+        from dataclasses import replace
+
+        from repro.experiments import run_campaign
+        from repro.experiments.fleet import serve_fleet_service
+
+        ready = threading.Event()
+        endpoint = {}
+
+        def on_ready(host, port):
+            endpoint["addr"] = f"{host}:{port}"
+            ready.set()
+
+        outcome = {}
+
+        def serve():
+            try:
+                outcome["stats"] = serve_fleet_service(
+                    tiny_fleet_grid,
+                    tiny_fleet_assets,
+                    n_clients=2,
+                    idle_timeout=60.0,
+                    on_ready=on_ready,
+                )
+            except BaseException as error:  # pragma: no cover - debug aid
+                outcome["error"] = error
+                ready.set()
+
+        thread = threading.Thread(target=serve, daemon=True)
+        thread.start()
+        assert ready.wait(timeout=15)
+        assert "error" not in outcome
+
+        serial = run_campaign(
+            replace(tiny_fleet_grid, mode="process", workers=1),
+            prepared_assets=tiny_fleet_assets,
+        )
+        remote = run_campaign(
+            replace(
+                tiny_fleet_grid, transport="tcp",
+                service_addr=endpoint["addr"],
+            )
+        )
+        thread.join(timeout=60)
+        assert not thread.is_alive()
+        assert "error" not in outcome
+        assert serial.rows() == remote.rows()
+        # The remote service genuinely scored the campaign.
+        assert outcome["stats"].n_requests > 0
