@@ -88,12 +88,8 @@ def legacy_grid(quick: bool) -> CampaignConfig:
 def run_legacy(args: argparse.Namespace) -> dict:
     config = legacy_grid(args.quick)
     serial_seconds, serial = _timed(run_campaign, config)
-    parallel_seconds, parallel = _timed(
-        run_campaign, replace(config, workers=2)
-    )
-    assert serial.rows() == parallel.rows(), (
-        "parallel campaign diverged from serial"
-    )
+    parallel_seconds, parallel = _timed(run_campaign, replace(config, workers=2))
+    assert serial.rows() == parallel.rows(), "parallel campaign diverged from serial"
     speedup = serial_seconds / max(parallel_seconds, 1e-9)
     print("\n-- campaign wall-time: serial vs process-parallel --")
     print(f"grid             : {len(serial.records)} runs")
@@ -166,14 +162,14 @@ def run_fleet_bench(args: argparse.Namespace) -> dict:
     )
     fleet_total = prep_seconds + fleet_seconds
     fleet = CampaignResult(config=fleet_config, records=fleet_records)
-    print(f"fleet exec (exact)                      : {fleet_seconds:6.2f} s"
-          f"  (+prep = {fleet_total:.2f} s total)")
+    print(
+        f"fleet exec (exact)                      : {fleet_seconds:6.2f} s"
+        f"  (+prep = {fleet_total:.2f} s total)"
+    )
 
     # 3. Process pool with the same shared assets: the bit-identity
     #    anchor, and the scoring-consolidation share of the win.
-    shared_seconds, shared = _timed(
-        run_campaign, shared_config, prepared_assets=assets
-    )
+    shared_seconds, shared = _timed(run_campaign, shared_config, prepared_assets=assets)
     print(f"process pool, shared assets             : {shared_seconds:6.2f} s")
 
     identical = fleet.rows() == shared.rows()
@@ -190,23 +186,19 @@ def run_fleet_bench(args: argparse.Namespace) -> dict:
     )
     merged = CampaignResult(config=fleet_config, records=merged_records)
     merged_equal = merged.rows() == fleet.rows()
-    print(f"fleet exec (merged buckets)             : {merged_seconds:6.2f} s"
-          f"  (records {'==' if merged_equal else '!='} exact fleet)")
+    print(
+        f"fleet exec (merged buckets)             : {merged_seconds:6.2f} s"
+        f"  (records {'==' if merged_equal else '!='} exact fleet)"
+    )
 
     speedup = pr1_seconds / max(fleet_total, 1e-9)
     exec_speedup = shared_seconds / max(fleet_seconds, 1e-9)
     stats = stats_sink[0]
     # Degradation telemetry: with overlays on, no fleet run may fall
     # back to worker-local scoring, however often it fine-tuned.
-    fallbacks = sum(
-        r.diagnostics.get("local_fallbacks", 0) for r in fleet_records
-    )
-    overlays = sum(
-        r.diagnostics.get("overlay_installs", 0) for r in fleet_records
-    )
-    assert fallbacks == 0, (
-        f"{fallbacks} fleet ascents degraded to worker-local scoring"
-    )
+    fallbacks = sum(r.diagnostics.get("local_fallbacks", 0) for r in fleet_records)
+    overlays = sum(r.diagnostics.get("overlay_installs", 0) for r in fleet_records)
+    assert fallbacks == 0, f"{fallbacks} fleet ascents degraded to worker-local scoring"
     print(
         f"speedup vs PR-1 path: {speedup:.2f}x end-to-end "
         f"({exec_speedup:.2f}x exec-only vs process/shared); "
@@ -263,15 +255,21 @@ def run_tcp_bench(args: argparse.Namespace) -> dict:
 
     queue_sink: list = []
     queue_seconds, queue_records = _timed(
-        run_fleet_campaign, queue_config, plan_tasks(queue_config),
-        assets, queue_sink,
+        run_fleet_campaign,
+        queue_config,
+        plan_tasks(queue_config),
+        assets,
+        queue_sink,
     )
     print(f"fleet exec, queue transport       : {queue_seconds:6.2f} s")
 
     tcp_sink: list = []
     tcp_seconds, tcp_records = _timed(
-        run_fleet_campaign, tcp_config, plan_tasks(tcp_config),
-        assets, tcp_sink,
+        run_fleet_campaign,
+        tcp_config,
+        plan_tasks(tcp_config),
+        assets,
+        tcp_sink,
     )
     print(f"fleet exec, tcp transport (local) : {tcp_seconds:6.2f} s")
 
@@ -329,7 +327,9 @@ def cache_stats(
         ),
     )
     model = CAROL(
-        assets.fresh_gon(), config.alpha, config.beta,
+        assets.fresh_gon(),
+        config.alpha,
+        config.beta,
         CAROLConfig(seed=config.seed, score_cache_scope=scope),
     )
     # Per-interval counter deltas let us report per-generation windows.
@@ -411,35 +411,49 @@ def main(argv=None) -> int:
             "the consolidated stream (zero local fallbacks asserted)."
         ),
     )
-    parser.add_argument("--fleet", action="store_true",
-                        help="run the process-vs-fleet CAROL head-to-head")
-    parser.add_argument("--tcp", action="store_true",
-                        help="run the queue-vs-tcp transport head-to-head "
-                             "on the fleet grid (localhost sockets)")
-    parser.add_argument("--proactive", action="store_true",
-                        help="fleet bench sweeps CAROL-Proactive instead "
-                             "of reactive CAROL (POT gate opened early so "
-                             "fine-tuning + overlays are on the timed path)")
-    parser.add_argument("--quick", action="store_true",
-                        help="reduced sizes for CI smoke")
-    parser.add_argument("--runs", type=int, default=8,
-                        help="fleet bench: CAROL runs in the grid (>= 8 "
-                             "for the acceptance measurement)")
+    parser.add_argument(
+        "--fleet", action="store_true", help="run the process-vs-fleet CAROL head-to-head"
+    )
+    parser.add_argument(
+        "--tcp",
+        action="store_true",
+        help="run the queue-vs-tcp transport head-to-head on the fleet grid (localhost sockets)",
+    )
+    parser.add_argument(
+        "--proactive",
+        action="store_true",
+        help="fleet bench sweeps CAROL-Proactive instead of reactive CAROL "
+        "(POT gate opened early so fine-tuning + overlays are on the timed path)",
+    )
+    parser.add_argument("--quick", action="store_true", help="reduced sizes for CI smoke")
+    parser.add_argument(
+        "--runs",
+        type=int,
+        default=8,
+        help="fleet bench: CAROL runs in the grid (>= 8 for the acceptance measurement)",
+    )
     parser.add_argument("--workers", type=int, default=4)
     parser.add_argument("--intervals", type=int, default=10)
     parser.add_argument("--trace-intervals", type=int, default=40)
     parser.add_argument("--gon-hidden", type=int, default=24)
     parser.add_argument("--gon-layers", type=int, default=2)
     parser.add_argument("--gon-epochs", type=int, default=6)
-    parser.add_argument("--min-speedup", type=float, default=0.0,
-                        help="fleet: exit non-zero below this end-to-end "
-                             "speedup (0 disables)")
-    parser.add_argument("--no-cache-bench", action="store_true",
-                        help="skip the surrogate-cache telemetry section")
-    parser.add_argument("--json", type=str, default=_DEFAULT_JSON,
-                        help="write machine-readable results here "
-                             "(default: benchmarks/out/, kept out of the "
-                             "working tree; CI passes an explicit path)")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="fleet: exit non-zero below this end-to-end speedup (0 disables)",
+    )
+    parser.add_argument(
+        "--no-cache-bench", action="store_true", help="skip the surrogate-cache telemetry section"
+    )
+    parser.add_argument(
+        "--json",
+        type=str,
+        default=_DEFAULT_JSON,
+        help="write machine-readable results here (default: benchmarks/out/, kept out of "
+        "the working tree; CI passes an explicit path)",
+    )
     args = parser.parse_args(argv)
     if args.proactive:
         # The proactive sweep is a fleet-bench variant.
@@ -477,8 +491,7 @@ def main(argv=None) -> int:
     if args.fleet and args.min_speedup > 0:
         speedup = payload["fleet"]["speedup_vs_pr1"]
         if speedup < args.min_speedup:
-            print(f"FAIL: fleet speedup {speedup:.2f}x below required "
-                  f"{args.min_speedup}x")
+            print(f"FAIL: fleet speedup {speedup:.2f}x below required {args.min_speedup}x")
             return 1
     return 0
 

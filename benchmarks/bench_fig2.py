@@ -18,9 +18,7 @@ from conftest import bench_config
 def test_fig2_confidence_and_pot_threshold(benchmark, assets):
     config = Fig2Config(base=bench_config(seed=2), n_intervals=60)
 
-    result = benchmark.pedantic(
-        lambda: run_fig2(config, assets=assets), rounds=1, iterations=1
-    )
+    result = benchmark.pedantic(lambda: run_fig2(config, assets=assets), rounds=1, iterations=1)
 
     print()
     print(format_fig2(result))

@@ -17,8 +17,11 @@ def test_fig4_training_curves(benchmark, assets):
     def train():
         model = GONDiscriminator(np.random.default_rng(4), hidden=32, n_layers=3)
         config = TrainingConfig(
-            epochs=10, batch_size=16, learning_rate=1e-3,
-            generation_steps=20, seed=4,
+            epochs=10,
+            batch_size=16,
+            learning_rate=1e-3,
+            generation_steps=20,
+            seed=4,
         )
         return train_gon(model, assets.samples, config)
 
@@ -29,7 +32,5 @@ def test_fig4_training_curves(benchmark, assets):
 
     # Fig. 4 shape assertions.
     assert history.losses[-1] < history.losses[0], "loss did not fall"
-    assert history.confidences[-1] > history.confidences[0], (
-        "confidence did not rise"
-    )
+    assert history.confidences[-1] > history.confidences[0], "confidence did not rise"
     assert history.mses[-1] < history.mses[0], "generation MSE did not fall"

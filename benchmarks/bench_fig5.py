@@ -43,10 +43,7 @@ def fig5_results(assets):
 
 def _panel(fig5_results, key, label, benchmark=None):
     def extract():
-        return {
-            name: result.summary()[key]
-            for name, result in fig5_results.items()
-        }
+        return {name: result.summary()[key] for name, result in fig5_results.items()}
 
     values = benchmark(extract) if benchmark is not None else extract()
     print()
@@ -70,8 +67,10 @@ def test_fig5_run_all_models(benchmark, assets):
     print()
     print(format_results(results))
     deltas = headline_deltas(results)
-    print("\nheadline deltas vs best baseline (paper: energy -16.45%, "
-          "SLO -17.01%, overhead -35.62%):")
+    print(
+        "\nheadline deltas vs best baseline (paper: energy -16.45%, "
+        "SLO -17.01%, overhead -35.62%):"
+    )
     for key, value in deltas.items():
         print(f"  {key}: {value:+.1f}%")
 
@@ -91,7 +90,9 @@ def test_fig5b_response_time(benchmark, fig5_results):
 
 def test_fig5c_slo_violations(benchmark, fig5_results):
     values = _panel(
-        fig5_results, "slo_violation_rate", "Fig. 5(c) SLO violation rate",
+        fig5_results,
+        "slo_violation_rate",
+        "Fig. 5(c) SLO violation rate",
         benchmark,
     )
     baselines = [values[n] for n in BASELINE_NAMES]
@@ -120,28 +121,37 @@ def test_fig5e_memory(benchmark, fig5_results):
 
 def test_fig5f_fine_tune_overhead(benchmark, fig5_results):
     values = _panel(
-        fig5_results, "fine_tune_overhead_s", "Fig. 5(f) fine-tuning overhead (s)",
+        fig5_results,
+        "fine_tune_overhead_s",
+        "Fig. 5(f) fine-tuning overhead (s)",
         benchmark,
     )
     # The parsimony claim: confidence-gated fine-tuning undercuts the
     # Always-Fine-Tune ablation and the per-interval tuners.
     assert values["CAROL"] < values["CAROL-AlwaysFT"]
-    per_interval_tuners = [values["ELBS"], values["FRAS"], values["TopoMAD"],
-                           values["StepGAN"], values["CAROL-FFSurrogate"]]
+    per_interval_tuners = [
+        values["ELBS"],
+        values["FRAS"],
+        values["TopoMAD"],
+        values["StepGAN"],
+        values["CAROL-FFSurrogate"],
+    ]
     assert values["CAROL"] < np.median(per_interval_tuners)
 
 
 def test_fig5_ablations(benchmark, fig5_results):
     """The §V-D ablation story in one table."""
-    keys = ("energy_kwh", "slo_violation_rate", "fine_tune_overhead_s",
-            "memory_percent", "decision_time_s")
+    keys = (
+        "energy_kwh",
+        "slo_violation_rate",
+        "fine_tune_overhead_s",
+        "memory_percent",
+        "decision_time_s",
+    )
     benchmark(lambda: [fig5_results[n].summary() for n in ABLATION_NAMES])
     print()
     for key in keys:
-        values = {
-            name: fig5_results[name].summary()[key]
-            for name in ("CAROL", *ABLATION_NAMES)
-        }
+        values = {name: fig5_results[name].summary()[key] for name in ("CAROL", *ABLATION_NAMES)}
         print(format_relative_table(f"ablations: {key}", values, reference="CAROL"))
         print()
     # Never-Fine-Tune pays zero overhead by construction.

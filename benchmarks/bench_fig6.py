@@ -35,11 +35,11 @@ def fig6_config():
 def test_fig6a_learning_rate(benchmark, assets, fig6_config):
     points = benchmark.pedantic(
         lambda: run_learning_rate_sweep(fig6_config, assets=assets),
-        rounds=1, iterations=1,
+        rounds=1,
+        iterations=1,
     )
     print()
-    print(format_sweep("-- Fig. 6(a): learning-rate sensitivity --",
-                       "gamma", points))
+    print(format_sweep("-- Fig. 6(a): learning-rate sensitivity --", "gamma", points))
     assert len(points) == 5
     # U-shape: the extremes do not beat the best interior gamma on MSE.
     mses = [p.mse for p in points]
@@ -48,12 +48,9 @@ def test_fig6a_learning_rate(benchmark, assets, fig6_config):
 
 
 def test_fig6b_memory(benchmark, fig6_config):
-    points = benchmark.pedantic(
-        lambda: run_memory_sweep(fig6_config), rounds=1, iterations=1
-    )
+    points = benchmark.pedantic(lambda: run_memory_sweep(fig6_config), rounds=1, iterations=1)
     print()
-    print(format_sweep("-- Fig. 6(b): memory-footprint sensitivity --",
-                       "layers", points))
+    print(format_sweep("-- Fig. 6(b): memory-footprint sensitivity --", "layers", points))
     # Footprint grows monotonically with depth (the paper's x-axis).
     footprints = [p.memory_mb for p in points]
     assert all(b > a for a, b in zip(footprints, footprints[1:]))
@@ -62,11 +59,11 @@ def test_fig6b_memory(benchmark, fig6_config):
 def test_fig6c_tabu_list(benchmark, assets, fig6_config):
     points = benchmark.pedantic(
         lambda: run_tabu_sweep(fig6_config, assets=assets),
-        rounds=1, iterations=1,
+        rounds=1,
+        iterations=1,
     )
     print()
-    print(format_sweep("-- Fig. 6(c): tabu-list-size sensitivity --",
-                       "tabu size", points))
+    print(format_sweep("-- Fig. 6(c): tabu-list-size sensitivity --", "tabu size", points))
     assert len(points) == 5
     for point in points:
         assert point.energy_kwh > 0

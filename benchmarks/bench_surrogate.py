@@ -66,8 +66,7 @@ def seed_predict_qos(model, sample, objective, gamma, max_steps, tol=1e-5):
     discarded their gradients every step), and a final full forward
     pass just to read the confidence.
     """
-    current = Tensor(np.array(sample.metrics, dtype=float, copy=True),
-                     requires_grad=True)
+    current = Tensor(np.array(sample.metrics, dtype=float, copy=True), requires_grad=True)
     first_moment = np.zeros_like(current.data)
     second_moment = np.zeros_like(current.data)
     beta1, beta2 = 0.9, 0.999
@@ -79,13 +78,11 @@ def seed_predict_qos(model, sample, objective, gamma, max_steps, tol=1e-5):
         if gradient is None:
             break
         first_moment = beta1 * first_moment + (1 - beta1) * gradient
-        second_moment = beta2 * second_moment + (1 - beta2) * gradient ** 2
+        second_moment = beta2 * second_moment + (1 - beta2) * gradient**2
         m_hat = first_moment / (1 - beta1 ** (step + 1))
         v_hat = second_moment / (1 - beta2 ** (step + 1))
         update = gamma * m_hat / (np.sqrt(v_hat) + 1e-8)
-        current = Tensor(
-            np.clip(current.data + update, 0.0, 3.0), requires_grad=True
-        )
+        current = Tensor(np.clip(current.data + update, 0.0, 3.0), requires_grad=True)
         if float(np.abs(update).max()) < tol:
             break
     final_score = model(current.detach(), sample.schedule, sample.adjacency)
@@ -133,21 +130,15 @@ def flat_gemm_bench(args: argparse.Namespace) -> dict:
         return np.matmul(x, w)
 
     def flat():
-        return (x.reshape(-1, in_features) @ w).reshape(
-            batch, n_hosts, hidden
-        )
+        return (x.reshape(-1, in_features) @ w).reshape(batch, n_hosts, hidden)
 
     reference = per_slice()
     max_diff = float(np.abs(flat() - reference).max())
     stacked_diff = float(np.abs(stacked() - reference).max())
 
     timings = {}
-    for label, fn in (("per_slice", per_slice), ("stacked_matmul", stacked),
-                      ("flat", flat)):
-        best = min(
-            _best_of(fn, repeats=max(args.repeats, 3), inner=50)
-            for _ in range(2)
-        )
+    for label, fn in (("per_slice", per_slice), ("stacked_matmul", stacked), ("flat", flat)):
+        best = min(_best_of(fn, repeats=max(args.repeats, 3), inner=50) for _ in range(2))
         timings[label] = best
     speedup = timings["per_slice"] / max(timings["flat"], 1e-12)
     print(
@@ -188,10 +179,7 @@ def run(args: argparse.Namespace) -> int:
     candidates = build_neighbourhood(args.hosts, args.leis, args.batch, rng)
     metrics = rng.uniform(0, 1, size=(args.hosts, N_M_FEATURES))
     schedule = rng.uniform(0, 1, size=(args.hosts, N_S_FEATURES))
-    samples = [
-        GONInput(metrics, schedule, candidate.adjacency())
-        for candidate in candidates
-    ]
+    samples = [GONInput(metrics, schedule, candidate.adjacency()) for candidate in candidates]
     batch = len(samples)
     print(
         f"scenario: {args.hosts} hosts / {args.leis} LEIs, "
@@ -214,9 +202,7 @@ def run(args: argparse.Namespace) -> int:
         ]
 
     def batched() -> list:
-        return predict_qos_batch(
-            model, samples, objective, gamma=args.gamma, max_steps=args.steps
-        )
+        return predict_qos_batch(model, samples, objective, gamma=args.gamma, max_steps=args.steps)
 
     # Warm-up (allocator, BLAS threads) doubles as the parity check:
     # all three paths must score the neighbourhood identically.
@@ -227,11 +213,17 @@ def run(args: argparse.Namespace) -> int:
     seq_scores = np.array([score for score, _ in seq_result])
     bat_scores = np.array([score for score, _ in bat_result])
     np.testing.assert_allclose(
-        seq_scores, seed_scores, rtol=1e-7, atol=1e-10,
+        seq_scores,
+        seed_scores,
+        rtol=1e-7,
+        atol=1e-10,
         err_msg="current engine diverged from the seed per-candidate path",
     )
     np.testing.assert_allclose(
-        bat_scores, seq_scores, rtol=1e-7, atol=1e-10,
+        bat_scores,
+        seq_scores,
+        rtol=1e-7,
+        atol=1e-10,
         err_msg="batched neighbourhood scoring diverged from sequential",
     )
 
@@ -301,24 +293,34 @@ def run(args: argparse.Namespace) -> int:
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--quick", action="store_true",
-                        help="small model / fewer repeats (CI smoke)")
-    parser.add_argument("--batch", type=int, default=24,
-                        help="neighbourhood size B (paper default 24)")
+    parser.add_argument(
+        "--quick", action="store_true", help="small model / fewer repeats (CI smoke)"
+    )
+    parser.add_argument(
+        "--batch", type=int, default=24, help="neighbourhood size B (paper default 24)"
+    )
     parser.add_argument("--hosts", type=int, default=16)
     parser.add_argument("--leis", type=int, default=4)
     parser.add_argument("--hidden", type=int, default=128)
     parser.add_argument("--layers", type=int, default=3)
-    parser.add_argument("--steps", type=int, default=8,
-                        help="surrogate ascent steps per evaluation")
+    parser.add_argument(
+        "--steps", type=int, default=8, help="surrogate ascent steps per evaluation"
+    )
     parser.add_argument("--gamma", type=float, default=1e-2)
     parser.add_argument("--repeats", type=int, default=3)
-    parser.add_argument("--min-speedup", type=float, default=0.0,
-                        help="exit non-zero below this speedup (0 disables)")
-    parser.add_argument("--json", type=str, default=_DEFAULT_JSON,
-                        help="write machine-readable results here "
-                             "(default: benchmarks/out/, kept out of the "
-                             "working tree; CI passes an explicit path)")
+    parser.add_argument(
+        "--min-speedup",
+        type=float,
+        default=0.0,
+        help="exit non-zero below this speedup (0 disables)",
+    )
+    parser.add_argument(
+        "--json",
+        type=str,
+        default=_DEFAULT_JSON,
+        help="write machine-readable results here (default: benchmarks/out/, kept out of "
+        "the working tree; CI passes an explicit path)",
+    )
     parser.add_argument("--seed", type=int, default=0)
     args = parser.parse_args(argv)
     if args.quick:

@@ -10,7 +10,12 @@ tabu search leans on.
 from __future__ import annotations
 
 from repro.core import neighbours, repair_options
-from repro.experiments import format_table, format_table1, table1_rows, verify_against_implementation
+from repro.experiments import (
+    format_table,
+    format_table1,
+    table1_rows,
+    verify_against_implementation,
+)
 from repro.simulator import initial_topology
 
 

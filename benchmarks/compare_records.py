@@ -50,19 +50,12 @@ def main(argv=None) -> int:
         return 1
     for index, (left, right) in enumerate(zip(left_rows, right_rows)):
         if left != right:
-            diff = sorted(
-                key
-                for key in set(left) | set(right)
-                if left.get(key) != right.get(key)
-            )
+            diff = sorted(key for key in set(left) | set(right) if left.get(key) != right.get(key))
             print(f"FAIL: record {index} differs on {diff}:")
             for key in diff:
                 print(f"  {key}: {left.get(key)!r} != {right.get(key)!r}")
             return 1
-    print(
-        f"OK: {len(left_rows)} records bit-identical between "
-        f"{args.left} and {args.right}"
-    )
+    print(f"OK: {len(left_rows)} records bit-identical between {args.left} and {args.right}")
     return 0
 
 

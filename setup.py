@@ -5,6 +5,7 @@ editable installs (``pip install -e .``) cannot build; ``python
 setup.py develop`` installs the same editable egg-link without
 needing a wheel. All metadata lives in pyproject.toml.
 """
+
 from setuptools import setup
 
 setup()
