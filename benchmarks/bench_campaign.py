@@ -22,6 +22,12 @@ Two comparisons, both emitting machine-readable results to
   A merged-bucket fleet variant (``fleet_merge``) is timed as well,
   and the persistent surrogate-cache hit rates are reported for both
   cache scopes on paper-default plus the fault-free control.
+* **--telemetry** -- the instrumentation-cost measurement: the same
+  serial grid executed with the :mod:`repro.telemetry` registry
+  enabled and disabled (min of two runs each, damping scheduler
+  noise).  The resulting ``telemetry_overhead_ratio`` is gated by
+  ``check_regression.py`` against an absolute 1.10x cap: observability
+  that costs more than 10% of a campaign fails CI.
 * **--tcp** -- the transport head-to-head: the same fleet grid
   executed over the in-machine queue transport and over TCP sockets
   on localhost (length-prefixed binary frames, workers fetching
@@ -304,6 +310,65 @@ def run_tcp_bench(args: argparse.Namespace) -> dict:
 
 
 # ----------------------------------------------------------------------
+# --telemetry: instrumentation cost (enabled vs disabled registry)
+# ----------------------------------------------------------------------
+def run_telemetry_bench(args: argparse.Namespace) -> dict:
+    """Wall-clock cost of the metrics registry on a serial campaign.
+
+    Times the same grid with telemetry enabled and disabled,
+    interleaved, taking the min of three runs per state (min, not
+    mean: the lower envelope is the least noisy wall-clock estimator
+    on a shared runner).  The serial heuristic grid keeps the timed
+    path dominated by the instrumented hot loops (interval engine,
+    tabu search) rather than offline GON training, and runs *longer*
+    than the legacy smoke grid: an absolute 1.10x gate on a
+    millisecond-scale measurement would be pure scheduler noise, so
+    the grid is sized to keep each timed campaign comfortably above
+    the timer's noise floor.
+    """
+    from repro import telemetry
+
+    config = CampaignConfig(
+        scenarios=("paper-default", "correlated-rack", "flash-crowd"),
+        models=("dyverse",),
+        n_seeds=3,
+        seed=1,
+        n_intervals=60 if args.quick else 100,
+        workers=1,
+    )
+    print(
+        f"\n-- telemetry overhead: {config.n_seeds * len(config.scenarios)}"
+        f" runs x {config.n_intervals} intervals, serial --"
+    )
+    run_campaign(config)  # warm-up: allocator, import, BLAS threads
+
+    enabled_times, disabled_times = [], []
+    try:
+        for _round in range(3):
+            telemetry.set_enabled(True)
+            enabled_times.append(_timed(run_campaign, config)[0])
+            telemetry.set_enabled(False)
+            disabled_times.append(_timed(run_campaign, config)[0])
+    finally:
+        telemetry.set_enabled(True)
+
+    enabled_s = min(enabled_times)
+    disabled_s = min(disabled_times)
+    ratio = enabled_s / max(disabled_s, 1e-9)
+    print(f"telemetry enabled  (min of {len(enabled_times)}): {enabled_s:6.3f} s")
+    print(f"telemetry disabled (min of {len(disabled_times)}): {disabled_s:6.3f} s")
+    print(f"overhead ratio (enabled/disabled)   : {ratio:.3f}x")
+    return {
+        "n_runs": config.n_seeds * len(config.scenarios),
+        "n_intervals": config.n_intervals,
+        "runs_per_state": 3,
+        "enabled_s": round(enabled_s, 3),
+        "disabled_s": round(disabled_s, 3),
+        "telemetry_overhead_ratio": round(ratio, 3),
+    }
+
+
+# ----------------------------------------------------------------------
 # Persistent surrogate-cache telemetry
 # ----------------------------------------------------------------------
 def cache_stats(
@@ -420,6 +485,12 @@ def main(argv=None) -> int:
         help="run the queue-vs-tcp transport head-to-head on the fleet grid (localhost sockets)",
     )
     parser.add_argument(
+        "--telemetry",
+        action="store_true",
+        help="measure the metrics-registry cost: the serial grid timed with "
+        "telemetry enabled vs disabled (gated at 1.10x by check_regression.py)",
+    )
+    parser.add_argument(
         "--proactive",
         action="store_true",
         help="fleet bench sweeps CAROL-Proactive instead of reactive CAROL "
@@ -480,7 +551,9 @@ def main(argv=None) -> int:
             payload["cache"] = run_cache_bench(args)
     if args.tcp:
         payload["tcp"] = run_tcp_bench(args)
-    if not args.fleet and not args.tcp:
+    if args.telemetry:
+        payload["telemetry"] = run_telemetry_bench(args)
+    if not args.fleet and not args.tcp and not args.telemetry:
         payload["serial_vs_process"] = run_legacy(args)
 
     os.makedirs(os.path.dirname(os.path.abspath(args.json)), exist_ok=True)

@@ -15,6 +15,12 @@ of main without turning CI into a flaky timing oracle:
   ``*_equal_*`` assert exactness contracts (fleet == serial records,
   batched == sequential scores).  Any ``false`` in a fresh result
   fails immediately; there is no tolerance on correctness.
+* **Observability cost creep** -- numeric keys containing
+  ``overhead_ratio`` (the telemetry section of ``bench_campaign.py``)
+  are enabled/disabled wall-clock ratios gated against an **absolute**
+  cap of ``1.10``: instrumentation that costs more than 10% of a
+  campaign's runtime fails regardless of what the baseline recorded --
+  "low-overhead" is a contract, not a trajectory.
 
 Coverage is part of the contract: a gated key present in the baseline
 but missing from a fresh result means a bench section silently stopped
@@ -47,6 +53,12 @@ DEFAULT_TOLERANCE = 2.0
 
 #: Numeric keys matching this substring are tracked speedup ratios.
 SPEEDUP_MARKER = "speedup"
+#: Numeric keys matching this substring are instrumentation-cost
+#: ratios (enabled / disabled wall-clock), capped absolutely.
+OVERHEAD_MARKER = "overhead_ratio"
+#: Hard ceiling on any ``*overhead_ratio*`` key: telemetry costing
+#: more than 10% of the uninstrumented runtime fails the gate.
+MAX_OVERHEAD_RATIO = 1.10
 #: Boolean keys matching any of these substrings are parity contracts.
 PARITY_MARKERS = ("bit_identical", "identical", "parity", "_equal")
 #: ...except keys about merged-bucket execution: the serving layer
@@ -73,6 +85,7 @@ def extract(payload) -> Dict[str, Dict[str, object]]:
     """Pull the gated values out of one bench result tree."""
     speedups: Dict[str, float] = {}
     parity: Dict[str, bool] = {}
+    overheads: Dict[str, float] = {}
     for path, value in _walk(payload):
         key = path.rsplit(".", 1)[-1].lower()
         if isinstance(value, bool):
@@ -81,9 +94,11 @@ def extract(payload) -> Dict[str, Dict[str, object]]:
             ):
                 parity[path] = value
         elif isinstance(value, (int, float)):
-            if SPEEDUP_MARKER in key:
+            if OVERHEAD_MARKER in key:
+                overheads[path] = float(value)
+            elif SPEEDUP_MARKER in key:
                 speedups[path] = float(value)
-    return {"speedups": speedups, "parity": parity}
+    return {"speedups": speedups, "parity": parity, "overheads": overheads}
 
 
 def _load(path: str):
@@ -118,6 +133,24 @@ def check_file(
             f"{name}: baseline parity contract {path} missing from the "
             "fresh result -- a bench assertion silently stopped running"
         )
+    base_overheads = baseline.get("overheads", {})
+    fresh_overheads = fresh.get("overheads", {})
+    for path in sorted(set(base_overheads) - set(fresh_overheads)):
+        failures.append(
+            f"{name}: baseline overhead gate {path} missing from the "
+            "fresh result -- the telemetry bench silently stopped running"
+        )
+    for path, fresh_value in sorted(fresh_overheads.items()):
+        status = "ok" if fresh_value <= MAX_OVERHEAD_RATIO else "FAIL"
+        print(
+            f"  {status}: {name}: {path} = {fresh_value:.3f}x "
+            f"(absolute cap {MAX_OVERHEAD_RATIO:.2f}x)"
+        )
+        if fresh_value > MAX_OVERHEAD_RATIO:
+            failures.append(
+                f"{name}: {path} = {fresh_value:.3f}x exceeds the "
+                f"{MAX_OVERHEAD_RATIO:.2f}x instrumentation-cost cap"
+            )
     for path, fresh_value in sorted(fresh["speedups"].items()):
         base_value = base_speedups.get(path)
         if base_value is None:

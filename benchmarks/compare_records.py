@@ -4,9 +4,12 @@ CI runs the fleet smoke twice -- once over the queue transport, once
 over TCP sockets against a separately served scoring service -- and
 this check pins the transport contract in the pipeline itself: the
 deterministic record surface (scenario, model, seeds, every metric)
-must be **bit-identical** across transports.  Execution diagnostics
-(overlay/fallback/cache counters) legitimately differ between modes
-and are excluded, exactly as in ``RunRecord.row()``.
+must be **bit-identical** across transports.  Execution observability
+legitimately differs between modes -- diagnostics counters (overlay/
+fallback/cache) *and* the merged telemetry snapshot, which carries
+wall-clock spans that differ on every run -- so both are explicitly
+stripped before comparison, exactly as ``RunRecord.row()`` excludes
+them from the deterministic surface.
 
 Usage::
 
@@ -20,6 +23,10 @@ import json
 import sys
 from typing import Dict, List
 
+#: Per-record keys describing *how* a cell executed, not its outcome:
+#: never part of the bit-identity surface.
+EXECUTION_ONLY_KEYS = ("diagnostics", "telemetry")
+
 
 def record_rows(path: str) -> List[Dict[str, object]]:
     with open(path) as source:
@@ -28,7 +35,11 @@ def record_rows(path: str) -> List[Dict[str, object]]:
     if not isinstance(records, list) or not records:
         raise SystemExit(f"{path}: no records in payload")
     rows = [
-        {key: value for key, value in record.items() if key != "diagnostics"}
+        {
+            key: value
+            for key, value in record.items()
+            if key not in EXECUTION_ONLY_KEYS
+        }
         for record in records
     ]
     return sorted(rows, key=lambda row: row.get("run_index", 0))

@@ -11,6 +11,7 @@ Run with:  python examples/failure_drill.py
 
 import numpy as np
 
+from repro import telemetry
 from repro.core import (
     neighbours,
     repair_options,
@@ -75,6 +76,12 @@ def main() -> None:
         f"{result.n_iterations} iterations; best score {result.best_score:.3f}"
     )
     render(result.best, "repaired topology G_t")
+
+    # The search above ran against the instrumented tabu module: the
+    # process-wide registry already holds its counters and timing span.
+    print(telemetry.render_summary(
+        telemetry.snapshot(), title="-- drill telemetry --"
+    ))
 
 
 if __name__ == "__main__":

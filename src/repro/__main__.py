@@ -44,6 +44,14 @@ Multi-node fleets split the two halves across commands::
 ``--transport tcp`` without ``--connect`` self-hosts the service on an
 ephemeral localhost port (single-box TCP mode); both sides must be
 launched with the same grid flags so the asset catalogs agree.
+
+Observability (:mod:`repro.telemetry`): every ``--record-json`` dump
+carries the campaign's merged telemetry snapshot under ``"telemetry"``;
+``python -m repro telemetry dump.json`` pretty-prints it (``--json``
+re-extracts it for CI artifacts).  ``serve --status-port N`` binds a
+read-only HTTP endpoint next to the scoring socket -- ``GET /status``
+answers live JSON (workers connected, cells in flight, merged
+telemetry) and ``GET /metrics`` flat ``name value`` text.
 """
 
 from __future__ import annotations
@@ -295,6 +303,7 @@ def _cmd_serve(args) -> int:
             flush=True,
         )
 
+    telemetry_sink: list = []
     try:
         stats = serve_fleet_service(
             config,
@@ -304,6 +313,8 @@ def _cmd_serve(args) -> int:
             n_clients=args.expect_workers,
             idle_timeout=args.idle_timeout,
             on_ready=ready,
+            status_port=args.status_port if args.status_port >= 0 else None,
+            telemetry_sink=telemetry_sink,
         )
     except (TransportError, RuntimeError) as error:
         print(f"scoring service failed: {error}", file=sys.stderr)
@@ -314,6 +325,41 @@ def _cmd_serve(args) -> int:
         f"{stats.overlay_installs} overlay installs, "
         f"{stats.overlay_evictions} evictions"
     )
+    if args.telemetry_json and telemetry_sink:
+        import json
+
+        with open(args.telemetry_json, "w") as sink:
+            json.dump(telemetry_sink[0], sink, indent=2, sort_keys=True)
+        print(f"wrote merged fleet telemetry to {args.telemetry_json}")
+    return 0
+
+
+def _cmd_telemetry(args) -> int:
+    """Pretty-print (or re-extract) a record dump's telemetry section."""
+    import json
+
+    from .telemetry import render_summary
+
+    try:
+        with open(args.records) as source:
+            payload = json.load(source)
+    except (OSError, json.JSONDecodeError) as error:
+        print(f"cannot read {args.records}: {error}", file=sys.stderr)
+        return 2
+    snapshot = payload.get("telemetry") if isinstance(payload, dict) else None
+    if not snapshot:
+        print(
+            f"{args.records} carries no telemetry section (older dump, "
+            "or the campaign ran with REPRO_TELEMETRY=0)",
+            file=sys.stderr,
+        )
+        return 1
+    if args.json:
+        with open(args.json, "w") as sink:
+            json.dump(snapshot, sink, indent=2, sort_keys=True)
+        print(f"wrote telemetry snapshot to {args.json}")
+        return 0
+    print(render_summary(snapshot, title=f"-- telemetry: {args.records} --"))
     return 0
 
 
@@ -425,6 +471,24 @@ def main(argv=None) -> int:
     serve.add_argument("--idle-timeout", type=float, default=600.0,
                        help="abort (exit nonzero) after this many "
                             "seconds without traffic; 0 waits forever")
+    serve.add_argument("--status-port", type=int, default=-1,
+                       help="bind a read-only HTTP status endpoint on "
+                            "this port (/status JSON + /metrics text; "
+                            "0 picks an ephemeral port, printed on "
+                            "startup; default: no endpoint)")
+    serve.add_argument("--telemetry-json", type=str, default="",
+                       help="write the final merged fleet telemetry "
+                            "snapshot to this JSON file")
+
+    telemetry = subparsers.add_parser(
+        "telemetry",
+        help="pretty-print the telemetry section of a --record-json dump",
+    )
+    telemetry.add_argument("records",
+                           help="path of a `campaign --record-json` dump")
+    telemetry.add_argument("--json", type=str, default="",
+                           help="instead of pretty-printing, write the "
+                                "raw telemetry snapshot to this file")
 
     args = parser.parse_args(argv)
 
@@ -442,6 +506,8 @@ def main(argv=None) -> int:
         return _cmd_scenarios(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "telemetry":
+        return _cmd_telemetry(args)
     return _cmd_campaign(args)
 
 

@@ -24,6 +24,7 @@ from typing import Deque, List, Optional, Sequence, Tuple
 import numpy as np
 
 from ..simulator.detection import FailureReport
+from ..telemetry import MetricsRegistry, merge_snapshots
 from ..simulator.engine import SystemView
 from ..simulator.metrics import IntervalMetrics
 from ..simulator.topology import Topology
@@ -103,19 +104,39 @@ class CAROLConfig:
 @dataclass
 class CAROLDiagnostics:
     """Telemetry for the Fig. 2 confidence/threshold visualisation,
-    plus the persistent surrogate-cache counters."""
+    plus the persistent surrogate-cache counters.
+
+    The integer counters live on a per-instance
+    :class:`~repro.telemetry.MetricsRegistry` (under ``carol.cache.*``
+    and ``carol.fine_tunes``); the legacy attribute reads
+    (``cache_hits`` etc.) and the :meth:`counters` keys are preserved
+    as aliases.  This registry is deterministic bookkeeping that feeds
+    ``RunRecord.diagnostics``, so it stays enabled regardless of the
+    process-wide telemetry toggle.
+    """
 
     confidences: List[float] = field(default_factory=list)
     thresholds: List[float] = field(default_factory=list)
     fine_tuned: List[bool] = field(default_factory=list)
     #: Surrogate ascents actually run per interval (cache misses).
     tabu_evaluations: List[int] = field(default_factory=list)
-    #: Lookups answered by the persistent cross-interval score cache.
-    cache_hits: int = 0
-    #: Lookups that had to run a fresh eq.-1 ascent.
-    cache_misses: int = 0
-    #: Entries dropped -- capacity FIFO plus full generation flushes.
-    cache_evictions: int = 0
+    #: Per-instance registry backing the integer counters.
+    telemetry: MetricsRegistry = field(default_factory=MetricsRegistry)
+
+    @property
+    def cache_hits(self) -> int:
+        """Lookups answered by the persistent cross-interval cache."""
+        return self.telemetry.counter("carol.cache.hits").value
+
+    @property
+    def cache_misses(self) -> int:
+        """Lookups that had to run a fresh eq.-1 ascent."""
+        return self.telemetry.counter("carol.cache.misses").value
+
+    @property
+    def cache_evictions(self) -> int:
+        """Entries dropped -- capacity FIFO plus generation flushes."""
+        return self.telemetry.counter("carol.cache.evictions").value
 
     @property
     def n_fine_tunes(self) -> int:
@@ -128,7 +149,11 @@ class CAROLDiagnostics:
         return self.cache_hits / lookups if lookups else 0.0
 
     def counters(self) -> dict:
-        """The integer telemetry as a plain dict (campaign records)."""
+        """The integer telemetry as a plain dict (campaign records).
+
+        Legacy key names -- the registry view of the same values uses
+        the namespaced ``carol.*`` metric names.
+        """
         return {
             "n_fine_tunes": self.n_fine_tunes,
             "cache_hits": self.cache_hits,
@@ -205,7 +230,9 @@ class CAROL(ResilienceModel):
 
     def _invalidate_score_cache(self) -> None:
         """Flush every entry (the model changed: scores are stale)."""
-        self.diagnostics.cache_evictions += len(self._score_cache)
+        self.diagnostics.telemetry.counter("carol.cache.evictions").add(
+            len(self._score_cache)
+        )
         self._score_cache.clear()
         self._cache_generation = self.scorer.generation
 
@@ -233,7 +260,9 @@ class CAROL(ResilienceModel):
         if keys is None:
             keys = [candidate.canonical_key() for candidate in candidates]
 
-        diag = self.diagnostics
+        diag_reg = self.diagnostics.telemetry
+        hits = diag_reg.counter("carol.cache.hits")
+        misses = diag_reg.counter("carol.cache.misses")
         out: List[Optional[Tuple[float, np.ndarray]]] = [None] * len(keys)
         # Cache-missing keys in first-seen order -> their output slots.
         pending: "OrderedDict[tuple, List[int]]" = OrderedDict()
@@ -241,14 +270,14 @@ class CAROL(ResilienceModel):
             full_key = (key, ctx)
             entry = self._score_cache.get(full_key)
             if entry is not None:
-                diag.cache_hits += 1
+                hits.inc()
                 out[i] = entry
             elif full_key in pending:
                 # Duplicate within this call: one ascent serves both.
-                diag.cache_hits += 1
+                hits.inc()
                 pending[full_key].append(i)
             else:
-                diag.cache_misses += 1
+                misses.inc()
                 pending[full_key] = [i]
 
         if pending:
@@ -268,9 +297,10 @@ class CAROL(ResilienceModel):
                     self._score_cache[full_key] = entry
                 for slot in slots:
                     out[slot] = entry
+            evictions = diag_reg.counter("carol.cache.evictions")
             while len(self._score_cache) > capacity:
                 self._score_cache.popitem(last=False)
-                diag.cache_evictions += 1
+                evictions.inc()
         return out  # type: ignore[return-value]
 
     # ------------------------------------------------------------------
@@ -394,6 +424,7 @@ class CAROL(ResilienceModel):
             self.buffer.clear()
             self._invalidate_score_cache()
             fine_tuned = True
+            self.diagnostics.telemetry.counter("carol.fine_tunes").inc()
 
         self.diagnostics.confidences.append(confidence)
         self.diagnostics.thresholds.append(
@@ -414,6 +445,20 @@ class CAROL(ResilienceModel):
         counters = dict(getattr(self.scorer, "diagnostics", None) or {})
         counters.update(self.diagnostics.counters())
         return counters
+
+    def telemetry_snapshot(self) -> dict:
+        """Merged per-instance registries (model + scorer).
+
+        The namespaced (``carol.*`` / ``scorer.*``) registry view of
+        :meth:`scorer_diagnostics`; :func:`repro.experiments.campaign.run_cell`
+        folds it into the process registry after every cell so campaign
+        telemetry aggregates per-model counters fleet-wide.
+        """
+        snaps = [self.diagnostics.telemetry.snapshot()]
+        scorer_registry = getattr(self.scorer, "telemetry", None)
+        if scorer_registry is not None:
+            snaps.append(scorer_registry.snapshot())
+        return merge_snapshots(*snaps)
 
     # ------------------------------------------------------------------
     def memory_bytes(self) -> int:

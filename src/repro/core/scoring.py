@@ -33,6 +33,7 @@ from typing import Dict, List, Optional, Protocol, Sequence
 
 import numpy as np
 
+from ..telemetry import MetricsRegistry
 from .features import GONInput
 from .gon import GONDiscriminator
 from .surrogate import SurrogateResult, generate_metrics_batch
@@ -84,9 +85,18 @@ class LocalScorer:
     def __init__(self, model: GONDiscriminator) -> None:
         self.model = model
         self.generation = 0
-        # In-process scoring is the consolidated stream here: nothing
-        # to fall back from, so the counter stays 0 by construction.
-        self.diagnostics: Dict[str, int] = {"local_fallbacks": 0}
+        # Per-instance registry backing the legacy ``diagnostics``
+        # mapping (always enabled: these are record diagnostics, not
+        # wall-clock telemetry).  In-process scoring is the
+        # consolidated stream here: nothing to fall back from, so the
+        # counter stays 0 by construction.
+        self.telemetry = MetricsRegistry()
+        self._fallbacks = self.telemetry.counter("scorer.local_fallbacks")
+
+    @property
+    def diagnostics(self) -> Dict[str, int]:
+        """Legacy integer-counter view of :attr:`telemetry`."""
+        return {"local_fallbacks": self._fallbacks.value}
 
     def ascent(
         self,

@@ -34,6 +34,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from .. import telemetry as _telemetry
 from ..nn import Tensor
 from .features import GONInput
 from .gon import GONDiscriminator
@@ -47,6 +48,15 @@ __all__ = [
 ]
 
 _EPS = 1e-8
+
+# Process-registry handles for the batched eq.-1 ascent (the fleet's
+# hottest kernel); counted per vectorized call, not per element.
+_ASCENT_SPAN = _telemetry.span("gon.ascent")
+_ASCENT_CALLS = _telemetry.counter("gon.ascent.calls")
+_ASCENT_ELEMENTS = _telemetry.counter("gon.ascent.elements")
+_ASCENT_STEPS = _telemetry.counter("gon.ascent.steps")
+_ASCENT_CONVERGED = _telemetry.counter("gon.ascent.converged")
+_ASCENT_BATCH = _telemetry.histogram("gon.ascent.batch_size", _telemetry.SIZE_EDGES)
 
 
 @contextmanager
@@ -230,7 +240,7 @@ def generate_metrics_batch(
     confidence = np.zeros(batch, dtype=float)
 
     active = np.arange(batch)
-    with _frozen_parameters(model):
+    with _ASCENT_SPAN.time(), _frozen_parameters(model):
         tensor = Tensor(current[active], requires_grad=True)
         scores = model.forward_batch(
             tensor, schedules[active], adjacencies[active]
@@ -289,6 +299,12 @@ def generate_metrics_batch(
                 scores = scores[rows]
     if active.size:
         confidence[active] = scores.data
+
+    _ASCENT_CALLS.inc()
+    _ASCENT_ELEMENTS.add(batch)
+    _ASCENT_STEPS.add(int(steps_taken.sum()))
+    _ASCENT_CONVERGED.add(int(converged.sum()))
+    _ASCENT_BATCH.observe(batch)
 
     return [
         SurrogateResult(

@@ -21,9 +21,15 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
+from .. import telemetry as _telemetry
 from ..simulator.topology import Topology
 
 __all__ = ["TabuResult", "tabu_search", "batched_objective", "as_batched"]
+
+_SEARCH_SPAN = _telemetry.span("tabu.search")
+_SEARCHES = _telemetry.counter("tabu.searches")
+_ITERATIONS = _telemetry.counter("tabu.iterations")
+_EVALUATIONS = _telemetry.counter("tabu.evaluations")
 
 
 @dataclass(frozen=True)
@@ -90,6 +96,7 @@ def as_batched(objective) -> Callable[..., List[float]]:
     ]
 
 
+@_SEARCH_SPAN
 def tabu_search(
     initial: Topology,
     objective,
@@ -173,6 +180,9 @@ def tabu_search(
             if stale >= patience:
                 break
 
+    _SEARCHES.inc()
+    _ITERATIONS.add(iterations)
+    _EVALUATIONS.add(evaluations)
     return TabuResult(
         best=best,
         best_score=best_score,

@@ -40,6 +40,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry as _telemetry
 from ..core import CAROLConfig, TrainingConfig
 from ..scenarios import ScenarioSpec, build_topology, get_scenario
 from ..simulator.engine import EdgeFederation
@@ -82,6 +83,13 @@ DETERMINISTIC_METRICS = (
 
 #: Models whose construction consumes offline-trained assets.
 _CAROL_FAMILY = ("CAROL", PROACTIVE_NAME, *ABLATION_NAMES)
+
+# Campaign-level telemetry: every execution mode funnels through
+# :func:`run_cell`, so these fire identically in serial, process-pool
+# and fleet workers (fleet workers ship them onward as STATS frames).
+_CELL_SPAN = _telemetry.span("campaign.cell")
+_CELLS_STARTED = _telemetry.counter("campaign.cells_started")
+_CELLS_COMPLETED = _telemetry.counter("campaign.cells_completed")
 
 _MODEL_LOOKUP = {
     name.lower(): name
@@ -353,9 +361,13 @@ def run_cell(task: RunTask, model_factory) -> RunRecord:
     spec = task.spec
     run_seed = int(task.seed_sequence.generate_state(1, dtype=np.uint32)[0])
     config = spec.compile(seed=run_seed, n_intervals=task.n_intervals)
-    model = model_factory(config, run_seed)
-    federation = EdgeFederation(config, topology=build_topology(spec))
-    result = run_experiment(model, config, federation=federation, edge_slowdown=0.0)
+    _CELLS_STARTED.inc()
+    with _CELL_SPAN.time():
+        model = model_factory(config, run_seed)
+        federation = EdgeFederation(config, topology=build_topology(spec))
+        result = run_experiment(
+            model, config, federation=federation, edge_slowdown=0.0
+        )
     summary = result.summary()
     # CAROL-family models expose their scorer/cache counters; pure
     # heuristics have no execution telemetry to report.
@@ -365,6 +377,15 @@ def run_cell(task: RunTask, model_factory) -> RunRecord:
         if callable(diagnostics_source)
         else {}
     )
+    # Fold the model's per-instance registries (carol.* / scorer.*)
+    # into the process-wide view so campaign snapshots see them.  Pure
+    # observation: the record below is already assembled from the
+    # deterministic summary, so telemetry cannot feed back into it.
+    if _telemetry.is_enabled():
+        snapshot_source = getattr(model, "telemetry_snapshot", None)
+        if callable(snapshot_source):
+            _telemetry.get_registry().merge_snapshot(snapshot_source())
+    _CELLS_COMPLETED.inc()
     return RunRecord(
         run_index=task.run_index,
         scenario=task.scenario,
@@ -405,6 +426,21 @@ def _execute_run(
         )
 
     return run_cell(task, build)
+
+
+def _execute_run_telemetry(
+    task: RunTask, assets: Optional[TrainedAssets] = None
+) -> Tuple[RunRecord, dict]:
+    """:func:`_execute_run` plus this cell's process-registry delta.
+
+    The delta (not a raw snapshot) is what crosses the process
+    boundary: pool workers persist across cells and fork-inherited
+    registries carry parent state, so only the difference attributable
+    to this cell merges into the campaign view without double counting.
+    """
+    before = _telemetry.snapshot()
+    record = _execute_run(task, assets)
+    return record, _telemetry.delta(before)
 
 
 def plan_tasks(config: CampaignConfig) -> List[RunTask]:
@@ -451,6 +487,13 @@ class CampaignResult:
 
     config: CampaignConfig
     records: List[RunRecord] = field(default_factory=list)
+    #: Merged telemetry snapshot covering every execution mode: the
+    #: per-cell registry deltas (serial / process pool) or the fleet's
+    #: worker + service registries, folded into one campaign view with
+    #: :func:`repro.telemetry.merge_snapshots`.  Observability only --
+    #: wall-clock spans live here and never in the records, so the
+    #: bit-identity contract is untouched.
+    telemetry: Dict[str, dict] = field(default_factory=dict)
 
     def rows(self) -> List[Dict[str, object]]:
         """Tidy table: one row per run, identity + metric columns."""
@@ -487,6 +530,7 @@ class CampaignResult:
                 }
                 for record in self.records
             ],
+            "telemetry": self.telemetry,
         }
 
     def aggregate(self) -> Dict[Tuple[str, str], Dict[str, Tuple[float, float]]]:
@@ -567,7 +611,13 @@ def run_campaign(
     if config.mode == "fleet":
         from .fleet import run_fleet_campaign
 
-        records = run_fleet_campaign(config, tasks, shared or {})
+        telemetry_sink: List[dict] = []
+        records = run_fleet_campaign(
+            config, tasks, shared or {}, telemetry_sink=telemetry_sink
+        )
+        campaign_telemetry = (
+            telemetry_sink[0] if telemetry_sink else _telemetry.snapshot()
+        )
     else:
         per_task = [
             shared.get(task.scenario)
@@ -576,16 +626,24 @@ def run_campaign(
             for task in tasks
         ]
         if config.workers == 1:
-            records = [
-                _execute_run(task, assets)
+            outcomes = [
+                _execute_run_telemetry(task, assets)
                 for task, assets in zip(tasks, per_task)
             ]
         else:
             with ProcessPoolExecutor(max_workers=config.workers) as executor:
-                records = list(
-                    executor.map(_execute_run, tasks, per_task, chunksize=1)
+                outcomes = list(
+                    executor.map(
+                        _execute_run_telemetry, tasks, per_task, chunksize=1
+                    )
                 )
-    return CampaignResult(config=config, records=records)
+        records = [record for record, _delta in outcomes]
+        campaign_telemetry = _telemetry.merge_snapshots(
+            *(delta for _record, delta in outcomes)
+        )
+    return CampaignResult(
+        config=config, records=records, telemetry=campaign_telemetry
+    )
 
 
 def ci_campaign_config(workers: int = 2) -> CampaignConfig:

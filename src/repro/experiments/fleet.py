@@ -42,11 +42,12 @@ import multiprocessing
 import queue as queue_module
 import sys
 import time
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry as _telemetry
 from ..baselines import AlwaysFineTune, NeverFineTune
 from ..core import CAROL, GONDiscriminator, GONInput, ProactiveCAROL
 from ..nn.serialization import pack_state, unpack_state
@@ -60,11 +61,14 @@ from ..serving import (
     ServiceStats,
     SharedArrayPack,
     SharedPackHandle,
+    StatsUpdate,
+    StatusServer,
     TcpTransport,
     TcpWorkerChannel,
     fetch_array_pack,
     serve_transport,
 )
+from ..telemetry import merge_snapshots
 from .calibration import PROACTIVE_NAME, TrainedAssets, build_model
 from .campaign import (
     RunRecord,
@@ -89,6 +93,20 @@ _GON_CAROL_CLASSES = {
 
 #: Seconds to wait for a straggler record/worker before giving up.
 _COLLECT_TIMEOUT = 120.0
+
+
+@dataclass(frozen=True)
+class _WorkerTelemetry:
+    """A worker's final registry delta, shipped on the results queue.
+
+    Separate from the per-cell :class:`~repro.serving.StatsUpdate`
+    frames (which feed the service's live ``/status`` view): this one
+    travels to the *parent* so the campaign's merged telemetry is
+    complete even when the scoring service is remote.
+    """
+
+    worker_id: int
+    snapshot: Dict[str, dict]
 
 
 @dataclass(frozen=True)
@@ -235,6 +253,9 @@ def _fleet_worker_main(
 ) -> None:
     """Worker process: mount shared assets, run cells, stream records."""
     opened: List[AttachedArrayPack] = []
+    # Everything below is reported relative to this base so the
+    # fork-inherited parent registry state never double-counts.
+    base = _telemetry.snapshot()
     try:
         assets_by_scenario: Dict[str, TrainedAssets] = {}
         for scenario, scenario_handles in handles.items():
@@ -249,6 +270,12 @@ def _fleet_worker_main(
                 task, assets_by_scenario.get(task.scenario), client
             )
             results_queue.put(record)
+            # Cumulative-so-far snapshot for the service's live
+            # /status view (latest per client replaces earlier ones).
+            request_queue.put(
+                StatsUpdate(worker_id, _telemetry.delta(base))
+            )
+        results_queue.put(_WorkerTelemetry(worker_id, _telemetry.delta(base)))
     finally:
         # Sign off even on failure so the scorer loop can wind down
         # (the parent notices missing records and the exit code).
@@ -273,6 +300,7 @@ def _tcp_fleet_worker_main(
     only names the task partition.
     """
     channel = TcpWorkerChannel(address)
+    base = _telemetry.snapshot()
     try:
         index = channel.fetch_index()
         assets_by_scenario: Dict[str, TrainedAssets] = {}
@@ -301,6 +329,10 @@ def _tcp_fleet_worker_main(
                 task, assets_by_scenario.get(task.scenario), client
             )
             results_queue.put(record)
+            channel.put(StatsUpdate(channel.client_id, _telemetry.delta(base)))
+        results_queue.put(
+            _WorkerTelemetry(worker_id, _telemetry.delta(base))
+        )
     finally:
         try:
             channel.put(ClientDone(channel.client_id))
@@ -345,9 +377,10 @@ def _pack_campaign_assets(
 def _collect_records(
     results_queue,
     n_expected: int,
+    n_workers: int,
     worker_crashed: Callable[[], bool],
     workers_alive: Callable[[], bool],
-) -> List[RunRecord]:
+) -> Tuple[List[RunRecord], List[dict]]:
     """Drain worker records; fail fast when a worker can't deliver.
 
     Liveness, not a wall-clock budget, decides when to give up: as
@@ -357,11 +390,27 @@ def _collect_records(
     campaigns wait indefinitely too).  A crashed worker fails fast; a
     clean universal exit with records still missing gets one short
     drain grace period, then fails loudly.
+
+    Besides the ``n_expected`` records, every worker ships one final
+    :class:`_WorkerTelemetry` after its last record -- collection waits
+    for all ``n_workers`` of those too (same loud failure paths), and
+    returns ``(records, telemetry_snapshots)``.
     """
     records: List[RunRecord] = []
-    while len(records) < n_expected:
+    snapshots: List[dict] = []
+
+    def missing() -> bool:
+        return len(records) < n_expected or len(snapshots) < n_workers
+
+    def take(item) -> None:
+        if isinstance(item, _WorkerTelemetry):
+            snapshots.append(item.snapshot)
+        else:
+            records.append(item)
+
+    while missing():
         try:
-            records.append(results_queue.get(timeout=1.0))
+            take(results_queue.get(timeout=1.0))
             continue
         except queue_module.Empty:
             pass
@@ -375,15 +424,16 @@ def _collect_records(
             # Every worker exited cleanly: whatever is coming is
             # already in the queue's pipe buffer.
             try:
-                records.append(results_queue.get(timeout=5.0))
+                take(results_queue.get(timeout=5.0))
                 continue
             except queue_module.Empty:
                 raise RuntimeError(
-                    f"fleet campaign lost records: got {len(records)} "
-                    f"of {n_expected} although every worker exited "
-                    "cleanly -- records were dropped in transit"
+                    f"fleet campaign lost records: got {len(records)} of "
+                    f"{n_expected} and {len(snapshots)} of {n_workers} "
+                    "telemetry snapshots although every worker exited "
+                    "cleanly -- results were dropped in transit"
                 ) from None
-    return records
+    return records, snapshots
 
 
 def run_fleet_campaign(
@@ -391,6 +441,7 @@ def run_fleet_campaign(
     tasks: Sequence[RunTask],
     shared_assets: Dict[str, TrainedAssets],
     stats_sink: Optional[List[ServiceStats]] = None,
+    telemetry_sink: Optional[List[dict]] = None,
 ) -> List[RunRecord]:
     """Execute ``tasks`` with fleet workers against one scoring service.
 
@@ -399,13 +450,21 @@ def run_fleet_campaign(
     ``stats_sink``, when given, receives the scorer's
     :class:`ServiceStats` for telemetry/benchmarks (empty when the
     service is remote -- its stats live in the serving process).
-    ``config.transport`` selects queue or TCP plumbing.
+    ``telemetry_sink``, when given, receives one merged registry
+    snapshot covering the parent (service included when self-hosted)
+    and every worker's final delta.  ``config.transport`` selects
+    queue or TCP plumbing.
     """
     tasks = list(tasks)
     if not tasks:
+        if telemetry_sink is not None:
+            telemetry_sink.append(merge_snapshots())
         return []
     if getattr(config, "transport", "queue") == "tcp":
-        return _run_tcp_fleet_campaign(config, tasks, shared_assets, stats_sink)
+        return _run_tcp_fleet_campaign(
+            config, tasks, shared_assets, stats_sink, telemetry_sink
+        )
+    base = _telemetry.snapshot()
     ctx = multiprocessing.get_context()
     n_workers = max(1, min(config.workers, len(tasks)))
     partitions = [tasks[i::n_workers] for i in range(n_workers)]
@@ -461,9 +520,17 @@ def run_fleet_campaign(
         if stats_sink is not None:
             stats_sink.append(stats)
 
-        records = _collect_records(
-            results_queue, len(tasks), worker_crashed, workers_alive
+        records, worker_snapshots = _collect_records(
+            results_queue, len(tasks), n_workers, worker_crashed,
+            workers_alive,
         )
+        if telemetry_sink is not None:
+            # The parent delta carries the service-side registry
+            # (service.*, gon.* from batched ascents); each worker
+            # delta carries its sim/campaign/carol side.
+            telemetry_sink.append(
+                merge_snapshots(_telemetry.delta(base), *worker_snapshots)
+            )
         for worker in workers:
             worker.join(timeout=_COLLECT_TIMEOUT)
         return sorted(records, key=lambda record: record.run_index)
@@ -485,6 +552,7 @@ def _run_tcp_fleet_campaign(
     tasks: Sequence[RunTask],
     shared_assets: Dict[str, TrainedAssets],
     stats_sink: Optional[List[ServiceStats]] = None,
+    telemetry_sink: Optional[List[dict]] = None,
 ) -> List[RunRecord]:
     """Fleet execution over sockets: self-hosted or external service.
 
@@ -495,6 +563,7 @@ def _run_tcp_fleet_campaign(
     service (``python -m repro serve``) and fetch assets from it --
     this process never trains or publishes anything.
     """
+    base = _telemetry.snapshot()
     ctx = multiprocessing.get_context()
     n_workers = max(1, min(config.workers, len(tasks)))
     partitions = [tasks[i::n_workers] for i in range(n_workers)]
@@ -557,9 +626,14 @@ def _run_tcp_fleet_campaign(
             if stats_sink is not None:
                 stats_sink.append(stats)
 
-        records = _collect_records(
-            results_queue, len(tasks), worker_crashed, workers_alive
+        records, worker_snapshots = _collect_records(
+            results_queue, len(tasks), n_workers, worker_crashed,
+            workers_alive,
         )
+        if telemetry_sink is not None:
+            telemetry_sink.append(
+                merge_snapshots(_telemetry.delta(base), *worker_snapshots)
+            )
         for worker in workers:
             worker.join(timeout=_COLLECT_TIMEOUT)
         return sorted(records, key=lambda record: record.run_index)
@@ -572,6 +646,41 @@ def _run_tcp_fleet_campaign(
             transport.close()
 
 
+def _status_provider(
+    service: GONScoringService, transport: TcpTransport, n_clients: int
+) -> Callable[[], dict]:
+    """Build the ``/status`` JSON assembler for a hosted service.
+
+    Pure observation: merges the service-process registry with the
+    latest STATS frame from every worker, derives the cell progress
+    view from the merged ``campaign.cells_*`` counters, and reports
+    connection/sign-off state.  Safe to call from the status server's
+    threads mid-``serve()``.
+    """
+
+    def provider() -> dict:
+        merged = service.merged_telemetry()
+        counters = merged.get("counters", {})
+        started = int(counters.get("campaign.cells_started", 0))
+        completed = int(counters.get("campaign.cells_completed", 0))
+        return {
+            "workers": {
+                "connected": transport.n_connected,
+                "expected": n_clients,
+                "signed_off": len(service.signed_off),
+            },
+            "cells": {
+                "started": started,
+                "completed": completed,
+                "in_flight": max(0, started - completed),
+            },
+            "service": asdict(service.stats),
+            "telemetry": merged,
+        }
+
+    return provider
+
+
 def serve_fleet_service(
     config,
     shared_assets: Dict[str, TrainedAssets],
@@ -580,6 +689,9 @@ def serve_fleet_service(
     n_clients: int = 2,
     idle_timeout: float = 0.0,
     on_ready: Optional[Callable[[str, int], None]] = None,
+    status_port: Optional[int] = None,
+    status_host: str = "127.0.0.1",
+    telemetry_sink: Optional[List[dict]] = None,
 ) -> ServiceStats:
     """Host one scoring service for remote campaign workers.
 
@@ -589,6 +701,13 @@ def serve_fleet_service(
     workers have signed off.  ``idle_timeout > 0`` aborts loudly when
     no frame has arrived for that many seconds (covers workers that
     never connect as well as ones that silently die).
+
+    ``status_port`` (0 = ephemeral) additionally binds a read-only
+    HTTP :class:`~repro.serving.StatusServer` next to the scoring
+    socket serving ``/status`` and ``/metrics`` from the live merged
+    telemetry; ``None`` (the default) serves no HTTP.
+    ``telemetry_sink``, when given, receives the final merged snapshot
+    after the scoring loop winds down.
     """
     from ..serving.transports import TransportError
 
@@ -601,15 +720,26 @@ def serve_fleet_service(
         asset_index=asset_index,
     )
     transport.start()
+    status_server: Optional[StatusServer] = None
     try:
-        if on_ready is not None:
-            on_ready(transport.host, transport.port)
         service = GONScoringService(
             models,
             transport.request_queue,
             transport.reply_queues,
             merge_requests=bool(getattr(config, "fleet_merge", False)),
         )
+        if status_port is not None:
+            status_server = StatusServer(
+                _status_provider(service, transport, n_clients),
+                host=status_host,
+                port=status_port,
+            ).start()
+            print(
+                f"status endpoint on http://{status_server.address}/status",
+                file=sys.stderr,
+            )
+        if on_ready is not None:
+            on_ready(transport.host, transport.port)
 
         abort = None
         if idle_timeout > 0:
@@ -624,6 +754,11 @@ def serve_fleet_service(
                     )
                 return False
 
-        return serve_transport(service, transport, abort=abort)
+        stats = serve_transport(service, transport, abort=abort)
+        if telemetry_sink is not None:
+            telemetry_sink.append(service.merged_telemetry())
+        return stats
     finally:
+        if status_server is not None:
+            status_server.close()
         transport.close()

@@ -107,6 +107,38 @@ Transport guarantees, in the same spirit as the overlay invariants:
    so blocked workers raise instead of waiting forever.  Frame sizes
    are bounded, so a corrupt length prefix cannot trigger unbounded
    allocation.
+
+Telemetry: STATS frames and the status endpoint
+-----------------------------------------------
+Every layer of this subsystem is instrumented against the process-wide
+:mod:`repro.telemetry` registry (``service.*`` batching counters and
+spans, ``wire.*`` frame/byte counters, ``client.round_trip`` latency).
+Three pieces tie the distributed picture together:
+
+* **STATS frames** -- after each completed cell a fleet worker ships a
+  :class:`StatsUpdate` carrying its registry snapshot (cumulative
+  since worker start, JSON-safe by construction; it rides in the frame
+  header, no packed body).  The service keeps the *latest* snapshot
+  per client -- snapshots are cumulative, so replacement (never
+  summation) is the correct merge for a live view.
+* **merged view** -- :meth:`GONScoringService.merged_telemetry` folds
+  the service-process registry and every worker's latest snapshot into
+  one fleet-wide snapshot with
+  :func:`repro.telemetry.merge_snapshots`; snapshot reads are
+  lock-protected, so the merge is safe mid-``serve()``.
+* **status endpoint** -- ``python -m repro serve --status-port N``
+  binds :class:`StatusServer` (stdlib ``http.server``, daemon thread,
+  read-only) next to the scoring socket.  ``GET /status`` answers one
+  JSON object: connected/expected/signed-off workers, cells
+  started/completed/in-flight (derived from the merged
+  ``campaign.cells_*`` counters), the legacy :class:`ServiceStats`
+  view, and the full merged telemetry.  ``GET /metrics`` flattens the
+  same snapshot to scrape-friendly ``name value`` text lines.
+
+Telemetry is strictly observational: snapshots never feed back into
+scoring, wall-clock only ever appears in telemetry (never in record
+rows), and disabling it (``REPRO_TELEMETRY=0``) changes no record --
+the bit-identity contract is asserted with telemetry on and off.
 """
 
 from .service import (
@@ -118,7 +150,9 @@ from .service import (
     OverlayUpdate,
     ScoringClient,
     ServiceStats,
+    StatsUpdate,
 )
+from .status import StatusServer
 from .shared import (
     AttachedArrayPack,
     FetchedArrayPack,
@@ -144,6 +178,8 @@ __all__ = [
     "OverlayUpdate",
     "ScoringClient",
     "ServiceStats",
+    "StatsUpdate",
+    "StatusServer",
     "AttachedArrayPack",
     "FetchedArrayPack",
     "SharedArrayPack",

@@ -61,28 +61,49 @@ evicted when their client signs off (:class:`ClientDone`).
 from __future__ import annotations
 
 import queue as queue_module
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from .. import telemetry as _telemetry
 from ..core.features import GONInput
 from ..core.gon import GONDiscriminator
 from ..core.surrogate import SurrogateResult, generate_metrics_batch
 from ..core.training import TrainingConfig, fine_tune
 from ..nn.serialization import pack_state, unpack_state
+from ..telemetry import SIZE_EDGES, MetricsRegistry, merge_snapshots
 
 __all__ = [
     "AscentRequest",
     "ConfidenceRequest",
     "OverlayUpdate",
     "ClientDone",
+    "StatsUpdate",
     "ServiceStats",
     "GONScoringService",
     "ScoringClient",
     "FleetScorer",
 ]
+
+# Micro-batcher telemetry (process registry).  The classic
+# :class:`ServiceStats` dataclass remains the stable legacy view; the
+# registry mirrors it so the merged fleet snapshot (``/status``,
+# ``--record-json``) carries the same counters under ``service.*``.
+_DRAIN_SPAN = _telemetry.span("service.drain")
+_DISPATCH_SPAN = _telemetry.span("service.dispatch")
+_REQUESTS = _telemetry.counter("service.requests")
+_ELEMENTS = _telemetry.counter("service.elements")
+_BATCHES = _telemetry.counter("service.batches")
+_MERGED_ELEMENTS = _telemetry.counter("service.merged_elements")
+_OVERLAY_INSTALLS = _telemetry.counter("service.overlay_installs")
+_OVERLAY_EVICTIONS = _telemetry.counter("service.overlay_evictions")
+_OVERLAY_ELEMENTS = _telemetry.counter("service.overlay_elements")
+_STATS_UPDATES = _telemetry.counter("service.stats_updates")
+_BATCH_ELEMENTS = _telemetry.histogram("service.batch_elements", SIZE_EDGES)
+_BUCKET_OCCUPANCY = _telemetry.histogram("service.bucket_occupancy", SIZE_EDGES)
 
 
 def _generation_bucket(client_id: int, generation: int) -> tuple:
@@ -180,6 +201,25 @@ class ClientDone:
 
 
 @dataclass(frozen=True)
+class StatsUpdate:
+    """A worker shipping its telemetry snapshot (the STATS frame).
+
+    ``snapshot`` is a :meth:`repro.telemetry.MetricsRegistry.snapshot`
+    plain dict (JSON-safe, rides in the wire frame's header).  Workers
+    ship one after every completed cell; the service keeps the *latest*
+    snapshot per client (snapshots are cumulative) and merges them with
+    its own registry into the fleet-wide view behind ``/status`` --
+    see :meth:`GONScoringService.merged_telemetry`.  Fire-and-forget,
+    never consumes micro-batch window budget, and carries no arrays.
+    """
+
+    client_id: int
+    snapshot: Dict[str, dict]
+
+    n_elements: int = 0
+
+
+@dataclass(frozen=True)
 class AscentReply:
     request_id: int
     metrics: np.ndarray      # [B, n, F] converged M* stack
@@ -259,6 +299,24 @@ class GONScoringService:
         #: :class:`OverlayUpdate`: ``(client_id, model_key) ->
         #: (generation, replica)``.  Base models stay untouched.
         self._overlays: Dict[Tuple[int, str], Tuple[int, GONDiscriminator]] = {}
+        #: Latest :class:`StatsUpdate` snapshot per client, guarded for
+        #: the status-endpoint thread (see :meth:`merged_telemetry`).
+        self.worker_snapshots: Dict[int, dict] = {}
+        self._stats_lock = threading.Lock()
+        #: Clients that have signed off so far (live progress view).
+        self.signed_off: set = set()
+
+    # ------------------------------------------------------------------
+    def merged_telemetry(self) -> dict:
+        """Fleet-wide snapshot: this process's registry + every worker.
+
+        Associative/commutative merge (counters sum, histograms add
+        bucket-wise), so the result is independent of worker arrival
+        order.  Safe to call from another thread mid-:meth:`serve`.
+        """
+        with self._stats_lock:
+            snaps = list(self.worker_snapshots.values())
+        return merge_snapshots(_telemetry.snapshot(), *snaps)
 
     # ------------------------------------------------------------------
     def serve(self, abort: Optional[Callable[[], bool]] = None) -> ServiceStats:
@@ -267,7 +325,7 @@ class GONScoringService:
         ``abort`` is polled while the queue is idle; returning True
         raises (used to detect dead workers instead of hanging).
         """
-        done: set = set()
+        done = self.signed_off
         while len(done) < len(self.reply_queues):
             try:
                 message = self.request_queue.get(timeout=self.poll_seconds)
@@ -279,15 +337,16 @@ class GONScoringService:
                     )
                 continue
             pending = [message]
-            deadline = time.monotonic() + self.window_seconds
-            while self._pending_elements(pending) < self.max_batch_elements:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    break
-                try:
-                    pending.append(self.request_queue.get(timeout=remaining))
-                except queue_module.Empty:
-                    break
+            with _DRAIN_SPAN.time():
+                deadline = time.monotonic() + self.window_seconds
+                while self._pending_elements(pending) < self.max_batch_elements:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    try:
+                        pending.append(self.request_queue.get(timeout=remaining))
+                    except queue_module.Empty:
+                        break
             done.update(self._dispatch(pending))
         return self.stats
 
@@ -315,6 +374,7 @@ class GONScoringService:
             update.generation, replica,
         )
         self.stats.overlay_installs += 1
+        _OVERLAY_INSTALLS.inc()
 
     def _evict_overlays(self, client_id: int) -> None:
         """Drop every overlay owned by a disconnecting client."""
@@ -322,6 +382,7 @@ class GONScoringService:
         for key in owned:
             del self._overlays[key]
         self.stats.overlay_evictions += len(owned)
+        _OVERLAY_EVICTIONS.add(len(owned))
 
     def _resolve_model(self, request) -> GONDiscriminator:
         """The replica a request scores on: base weights or overlay."""
@@ -337,6 +398,7 @@ class GONScoringService:
                 "protocol violated (updates must precede requests)"
             )
         self.stats.overlay_elements += request.n_elements
+        _OVERLAY_ELEMENTS.add(request.n_elements)
         return entry[1]
 
     # ------------------------------------------------------------------
@@ -357,17 +419,26 @@ class GONScoringService:
             if isinstance(message, OverlayUpdate):
                 self._install_overlay(message)
                 continue
+            if isinstance(message, StatsUpdate):
+                with self._stats_lock:
+                    self.worker_snapshots[message.client_id] = message.snapshot
+                _STATS_UPDATES.inc()
+                continue
             buckets.setdefault(message.bucket, []).append(message)
             self.stats.n_requests += 1
             self.stats.n_elements += message.n_elements
+            _REQUESTS.inc()
+            _ELEMENTS.add(message.n_elements)
 
-        for bucket_key, requests in buckets.items():
-            kind = bucket_key[0]
-            if self.merge_requests and len(requests) > 1:
-                self._run_merged(kind, requests)
-            else:
-                for request in requests:
-                    self._run_exact(kind, request)
+        with _DISPATCH_SPAN.time():
+            for bucket_key, requests in buckets.items():
+                kind = bucket_key[0]
+                _BUCKET_OCCUPANCY.observe(len(requests))
+                if self.merge_requests and len(requests) > 1:
+                    self._run_merged(kind, requests)
+                else:
+                    for request in requests:
+                        self._run_exact(kind, request)
         return signed_off
 
     def _reply(self, request, reply) -> None:
@@ -377,6 +448,8 @@ class GONScoringService:
     def _run_exact(self, kind: str, request) -> None:
         self.stats.n_batches += 1
         self.stats.batch_sizes.append(request.n_elements)
+        _BATCHES.inc()
+        _BATCH_ELEMENTS.observe(request.n_elements)
         model = self._resolve_model(request)
         if kind == "ascent":
             results = generate_metrics_batch(
@@ -412,6 +485,9 @@ class GONScoringService:
         adjacencies = np.concatenate([r.adjacencies for r in requests])
         self.stats.batch_sizes.append(int(metrics.shape[0]))
         self.stats.merged_elements += int(metrics.shape[0])
+        _BATCHES.inc()
+        _BATCH_ELEMENTS.observe(int(metrics.shape[0]))
+        _MERGED_ELEMENTS.add(int(metrics.shape[0]))
         if kind == "ascent":
             results = generate_metrics_batch(
                 model,
@@ -468,9 +544,14 @@ class ScoringClient:
         self.reply_queue = reply_queue
         self._next_request = 0
 
+    _ROUND_TRIP_SPAN = _telemetry.span("client.round_trip")
+
     def _round_trip(self, request):
-        self.request_queue.put(request)
-        reply = self.reply_queue.get()
+        # The span covers submit -> keyed reply: the worker-side view
+        # of service queue wait plus scoring time.
+        with self._ROUND_TRIP_SPAN.time():
+            self.request_queue.put(request)
+            reply = self.reply_queue.get()
         if reply.request_id != request.request_id:  # pragma: no cover
             raise RuntimeError(
                 f"reply {reply.request_id} for request "
@@ -580,11 +661,20 @@ class FleetScorer:
         self.model = model
         self.overlays = overlays
         self.generation = 0
-        #: Scorer-side telemetry, surfaced into campaign records by
+        #: Per-instance registry backing :attr:`diagnostics` (always
+        #: enabled -- these are deterministic record diagnostics, not
+        #: wall-clock telemetry), surfaced into campaign records by
         #: ``experiments.campaign.run_cell``.
-        self.diagnostics: Dict[str, int] = {
-            "local_fallbacks": 0,
-            "overlay_installs": 0,
+        self.telemetry = MetricsRegistry()
+        self._fallbacks = self.telemetry.counter("scorer.local_fallbacks")
+        self._installs = self.telemetry.counter("scorer.overlay_installs")
+
+    @property
+    def diagnostics(self) -> Dict[str, int]:
+        """Legacy integer-counter view of :attr:`telemetry`."""
+        return {
+            "local_fallbacks": self._fallbacks.value,
+            "overlay_installs": self._installs.value,
         }
 
     def ascent(
@@ -602,7 +692,7 @@ class FleetScorer:
             )
         # Pre-overlay degradation path: a diverged replica can only
         # score on its private weights.  Counted, never silent.
-        self.diagnostics["local_fallbacks"] += 1
+        self._fallbacks.inc()
         return generate_metrics_batch(
             self.model,
             schedules,
@@ -641,5 +731,5 @@ class FleetScorer:
             self.client.install_overlay(
                 self.model.state_dict(), self.generation
             )
-            self.diagnostics["overlay_installs"] += 1
+            self._installs.inc()
         return loss

@@ -1,0 +1,107 @@
+"""Live HTTP status endpoint for the fleet scoring service.
+
+A stdlib :mod:`http.server` bound next to the scoring socket
+(``python -m repro serve --status-port N``) exposing two routes:
+
+``/status``
+    One JSON object assembled by the provider callback at request
+    time -- connected/expected/signed-off workers, cells completed and
+    in flight (derived from the merged ``campaign.cells_*`` counters
+    the STATS frames ship), the legacy :class:`~repro.serving.ServiceStats`
+    view, and the full merged telemetry snapshot.
+
+``/metrics``
+    The merged snapshot flattened to ``name value`` text lines
+    (:func:`repro.telemetry.render_metrics_text`), scrape-friendly.
+
+The server runs on a daemon thread and only ever *reads* -- the
+provider must be safe to call from another thread mid-``serve()``
+(:meth:`GONScoringService.merged_telemetry` takes care of its side).
+Everything here is observation: no route mutates service state, so
+the endpoint cannot perturb campaign results.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from ..telemetry import render_metrics_text
+
+__all__ = ["StatusServer"]
+
+
+class _StatusHandler(BaseHTTPRequestHandler):
+    server: "_StatusHTTPServer"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = self.path.split("?", 1)[0].rstrip("/") or "/status"
+        try:
+            if path == "/status":
+                payload = json.dumps(
+                    self.server.provider(), indent=2, sort_keys=True
+                ).encode("utf-8")
+                content_type = "application/json"
+            elif path == "/metrics":
+                status = self.server.provider()
+                payload = render_metrics_text(
+                    status.get("telemetry", {})
+                ).encode("utf-8")
+                content_type = "text/plain; charset=utf-8"
+            else:
+                self.send_error(404, "unknown route (try /status or /metrics)")
+                return
+        except Exception as error:  # provider failed: loud 500, no hang
+            self.send_error(500, f"status provider failed: {error}")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def log_message(self, *args) -> None:  # pragma: no cover - quiet
+        pass
+
+
+class _StatusHTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    provider: Callable[[], dict]
+
+
+class StatusServer:
+    """Serve ``/status`` + ``/metrics`` from a provider callback.
+
+    ``provider`` returns the ``/status`` JSON dict; its ``"telemetry"``
+    key (a merged registry snapshot) additionally backs ``/metrics``.
+    Port 0 picks an ephemeral port (read :attr:`port` back).
+    """
+
+    def __init__(
+        self,
+        provider: Callable[[], dict],
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self._server = _StatusHTTPServer((host, port), _StatusHandler)
+        self._server.provider = provider
+        self.host, self.port = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="fleet-status-http",
+            daemon=True,
+        )
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def start(self) -> "StatusServer":
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        self._server.shutdown()
+        self._server.server_close()

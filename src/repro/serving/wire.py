@@ -34,6 +34,7 @@ from typing import Dict, Tuple
 
 import numpy as np
 
+from .. import telemetry as _telemetry
 from ..nn.serialization import pack_state, unpack_state
 from .service import (
     AscentReply,
@@ -42,6 +43,7 @@ from .service import (
     ConfidenceReply,
     ConfidenceRequest,
     OverlayUpdate,
+    StatsUpdate,
 )
 
 __all__ = [
@@ -70,6 +72,14 @@ _PREFIX = struct.Struct("!4sBII")
 
 MAX_HEADER_BYTES = 1 << 24  # 16 MiB of JSON is already absurd
 MAX_BODY_BYTES = 1 << 31  # 2 GiB of packed arrays
+
+# Wire telemetry: frame and byte counters on both directions.  These
+# fire from reader threads too; int += is atomic enough under the GIL
+# for monitoring purposes.
+_FRAMES_SENT = _telemetry.counter("wire.frames_sent")
+_BYTES_SENT = _telemetry.counter("wire.bytes_sent")
+_FRAMES_RECEIVED = _telemetry.counter("wire.frames_received")
+_BYTES_RECEIVED = _telemetry.counter("wire.bytes_received")
 
 
 class WireError(RuntimeError):
@@ -151,6 +161,11 @@ _ARRAY_FIELDS = {
     ClientDone: (),
     AscentReply: ("metrics", "confidences", "n_steps", "converged"),
     ConfidenceReply: ("confidences",),
+    # STATS frame: the telemetry snapshot dict rides in the JSON
+    # header (it is JSON-safe by construction), no packed body.
+    # Appended last -- message type codes come from insertion order,
+    # so new messages must never reorder the existing entries.
+    StatsUpdate: (),
 }
 
 #: Replies are consumed by clients that may mutate result arrays (the
@@ -197,7 +212,12 @@ def encode_message(message) -> bytes:
     else:
         body = b""
     header_bytes = json.dumps(header).encode("utf-8")
-    return _PREFIX.pack(MAGIC, code, len(header_bytes), len(body)) + header_bytes + body
+    frame = (
+        _PREFIX.pack(MAGIC, code, len(header_bytes), len(body)) + header_bytes + body
+    )
+    _FRAMES_SENT.inc()
+    _BYTES_SENT.add(len(frame))
+    return frame
 
 
 def decode_payload(code: int, header_bytes: bytes, body: bytes):
@@ -302,6 +322,8 @@ def recv_message(sock):
         raise WireError(f"frame body of {body_len} bytes exceeds the protocol cap")
     header = _read_exact(sock, header_len, at_boundary=False)
     body = _read_exact(sock, body_len, at_boundary=False) if body_len else b""
+    _FRAMES_RECEIVED.inc()
+    _BYTES_RECEIVED.add(_PREFIX.size + header_len + body_len)
     return decode_payload(code, header, body)
 
 

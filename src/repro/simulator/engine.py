@@ -19,6 +19,7 @@ from typing import Dict, List, Optional, Sequence, Union
 
 import numpy as np
 
+from .. import telemetry as _telemetry
 from ..config import ExperimentConfig
 from .detection import DetectionProtocol, FailureReport
 from .faults import FaultInjector
@@ -36,6 +37,16 @@ from .task import Task
 from .topology import Topology, initial_topology
 
 __all__ = ["SystemView", "EdgeFederation"]
+
+# Interval-loop telemetry (process registry): wall-clock spans and
+# task-flow counters.  Observation only -- nothing here feeds back
+# into simulation state, so records stay bit-identical with telemetry
+# on, off, or absent.
+_INTERVAL_SPAN = _telemetry.span("sim.interval")
+_INTERVALS = _telemetry.counter("sim.intervals")
+_TASKS_ARRIVED = _telemetry.counter("sim.tasks_arrived")
+_TASKS_COMPLETED = _telemetry.counter("sim.tasks_completed")
+_ATTACKS = _telemetry.counter("sim.attacks")
 
 #: Broker state shipped during a node-shift (resource logs, task table).
 BROKER_STATE_MB = 64.0
@@ -262,6 +273,7 @@ class EdgeFederation:
     # ------------------------------------------------------------------
     # Phase 3: execution
     # ------------------------------------------------------------------
+    @_INTERVAL_SPAN
     def run_interval(self) -> IntervalMetrics:
         """Execute the committed interval and return its metrics."""
         fed = self.config.federation
@@ -383,6 +395,10 @@ class EdgeFederation:
             + sum(h.downtime_seconds for h in self.hosts),
             attacks=attacks,
         )
+        _INTERVALS.inc()
+        _TASKS_ARRIVED.add(len(new_tasks))
+        _TASKS_COMPLETED.add(len(completions))
+        _ATTACKS.add(len(attacks))
         self.last_metrics = metrics
         self.last_decision = decision
         self.now += interval_seconds

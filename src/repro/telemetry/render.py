@@ -1,0 +1,97 @@
+"""Text renderings of telemetry snapshots.
+
+Two audiences:
+
+* :func:`render_metrics_text` -- the flat ``name value`` exposition
+  served by the status endpoint's ``/metrics`` route (one metric per
+  line, scrape-friendly, deterministic order).
+* :func:`render_summary` -- a human-oriented table for the ``repro
+  telemetry`` CLI subcommand and :mod:`examples.failure_drill`.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .registry import flatten_snapshot
+
+__all__ = ["render_metrics_text", "render_summary"]
+
+
+def render_metrics_text(snap: dict) -> str:
+    """Flat ``name value`` lines (trailing newline included)."""
+    lines = [f"{name} {_fmt(value)}" for name, value in flatten_snapshot(snap)]
+    return "\n".join(lines) + "\n" if lines else ""
+
+
+def _fmt(value) -> str:
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return f"{value:.9g}"
+
+
+def render_summary(snap: dict, title: str = "telemetry") -> str:
+    """Pretty multi-section summary of one (possibly merged) snapshot."""
+    out: List[str] = [f"== {title} =="]
+    counters = snap.get("counters", {})
+    if counters:
+        out.append("-- counters --")
+        width = max(len(name) for name in counters)
+        for name, value in counters.items():
+            out.append(f"  {name:<{width}}  {value}")
+    gauges = snap.get("gauges", {})
+    if gauges:
+        out.append("-- gauges --")
+        width = max(len(name) for name in gauges)
+        for name, value in gauges.items():
+            out.append(f"  {name:<{width}}  {_fmt(value)}")
+    spans = snap.get("spans", {})
+    if spans:
+        out.append("-- spans --")
+        width = max(len(name) for name in spans)
+        for name, s in spans.items():
+            if not s["count"]:
+                out.append(f"  {name:<{width}}  n=0  (no completed timings)")
+                continue
+            mean = s["total_s"] / s["count"]
+            out.append(
+                f"  {name:<{width}}  n={s['count']}"
+                f"  total={s['total_s']:.4f}s  mean={mean * 1e3:.3f}ms"
+                f"  min={_ms(s['min_s'])}  max={_ms(s['max_s'])}"
+            )
+    histograms = snap.get("histograms", {})
+    if histograms:
+        out.append("-- histograms --")
+        width = max(len(name) for name in histograms)
+        for name, h in histograms.items():
+            if not h["count"]:
+                out.append(f"  {name:<{width}}  n=0  (no observations)")
+                continue
+            mean = h["sum"] / h["count"]
+            out.append(
+                f"  {name:<{width}}  n={h['count']}  mean={mean:.4g}"
+                f"  min={_fmt(h['min'])}  max={_fmt(h['max'])}"
+            )
+            out.append(f"  {'':<{width}}  {_sparkline(h)}")
+    return "\n".join(out)
+
+
+def _ms(value) -> str:
+    return "NaN" if value is None else f"{value * 1e3:.3f}ms"
+
+
+_BARS = " .:-=+*#%@"
+
+
+def _sparkline(h: dict) -> str:
+    peak = max(h["counts"]) or 1
+    cells = []
+    labels = [f"{edge:g}" for edge in h["edges"]] + ["inf"]
+    for label, count in zip(labels, h["counts"]):
+        bar = _BARS[min(len(_BARS) - 1, (count * (len(_BARS) - 1)) // peak)]
+        cells.append(f"{label}:{bar}")
+    return "[" + " ".join(cells) + "]"
