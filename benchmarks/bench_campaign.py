@@ -34,8 +34,14 @@ Two comparisons, both emitting machine-readable results to
   assets over the wire).  Records are asserted bit-identical across
   transports; the ``tcp_vs_queue_speedup`` ratio tracks the framing
   overhead so a serialization regression cannot land silently.
+* **--fast-backend** -- the scorer-backend head-to-head: the same
+  shared-assets CAROL grid executed with ``scorer_backend`` exact /
+  fast / fast32.  The fast path must produce bit-identical records
+  and identical decision digests; fast32 must agree on every
+  decision (its rtol=1e-5 score tier is gated in the surrogate
+  bench).
 
-Run:  PYTHONPATH=src python benchmarks/bench_campaign.py [--fleet] [--tcp] [--quick]
+Run:  PYTHONPATH=src python benchmarks/bench_campaign.py [--fleet] [--tcp] [--fast-backend] [--quick]
 """
 
 from __future__ import annotations
@@ -238,6 +244,80 @@ def run_fleet_bench(args: argparse.Namespace) -> dict:
             "batches": stats.n_batches,
             "merged_elements_in_merged_mode": merged_sink[0].merged_elements,
         },
+    }
+
+
+# ----------------------------------------------------------------------
+# --fast-backend: scorer-backend head-to-head on the same CAROL grid
+# ----------------------------------------------------------------------
+def run_fast_backend_bench(args: argparse.Namespace) -> dict:
+    """End-to-end campaign timing per scorer backend, parity asserted.
+
+    The same shared-assets CAROL grid executed with the exact autodiff
+    oracle, the fused float64 kernels (``fast``) and the float32
+    kernels (``fast32``).  ``fast`` is held to bit-identical records
+    *and* identical decision digests.  ``fast32`` decision agreement is
+    *recorded but not asserted* on this grid: the quick bench trains a
+    deliberately tiny GON whose candidate scores tie within float32
+    noise, so tie-breaks legitimately flip -- the enforced fast32 gates
+    (rtol=1e-5 scores, decision agreement on trained surrogates) live
+    in the surrogate bench and the scenario-catalog parity tests.  The
+    end-to-end speedups are modest by construction -- the simulator
+    and offline assets dominate a campaign -- so the surrogate bench's
+    per-ascent numbers carry the headline; these keys pin the
+    integration.
+    """
+    shared = replace(fleet_grid(args), shared_assets=True)
+    print(
+        f"\n-- fast-backend bench: {shared.n_seeds} x {shared.models[0]} on "
+        f"paper-default, {shared.n_intervals} intervals, "
+        f"GON {shared.gon_hidden}x{shared.gon_layers} --"
+    )
+    prep_seconds, assets = _timed(prepare_campaign_assets, shared)
+    print(f"shared asset preparation (once): {prep_seconds:6.2f} s")
+
+    results = {}
+    timings = {}
+    for backend in ("exact", "fast", "fast32"):
+        config = replace(shared, scorer_backend=backend)
+        seconds, result = _timed(run_campaign, config, prepared_assets=assets)
+        results[backend] = result
+        timings[backend] = seconds
+        print(f"campaign, scorer_backend={backend:<7}: {seconds:6.2f} s")
+
+    def digests(result) -> list:
+        return [r.diagnostics.get("decision_digest") for r in result.records]
+
+    identical = results["fast"].rows() == results["exact"].rows()
+    fast_decisions = digests(results["fast"]) == digests(results["exact"])
+    fast32_decisions = digests(results["fast32"]) == digests(results["exact"])
+    assert identical, "fast-backend records diverged from the exact oracle"
+    assert fast_decisions, "fast-backend decisions diverged from the oracle"
+
+    fast_speedup = timings["exact"] / max(timings["fast"], 1e-9)
+    fast32_speedup = timings["exact"] / max(timings["fast32"], 1e-9)
+    print(
+        f"speedups vs exact: fast {fast_speedup:.2f}x, "
+        f"fast32 {fast32_speedup:.2f}x end-to-end "
+        f"(records identical: {identical}; decisions: fast "
+        f"{fast_decisions}, fast32 {fast32_decisions})"
+    )
+    return {
+        "scenario": "paper-default",
+        "model": shared.models[0],
+        "n_runs": shared.n_seeds,
+        "n_intervals": shared.n_intervals,
+        "gon": f"{shared.gon_hidden}x{shared.gon_layers}",
+        "exact_s": round(timings["exact"], 3),
+        "fast_s": round(timings["fast"], 3),
+        "fast32_s": round(timings["fast32"], 3),
+        "fast_campaign_speedup": round(fast_speedup, 2),
+        "fast32_campaign_speedup": round(fast32_speedup, 2),
+        "records_identical_fast_vs_exact": identical,
+        "decision_parity_fast_vs_exact": fast_decisions,
+        # Informational (no parity marker): float32 tie-breaks on the
+        # quick grid's under-trained GON may flip -- see docstring.
+        "fast32_decision_agreement": fast32_decisions,
     }
 
 
@@ -491,6 +571,12 @@ def main(argv=None) -> int:
         "telemetry enabled vs disabled (gated at 1.10x by check_regression.py)",
     )
     parser.add_argument(
+        "--fast-backend",
+        action="store_true",
+        help="run the scorer-backend head-to-head (exact vs fast vs fast32 "
+        "campaign timing, record + decision parity asserted)",
+    )
+    parser.add_argument(
         "--proactive",
         action="store_true",
         help="fleet bench sweeps CAROL-Proactive instead of reactive CAROL "
@@ -553,7 +639,14 @@ def main(argv=None) -> int:
         payload["tcp"] = run_tcp_bench(args)
     if args.telemetry:
         payload["telemetry"] = run_telemetry_bench(args)
-    if not args.fleet and not args.tcp and not args.telemetry:
+    if args.fast_backend:
+        payload["fast_backend"] = run_fast_backend_bench(args)
+    if (
+        not args.fleet
+        and not args.tcp
+        and not args.telemetry
+        and not args.fast_backend
+    ):
         payload["serial_vs_process"] = run_legacy(args)
 
     os.makedirs(os.path.dirname(os.path.abspath(args.json)), exist_ok=True)

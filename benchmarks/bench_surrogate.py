@@ -161,6 +161,128 @@ def flat_gemm_bench(args: argparse.Namespace) -> dict:
     }
 
 
+def fast_backend_bench(args: argparse.Namespace, model, samples) -> dict:
+    """The graph-free fused ascent kernels vs the autodiff oracle.
+
+    Times the same warm-started eq.-1 ascent over the neighbourhood
+    stack four ways -- the exact oracle looping per candidate, the
+    exact batched oracle, and the :mod:`repro.core.fastscore` kernel in
+    float64 (``fast``) and float32 (``fast32``).  Parity is part of the
+    bench contract: ``fast`` must reproduce the oracle's confidences
+    *bit-for-bit* (it mirrors the autodiff op order), ``fast32`` within
+    rtol=1e-5.  The headline criterion key is the per-candidate
+    speedup, consistent with ``speedup_batched_vs_seed`` above; the
+    vs-batched ratios are recorded alongside because on a single BLAS
+    stream the shared gemm floor caps them far lower.
+    """
+    from repro.core.fastscore import FastGONKernel
+    from repro.core.surrogate import generate_metrics, generate_metrics_batch
+
+    schedules = np.stack([np.asarray(s.schedule, dtype=float) for s in samples])
+    adjacencies = np.stack([np.asarray(s.adjacency, dtype=float) for s in samples])
+    init = np.stack([np.asarray(s.metrics, dtype=float) for s in samples])
+    gamma, steps = args.gamma, args.steps
+
+    kern64 = FastGONKernel.from_model(model, dtype="float64")
+    kern32 = FastGONKernel.from_model(model, dtype="float32")
+
+    def exact_per_candidate():
+        return [
+            generate_metrics(
+                model,
+                schedules[i],
+                adjacencies[i],
+                init_metrics=init[i],
+                gamma=gamma,
+                max_steps=steps,
+            )
+            for i in range(len(samples))
+        ]
+
+    def exact_batched():
+        return generate_metrics_batch(
+            model, schedules, adjacencies, init_metrics=init,
+            gamma=gamma, max_steps=steps,
+        )
+
+    def fast():
+        return kern64.ascent(
+            schedules, adjacencies, init_metrics=init,
+            gamma=gamma, max_steps=steps,
+        )
+
+    def fast32():
+        return kern32.ascent(
+            schedules, adjacencies, init_metrics=init,
+            gamma=gamma, max_steps=steps,
+        )
+
+    # Warm-up doubles as the parity check.
+    oracle = exact_batched()
+    fast_results = fast()
+    fast32_results = fast32()
+    oracle_conf = np.array([r.confidence for r in oracle])
+    oracle_metrics = np.stack([r.metrics for r in oracle])
+    fast_conf = np.array([r.confidence for r in fast_results])
+    fast_metrics = np.stack([r.metrics for r in fast_results])
+    fast32_conf = np.array([r.confidence for r in fast32_results])
+    bit_identical = bool(
+        np.array_equal(fast_conf, oracle_conf)
+        and np.array_equal(fast_metrics, oracle_metrics)
+    )
+    fast32_rel = float(
+        np.abs(fast32_conf - oracle_conf).max()
+        / max(np.abs(oracle_conf).max(), 1e-300)
+    )
+    assert bit_identical, "fast kernel diverged bitwise from the oracle"
+    assert fast32_rel < 1e-5, (
+        f"fast32 confidences off by rel {fast32_rel:.2e} (tier is 1e-5)"
+    )
+
+    timings = {}
+    for label, fn in (
+        ("exact_per_candidate", exact_per_candidate),
+        ("exact_batched", exact_batched),
+        ("fast", fast),
+        ("fast32", fast32),
+    ):
+        best = float("inf")
+        for _ in range(args.repeats):
+            started = time.perf_counter()
+            fn()
+            best = min(best, time.perf_counter() - started)
+        timings[label] = best
+
+    per_cand = timings["exact_per_candidate"]
+    batched = timings["exact_batched"]
+    print("\n-- fast inference backend (graph-free fused ascent kernels) --")
+    for label, best in timings.items():
+        print(f"  {label:<20} {best * 1e3:8.1f} ms/neighbourhood")
+    print(
+        f"  fast:   {per_cand / timings['fast']:.2f}x per-candidate, "
+        f"{batched / timings['fast']:.2f}x vs batched oracle "
+        f"(bit-identical: {bit_identical})"
+    )
+    print(
+        f"  fast32: {per_cand / timings['fast32']:.2f}x per-candidate, "
+        f"{batched / timings['fast32']:.2f}x vs batched oracle "
+        f"(max rel diff: {fast32_rel:.2e})"
+    )
+    return {
+        "exact_per_candidate_ms": round(per_cand * 1e3, 2),
+        "exact_batched_ms": round(batched * 1e3, 2),
+        "fast_ms": round(timings["fast"] * 1e3, 2),
+        "fast32_ms": round(timings["fast32"] * 1e3, 2),
+        "fast_per_candidate_speedup": round(per_cand / timings["fast"], 2),
+        "fast32_per_candidate_speedup": round(per_cand / timings["fast32"], 2),
+        "fast_vs_batched_speedup": round(batched / timings["fast"], 2),
+        "fast32_vs_batched_speedup": round(batched / timings["fast32"], 2),
+        "fast_bit_identical": bit_identical,
+        "fast32_score_parity_rtol_1e5": bool(fast32_rel < 1e-5),
+        "fast32_max_rel_diff": fast32_rel,
+    }
+
+
 def _best_of(fn, repeats: int, inner: int) -> float:
     best = float("inf")
     for _ in range(repeats):
@@ -260,6 +382,7 @@ def run(args: argparse.Namespace) -> int:
     )
 
     flat_gemm = flat_gemm_bench(args)
+    fast_backend = fast_backend_bench(args, model, samples)
 
     payload = {
         "bench": "surrogate",
@@ -279,6 +402,7 @@ def run(args: argparse.Namespace) -> int:
         "speedup_batched_vs_seed": round(speedup, 2),
         "parity_max_abs_diff": float(np.abs(bat_scores - seed_scores).max()),
         "flat_gemm": flat_gemm,
+        "fast_backend": fast_backend,
     }
     os.makedirs(os.path.dirname(os.path.abspath(args.json)), exist_ok=True)
     with open(args.json, "w") as sink:

@@ -11,9 +11,16 @@ wall-clock spans that differ on every run -- so both are explicitly
 stripped before comparison, exactly as ``RunRecord.row()`` excludes
 them from the deterministic surface.
 
+``--decisions`` additionally asserts *decision parity*: each CAROL-
+family record's ``diagnostics["decision_digest"]`` (the rolling hash
+over every repair choice and POT gate outcome) must match record-for-
+record.  This is the gate the fast scorer backends are held to -- a
+``--scorer-backend fast`` dump must make bit-identical records *and*
+identical decisions versus the exact-oracle dump.
+
 Usage::
 
-    python benchmarks/compare_records.py A.json B.json
+    python benchmarks/compare_records.py A.json B.json [--decisions]
 """
 
 from __future__ import annotations
@@ -28,20 +35,26 @@ from typing import Dict, List
 EXECUTION_ONLY_KEYS = ("diagnostics", "telemetry")
 
 
-def record_rows(path: str) -> List[Dict[str, object]]:
+def record_rows(path: str, decisions: bool = False) -> List[Dict[str, object]]:
     with open(path) as source:
         payload = json.load(source)
     records = payload.get("records")
     if not isinstance(records, list) or not records:
         raise SystemExit(f"{path}: no records in payload")
-    rows = [
-        {
+    rows = []
+    for record in records:
+        row = {
             key: value
             for key, value in record.items()
             if key not in EXECUTION_ONLY_KEYS
         }
-        for record in records
-    ]
+        if decisions:
+            # Lifted out of the execution-only diagnostics on demand:
+            # the digest is deterministic for a given decision stream,
+            # so it *is* comparable across transports and backends.
+            diagnostics = record.get("diagnostics") or {}
+            row["decision_digest"] = diagnostics.get("decision_digest")
+        rows.append(row)
     return sorted(rows, key=lambda row: row.get("run_index", 0))
 
 
@@ -49,10 +62,16 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("left", help="first --record-json dump")
     parser.add_argument("right", help="second --record-json dump")
+    parser.add_argument(
+        "--decisions",
+        action="store_true",
+        help="additionally require matching per-record decision digests "
+        "(scorer-backend decision-parity gate)",
+    )
     args = parser.parse_args(argv)
 
-    left_rows = record_rows(args.left)
-    right_rows = record_rows(args.right)
+    left_rows = record_rows(args.left, decisions=args.decisions)
+    right_rows = record_rows(args.right, decisions=args.decisions)
     if len(left_rows) != len(right_rows):
         print(
             f"FAIL: {args.left} has {len(left_rows)} records, "
@@ -66,7 +85,11 @@ def main(argv=None) -> int:
             for key in diff:
                 print(f"  {key}: {left.get(key)!r} != {right.get(key)!r}")
             return 1
-    print(f"OK: {len(left_rows)} records bit-identical between {args.left} and {args.right}")
+    what = "records + decision digests" if args.decisions else "records"
+    print(
+        f"OK: {len(left_rows)} {what} bit-identical "
+        f"between {args.left} and {args.right}"
+    )
     return 0
 
 

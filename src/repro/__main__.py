@@ -191,6 +191,8 @@ def _cmd_campaign(args) -> int:
             # local process campaign while a remote service waits.
             overrides["transport"] = transport
             overrides["service_addr"] = args.connect
+        if args.scorer_backend != "exact":
+            overrides["scorer_backend"] = args.scorer_backend
         if overrides:
             try:
                 config = replace(config, **overrides)
@@ -220,6 +222,7 @@ def _cmd_campaign(args) -> int:
                 transport=transport,
                 service_addr=args.connect,
                 shared_assets=args.shared_assets or args.fleet,
+                scorer_backend=args.scorer_backend,
             )
         except ValueError as error:
             print(error, file=sys.stderr)
@@ -276,11 +279,14 @@ def _cmd_serve(args) -> int:
                 seed=args.seed,
                 n_intervals=args.intervals or None,
                 mode="fleet",
+                scorer_backend=args.scorer_backend,
             )
         except ValueError as error:
             print(error, file=sys.stderr)
             return 2
     config = replace(config, transport="tcp", workers=args.expect_workers)
+    if args.scorer_backend != "exact":
+        config = replace(config, scorer_backend=args.scorer_backend)
 
     try:
         tasks = plan_tasks(config)
@@ -438,6 +444,13 @@ def main(argv=None) -> int:
     campaign.add_argument("--record-json", type=str, default="",
                           help="write per-run records (metrics + scorer "
                                "diagnostics) to this JSON file")
+    campaign.add_argument("--scorer-backend", type=str, default="exact",
+                          choices=["exact", "fast", "fast32"],
+                          help="GON ascent engine for CAROL-family "
+                               "models: 'exact' (autodiff oracle, "
+                               "default), 'fast' (graph-free fused "
+                               "float64 kernels), or 'fast32' (same "
+                               "kernels in float32)")
 
     serve = subparsers.add_parser(
         "serve",
@@ -479,6 +492,12 @@ def main(argv=None) -> int:
     serve.add_argument("--telemetry-json", type=str, default="",
                        help="write the final merged fleet telemetry "
                             "snapshot to this JSON file")
+    serve.add_argument("--scorer-backend", type=str, default="exact",
+                       choices=["exact", "fast", "fast32"],
+                       help="service-side GON ascent engine (see "
+                            "campaign --scorer-backend); fast backends "
+                            "additionally fuse same-shape ascent "
+                            "buckets across clients")
 
     telemetry = subparsers.add_parser(
         "telemetry",

@@ -122,6 +122,29 @@ class CAROLDiagnostics:
     tabu_evaluations: List[int] = field(default_factory=list)
     #: Per-instance registry backing the integer counters.
     telemetry: MetricsRegistry = field(default_factory=MetricsRegistry)
+    #: Rolling hash over every repair choice and POT gate outcome --
+    #: the decision-parity surface scorer backends are gated on.
+    _decision_hash: object = field(
+        default_factory=lambda: hashlib.blake2b(digest_size=8), repr=False
+    )
+
+    def note_decision(self, kind: str, payload: object) -> None:
+        """Fold one decision into the rolling digest.
+
+        ``kind`` tags the decision site (``"repair"``, ``"preventive"``,
+        ``"fine_tune"``); ``payload`` is its outcome -- a chosen
+        topology's ``canonical_key()`` or the POT gate's bool.  Two runs
+        made identical decisions in identical order iff their digests
+        match, which is exactly the assertion the fast-backend parity
+        gate needs without shipping every topology in the record.
+        """
+        self._decision_hash.update(kind.encode())
+        self._decision_hash.update(repr(payload).encode())
+
+    @property
+    def decision_digest(self) -> str:
+        """Hex digest of all decisions so far (stable across reads)."""
+        return self._decision_hash.copy().hexdigest()
 
     @property
     def cache_hits(self) -> int:
@@ -159,6 +182,7 @@ class CAROLDiagnostics:
             "cache_hits": self.cache_hits,
             "cache_misses": self.cache_misses,
             "cache_evictions": self.cache_evictions,
+            "decision_digest": self.decision_digest,
         }
 
 
@@ -315,6 +339,7 @@ class CAROL(ResilienceModel):
         if view.last_metrics is None:
             # No observations yet (interval 1): nothing to optimise.
             self.diagnostics.tabu_evaluations.append(0)
+            self.diagnostics.note_decision("repair", proposal.canonical_key())
             return proposal
 
         last = view.last_metrics
@@ -391,6 +416,7 @@ class CAROL(ResilienceModel):
         self.diagnostics.tabu_evaluations.append(
             self.diagnostics.cache_misses - misses_before
         )
+        self.diagnostics.note_decision("repair", chosen.canonical_key())
         return chosen
 
     # ------------------------------------------------------------------
@@ -431,16 +457,20 @@ class CAROL(ResilienceModel):
             threshold if np.isfinite(threshold) else float("nan")
         )
         self.diagnostics.fine_tuned.append(fine_tuned)
+        self.diagnostics.note_decision("fine_tune", fine_tuned)
 
     # ------------------------------------------------------------------
     def scorer_diagnostics(self) -> dict:
         """The execution backend's counters plus this model's own.
 
-        Flat integer dict (``local_fallbacks``, ``overlay_installs``
-        when fleet-mounted, the cache counters, ``n_fine_tunes``),
+        Flat dict of integer counters (``local_fallbacks``,
+        ``overlay_installs`` when fleet-mounted, the cache counters,
+        ``n_fine_tunes``) plus the ``decision_digest`` hex string,
         surfaced into campaign records so fleet runs can assert, e.g.,
         that overlays kept every diverged ascent on the service
-        (``local_fallbacks == 0``).
+        (``local_fallbacks == 0``) and so record dumps from different
+        scorer backends can be checked for decision parity
+        (``benchmarks/compare_records.py --decisions``).
         """
         counters = dict(getattr(self.scorer, "diagnostics", None) or {})
         counters.update(self.diagnostics.counters())

@@ -134,7 +134,9 @@ class ProactiveCAROL(CAROL):
             patience=self.config.tabu_patience,
         )
         self.preventive_actions.append(view.interval)
-        return result.best if result.best_score <= omega([chosen])[0] else chosen
+        final = result.best if result.best_score <= omega([chosen])[0] else chosen
+        self.diagnostics.note_decision("preventive", final.canonical_key())
+        return final
 
     # ------------------------------------------------------------------
     def _at_risk_brokers(

@@ -25,6 +25,43 @@ assert on: it counts ascents a scorer had to run outside its
 consolidated stream (always 0 for :class:`LocalScorer`, whose stream
 *is* local; 0 for ``FleetScorer`` precisely when overlays keep every
 diverged ascent on the service).
+
+Inference backends and the parity contract
+------------------------------------------
+``LocalScorer`` (and, through it, the serving layer) selects one of
+three *inference backends* for the eq.-1 ascent:
+
+``"exact"`` (default)
+    The autodiff Tensor-graph engine (`generate_metrics_batch`).  This
+    is the bit-exact oracle: records produced under it are the
+    reference every other backend is gated against, and the default
+    path stays bit-identical across releases.
+``"fast"``
+    The graph-free float64 kernel (:mod:`repro.core.fastscore`): the
+    forward and the closed-form input gradient of the
+    GAT->encoder->discriminator stack hand-written as fused numpy
+    kernels over the whole ``[B, n, F]`` stack, zero ``Tensor``
+    allocation per step.  Gate: scores within ``rtol=1e-12`` of the
+    oracle and *identical repair decisions* on the scenario catalog.
+    (The shipped kernel mirrors the autodiff op order exactly, so in
+    practice it is bitwise-equal -- the CI gate still only assumes
+    the documented tier.)
+``"fast32"``
+    The same kernel with float32 arithmetic for scoring only (never
+    training).  Gate: scores within ``rtol=1e-5`` of the oracle on
+    every catalog scenario, plus a strong-majority decision-agreement
+    canary across the catalog.  Decision agreement is *expected but
+    not universal* by construction: wherever a surrogate scores two
+    candidates within float32 noise of each other the tie-break can
+    flip (observed on one of the nine catalog scenarios even at full
+    training scale, and commonly on undertrained GONs).  A kernel
+    regression flips decisions systematically; the canary catches
+    that, the rtol tier pins per-score correctness.
+
+Only the ascent goes through the kernel: ``confidence()`` (the POT
+gate input) and ``fine_tune()`` always run on the exact model path.
+Kernels re-export their weights after every ``generation`` bump, so a
+fine-tuned scorer never serves stale parameters.
 """
 
 from __future__ import annotations
@@ -39,7 +76,20 @@ from .gon import GONDiscriminator
 from .surrogate import SurrogateResult, generate_metrics_batch
 from .training import TrainingConfig, fine_tune
 
-__all__ = ["SurrogateScorer", "LocalScorer"]
+__all__ = ["SurrogateScorer", "LocalScorer", "BACKENDS", "validate_backend"]
+
+#: Inference backends a scorer accepts (see the module docstring for
+#: the per-tier parity contract).
+BACKENDS = ("exact", "fast", "fast32")
+
+
+def validate_backend(backend: str) -> str:
+    """Return ``backend`` or raise ``ValueError`` listing the options."""
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"unknown scorer backend {backend!r}; expected one of {BACKENDS}"
+        )
+    return backend
 
 
 class SurrogateScorer(Protocol):
@@ -80,11 +130,20 @@ class SurrogateScorer(Protocol):
 
 
 class LocalScorer:
-    """In-process scorer over an owned :class:`GONDiscriminator`."""
+    """In-process scorer over an owned :class:`GONDiscriminator`.
 
-    def __init__(self, model: GONDiscriminator) -> None:
+    ``backend`` picks the ascent engine (``"exact"`` | ``"fast"`` |
+    ``"fast32"``, module docstring has the parity tiers).  The fast
+    kernel is built lazily on first ascent and rebuilt whenever
+    :meth:`fine_tune` bumps :attr:`generation`.
+    """
+
+    def __init__(self, model: GONDiscriminator, backend: str = "exact") -> None:
         self.model = model
+        self.backend = validate_backend(backend)
         self.generation = 0
+        self._kernel = None
+        self._kernel_generation = -1
         # Per-instance registry backing the legacy ``diagnostics``
         # mapping (always enabled: these are record diagnostics, not
         # wall-clock telemetry).  In-process scoring is the
@@ -92,6 +151,16 @@ class LocalScorer:
         # counter stays 0 by construction.
         self.telemetry = MetricsRegistry()
         self._fallbacks = self.telemetry.counter("scorer.local_fallbacks")
+
+    def _fast_kernel(self):
+        """The cached fast kernel, re-exported after fine-tuning."""
+        if self._kernel is None or self._kernel_generation != self.generation:
+            from .fastscore import FastGONKernel
+
+            dtype = "float32" if self.backend == "fast32" else "float64"
+            self._kernel = FastGONKernel.from_model(self.model, dtype=dtype)
+            self._kernel_generation = self.generation
+        return self._kernel
 
     @property
     def diagnostics(self) -> Dict[str, int]:
@@ -106,6 +175,14 @@ class LocalScorer:
         gamma: float,
         max_steps: int,
     ) -> List[SurrogateResult]:
+        if self.backend != "exact":
+            return self._fast_kernel().ascent(
+                schedules,
+                adjacencies,
+                init_metrics=metrics,
+                gamma=gamma,
+                max_steps=max_steps,
+            )
         return generate_metrics_batch(
             self.model,
             schedules,

@@ -160,19 +160,45 @@ def build_model(
     assets: TrainedAssets,
     config: ExperimentConfig,
     carol_config: Optional[CAROLConfig] = None,
+    scorer_backend: str = "exact",
 ) -> ResilienceModel:
-    """Instantiate any §V scheme by name with shared trained assets."""
+    """Instantiate any §V scheme by name with shared trained assets.
+
+    ``scorer_backend`` selects the GON ascent engine for CAROL-family
+    schemes (``repro.core.scoring.BACKENDS``); ``"exact"`` keeps the
+    default scorer construction so that path stays byte-for-byte the
+    historical one.  Non-GON surrogates ignore it.
+    """
     alpha, beta = config.alpha, config.beta
     carol_config = carol_config or CAROLConfig(seed=config.seed)
 
+    def gon_scorer(gon):
+        # Only materialise an explicit scorer off the default path:
+        # passing scorer=None keeps CAROL's own LocalScorer(exact).
+        if scorer_backend == "exact":
+            return None
+        from ..core.scoring import LocalScorer
+
+        return LocalScorer(gon, backend=scorer_backend)
+
     if name == "CAROL":
-        return CAROL(assets.fresh_gon(), alpha, beta, carol_config)
+        gon = assets.fresh_gon()
+        return CAROL(gon, alpha, beta, carol_config, scorer=gon_scorer(gon))
     if name == PROACTIVE_NAME:
-        return ProactiveCAROL(assets.fresh_gon(), alpha, beta, carol_config)
+        gon = assets.fresh_gon()
+        return ProactiveCAROL(
+            gon, alpha, beta, carol_config, scorer=gon_scorer(gon)
+        )
     if name == "CAROL-AlwaysFT":
-        return AlwaysFineTune(assets.fresh_gon(), alpha, beta, carol_config)
+        gon = assets.fresh_gon()
+        return AlwaysFineTune(
+            gon, alpha, beta, carol_config, scorer=gon_scorer(gon)
+        )
     if name == "CAROL-NeverFT":
-        return NeverFineTune(assets.fresh_gon(), alpha, beta, carol_config)
+        gon = assets.fresh_gon()
+        return NeverFineTune(
+            gon, alpha, beta, carol_config, scorer=gon_scorer(gon)
+        )
     if name == "CAROL-WithGAN":
         n_hosts = config.federation.n_hosts
         surrogate = GANSurrogate(

@@ -166,6 +166,13 @@ class CampaignConfig:
     #: ``(("pot_calibration", 5),)`` makes short grids open the POT
     #: gate and exercise fine-tuning (the overlay path in fleet mode).
     carol_overrides: Tuple[Tuple[str, object], ...] = ()
+    #: GON ascent engine for CAROL-family cells:
+    #: ``"exact"`` (default) is the autodiff oracle -- the bit-exact
+    #: reference path; ``"fast"``/``"fast32"`` score ascents on the
+    #: graph-free :mod:`repro.core.fastscore` kernel (float64 /
+    #: float32), CI-gated to identical repair decisions.  In fleet
+    #: mode the scoring service adopts the same backend.
+    scorer_backend: str = "exact"
 
     def __post_init__(self) -> None:
         if not self.scenarios:
@@ -185,6 +192,11 @@ class CampaignConfig:
                 f"unknown campaign mode {self.mode!r}; "
                 "expected 'process' or 'fleet'"
             )
+        # One source of truth for backend names (lazy for symmetry with
+        # the transport check below: core.scoring pulls the nn stack).
+        from ..core.scoring import validate_backend
+
+        validate_backend(self.scorer_backend)
         if self.transport not in ("queue", "tcp"):
             raise ValueError(
                 f"unknown fleet transport {self.transport!r}; "
@@ -259,6 +271,9 @@ class RunTask:
     #: CAROLConfig field overrides for CAROL-family cells (see
     #: :attr:`CampaignConfig.carol_overrides`).
     carol_overrides: Tuple[Tuple[str, object], ...] = ()
+    #: Ascent engine for this cell's scorer (see
+    #: :attr:`CampaignConfig.scorer_backend`).
+    scorer_backend: str = "exact"
 
 
 @dataclass(frozen=True)
@@ -369,11 +384,15 @@ def run_cell(task: RunTask, model_factory) -> RunRecord:
             model, config, federation=federation, edge_slowdown=0.0
         )
     summary = result.summary()
-    # CAROL-family models expose their scorer/cache counters; pure
-    # heuristics have no execution telemetry to report.
+    # CAROL-family models expose their scorer/cache counters (plus the
+    # decision_digest hex string); pure heuristics have no execution
+    # telemetry to report.
     diagnostics_source = getattr(model, "scorer_diagnostics", None)
     diagnostics = (
-        {key: int(value) for key, value in diagnostics_source().items()}
+        {
+            key: value if isinstance(value, str) else int(value)
+            for key, value in diagnostics_source().items()
+        }
         if callable(diagnostics_source)
         else {}
     )
@@ -423,6 +442,7 @@ def _execute_run(
         return build_model(
             task.model, cell_assets, config,
             carol_config=cell_carol_config(task, config),
+            scorer_backend=task.scorer_backend,
         )
 
     return run_cell(task, build)
@@ -476,6 +496,7 @@ def plan_tasks(config: CampaignConfig) -> List[RunTask]:
             gon_layers=config.gon_layers,
             gon_epochs=config.gon_epochs,
             carol_overrides=config.carol_overrides,
+            scorer_backend=config.scorer_backend,
         )
         for index, (scenario, model, seed_index) in enumerate(cells)
     ]
@@ -520,6 +541,7 @@ class CampaignResult:
                 "service_addr": self.config.service_addr,
                 "shared_assets": self.config.shared_assets,
                 "fleet_merge": self.config.fleet_merge,
+                "scorer_backend": self.config.scorer_backend,
                 "carol_overrides": [list(p) for p in self.config.carol_overrides],
             },
             "records": [

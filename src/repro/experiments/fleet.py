@@ -223,6 +223,7 @@ def _execute_fleet_run(
             return build_model(
                 task.model, assets, config,
                 carol_config=cell_carol_config(task, config),
+                scorer_backend=task.scorer_backend,
             )
         if assets is None:
             raise RuntimeError(
@@ -237,7 +238,7 @@ def _execute_fleet_run(
             config.alpha,
             config.beta,
             cell_carol_config(task, config),
-            scorer=FleetScorer(client, gon),
+            scorer=FleetScorer(client, gon, backend=task.scorer_backend),
         )
 
     return run_cell(task, build)
@@ -515,6 +516,7 @@ def run_fleet_campaign(
             transport.request_queue,
             transport.reply_queues,
             merge_requests=bool(getattr(config, "fleet_merge", False)),
+            scorer_backend=getattr(config, "scorer_backend", "exact"),
         )
         stats = serve_transport(service, transport, abort=worker_crashed)
         if stats_sink is not None:
@@ -621,6 +623,7 @@ def _run_tcp_fleet_campaign(
                 transport.request_queue,
                 transport.reply_queues,
                 merge_requests=bool(getattr(config, "fleet_merge", False)),
+                scorer_backend=getattr(config, "scorer_backend", "exact"),
             )
             stats = serve_transport(service, transport, abort=worker_crashed)
             if stats_sink is not None:
@@ -727,6 +730,7 @@ def serve_fleet_service(
             transport.request_queue,
             transport.reply_queues,
             merge_requests=bool(getattr(config, "fleet_merge", False)),
+            scorer_backend=getattr(config, "scorer_backend", "exact"),
         )
         if status_port is not None:
             status_server = StatusServer(

@@ -132,13 +132,40 @@ Three pieces tie the distributed picture together:
   JSON object: connected/expected/signed-off workers, cells
   started/completed/in-flight (derived from the merged
   ``campaign.cells_*`` counters), the legacy :class:`ServiceStats`
-  view, and the full merged telemetry.  ``GET /metrics`` flattens the
-  same snapshot to scrape-friendly ``name value`` text lines.
+  view, and the full merged telemetry.  ``GET /metrics`` renders the
+  same snapshot in the Prometheus text exposition format
+  (``# HELP``/``# TYPE`` metadata, ``le``-labelled histogram buckets)
+  for stock scrape jobs; ``GET /metrics?format=flat`` keeps the legacy
+  ``name value`` lines.
 
 Telemetry is strictly observational: snapshots never feed back into
 scoring, wall-clock only ever appears in telemetry (never in record
 rows), and disabling it (``REPRO_TELEMETRY=0``) changes no record --
 the bit-identity contract is asserted with telemetry on and off.
+
+Scorer backends on the service
+------------------------------
+The service accepts ``scorer_backend=`` (``"exact"`` | ``"fast"`` |
+``"fast32"``, same contract as :mod:`repro.core.scoring`): ``"exact"``
+keeps the autodiff oracle and the historical batching behaviour
+bit-for-bit; the fast backends answer each ascent request with one
+graph-free fused-kernel call (:mod:`repro.core.fastscore`) over the
+request's own stack -- identical batch shapes to the exact policy, so
+the backend parity tiers carry over to the service unchanged.  With
+``merge_requests`` on, the kernel goes further than the exact merged
+policy: same-width ascent requests fuse into one call *across*
+gamma/max_steps buckets, since the kernel -- unlike the Tensor-graph
+oracle -- takes per-element ascent parameters.  Cross-request fusing
+concatenates stacks (a ~1-ulp BLAS effect), which is exactly the
+bitwise waiver ``merge_requests`` already opts into.  Fused elements
+are counted in ``ServiceStats.fused_elements`` and the
+``service.fused_elements`` telemetry counter.  Kernels are cached per
+``(model, generation-bucket)`` and invalidated exactly where overlays
+are installed or evicted, so a fine-tuned client never scores against
+stale fused weights.  The service also adapts its micro-batch flush
+window to the observed request inter-arrival EWMA (clamped to
+``[window/20, window]``), surfaced as ``ServiceStats.window_seconds``
+and the ``service.window_seconds`` gauge.
 """
 
 from .service import (

@@ -71,6 +71,7 @@ import numpy as np
 from .. import telemetry as _telemetry
 from ..core.features import GONInput
 from ..core.gon import GONDiscriminator
+from ..core.scoring import validate_backend
 from ..core.surrogate import SurrogateResult, generate_metrics_batch
 from ..core.training import TrainingConfig, fine_tune
 from ..nn.serialization import pack_state, unpack_state
@@ -104,6 +105,8 @@ _OVERLAY_ELEMENTS = _telemetry.counter("service.overlay_elements")
 _STATS_UPDATES = _telemetry.counter("service.stats_updates")
 _BATCH_ELEMENTS = _telemetry.histogram("service.batch_elements", SIZE_EDGES)
 _BUCKET_OCCUPANCY = _telemetry.histogram("service.bucket_occupancy", SIZE_EDGES)
+_WINDOW_GAUGE = _telemetry.gauge("service.window_seconds")
+_FUSED_ELEMENTS = _telemetry.counter("service.fused_elements")
 
 
 def _generation_bucket(client_id: int, generation: int) -> tuple:
@@ -252,6 +255,13 @@ class ServiceStats:
     overlay_evictions: int = 0
     #: Stacked elements scored on an overlay replica (generation > 0).
     overlay_elements: int = 0
+    #: Last micro-batch flush window the adaptive sizer chose (equals
+    #: the configured ``window_seconds`` when adaptation is off).
+    window_seconds: float = 0.0
+    #: Elements scored in cross-bucket fused ascents (fast backends
+    #: only: requests with different gamma/max_steps fused into one
+    #: kernel call via per-element hyper-parameter vectors).
+    fused_elements: int = 0
 
 
 class GONScoringService:
@@ -267,14 +277,34 @@ class GONScoringService:
         (``multiprocessing.Queue`` across processes, ``queue.Queue``
         in-process for tests).
     window_seconds:
-        Micro-batching window: after the first request arrives, how
-        long to keep draining for batch-mates before scoring.
+        Micro-batching window ceiling: after the first request arrives,
+        how long to keep draining for batch-mates before scoring.  With
+        ``adaptive_window`` (default) the *actual* flush window is sized
+        from the observed request inter-arrival EWMA -- roughly four
+        arrival gaps, clamped to ``[window_seconds / 20,
+        window_seconds]`` -- so a chatty fleet flushes early instead of
+        idling out the full fixed window.
     max_batch_elements:
         Stop draining once this many stacked elements are pending
         (keeps worst-case latency and peak memory bounded).
     merge_requests:
         Concatenate compatible stacks into one ascent per bucket (see
         module docstring for the exactness trade-off).
+    scorer_backend:
+        Ascent engine, one of ``repro.core.scoring.BACKENDS``.  The
+        default ``"exact"`` keeps the autodiff oracle (bit-identical
+        records).  ``"fast"``/``"fast32"`` score ascents on the
+        graph-free :class:`repro.core.fastscore.FastGONKernel` (per
+        resident replica, re-exported when an overlay installs), one
+        kernel call per request -- same batch shapes as the exact
+        policy, so the backend's parity tier carries over unchanged.
+        Combined with ``merge_requests`` the kernel additionally fuses
+        same-shape ascent requests *across* gamma/max_steps buckets
+        into one call using per-element hyper-parameter vectors --
+        strictly more consolidation than the exact merged policy, under
+        the same last-ulp waiver (concatenation changes BLAS leading
+        dimensions).  Confidence requests always stay on the exact
+        model path.
     """
 
     def __init__(
@@ -286,6 +316,8 @@ class GONScoringService:
         max_batch_elements: int = 512,
         merge_requests: bool = False,
         poll_seconds: float = 0.5,
+        scorer_backend: str = "exact",
+        adaptive_window: bool = True,
     ) -> None:
         self.models = models
         self.request_queue = request_queue
@@ -294,7 +326,16 @@ class GONScoringService:
         self.max_batch_elements = max_batch_elements
         self.merge_requests = merge_requests
         self.poll_seconds = poll_seconds
+        self.scorer_backend = validate_backend(scorer_backend)
+        self.adaptive_window = adaptive_window
+        #: EWMA of request inter-arrival seconds (adaptive window input).
+        self._interarrival_ewma: Optional[float] = None
+        self._last_arrival: Optional[float] = None
+        #: ``(model_key, generation, owner) -> FastGONKernel`` for the
+        #: fast backends; invalidated when an overlay (re)installs.
+        self._kernels: Dict[tuple, object] = {}
         self.stats = ServiceStats()
+        self.stats.window_seconds = window_seconds
         #: Copy-on-write per-client replicas installed by
         #: :class:`OverlayUpdate`: ``(client_id, model_key) ->
         #: (generation, replica)``.  Base models stay untouched.
@@ -336,19 +377,62 @@ class GONScoringService:
                         "signing off"
                     )
                 continue
+            self._observe_arrival()
             pending = [message]
             with _DRAIN_SPAN.time():
-                deadline = time.monotonic() + self.window_seconds
+                deadline = time.monotonic() + self._flush_window()
                 while self._pending_elements(pending) < self.max_batch_elements:
                     remaining = deadline - time.monotonic()
                     if remaining <= 0:
                         break
                     try:
                         pending.append(self.request_queue.get(timeout=remaining))
+                        self._observe_arrival()
                     except queue_module.Empty:
                         break
             done.update(self._dispatch(pending))
         return self.stats
+
+    # -- adaptive micro-batch window -----------------------------------
+    #: EWMA smoothing for inter-arrival observations.
+    _EWMA_ALPHA = 0.2
+    #: The flush window covers roughly this many arrival gaps.
+    _WINDOW_GAIN = 4.0
+    #: Lower clamp as a fraction of the configured ceiling.
+    _WINDOW_FLOOR = 1.0 / 20.0
+
+    def _observe_arrival(self) -> None:
+        """Fold one request arrival into the inter-arrival EWMA.
+
+        Gaps are clamped to the configured window ceiling before
+        folding, so an idle stretch relaxes the window back toward the
+        ceiling instead of blowing the average up unboundedly.
+        """
+        now = time.monotonic()
+        if self._last_arrival is not None:
+            gap = min(now - self._last_arrival, self.window_seconds)
+            if self._interarrival_ewma is None:
+                self._interarrival_ewma = gap
+            else:
+                self._interarrival_ewma += self._EWMA_ALPHA * (
+                    gap - self._interarrival_ewma
+                )
+        self._last_arrival = now
+
+    def _flush_window(self) -> float:
+        """The flush window for this drain (EWMA-sized, clamped)."""
+        window = self.window_seconds
+        if self.adaptive_window and self._interarrival_ewma is not None:
+            window = min(
+                max(
+                    self._WINDOW_GAIN * self._interarrival_ewma,
+                    self.window_seconds * self._WINDOW_FLOOR,
+                ),
+                self.window_seconds,
+            )
+        self.stats.window_seconds = window
+        _WINDOW_GAUGE.set(window)
+        return window
 
     @staticmethod
     def _pending_elements(pending: Sequence) -> int:
@@ -373,6 +457,13 @@ class GONScoringService:
         self._overlays[(update.client_id, update.model_key)] = (
             update.generation, replica,
         )
+        # Any fast kernel exported from this client's previous overlay
+        # is stale now; the next request re-exports from the replica.
+        for key in [
+            k for k in self._kernels
+            if k[0] == update.model_key and k[2] == update.client_id
+        ]:
+            del self._kernels[key]
         self.stats.overlay_installs += 1
         _OVERLAY_INSTALLS.inc()
 
@@ -381,6 +472,8 @@ class GONScoringService:
         owned = [key for key in self._overlays if key[0] == client_id]
         for key in owned:
             del self._overlays[key]
+        for key in [k for k in self._kernels if k[2] == client_id]:
+            del self._kernels[key]
         self.stats.overlay_evictions += len(owned)
         _OVERLAY_EVICTIONS.add(len(owned))
 
@@ -400,6 +493,21 @@ class GONScoringService:
         self.stats.overlay_elements += request.n_elements
         _OVERLAY_ELEMENTS.add(request.n_elements)
         return entry[1]
+
+    def _kernel_for(self, request, model: GONDiscriminator):
+        """The cached fast kernel for a request's resolved replica."""
+        key = (
+            request.model_key,
+            *_generation_bucket(request.client_id, request.generation),
+        )
+        kernel = self._kernels.get(key)
+        if kernel is None:
+            from ..core.fastscore import FastGONKernel
+
+            dtype = "float32" if self.scorer_backend == "fast32" else "float64"
+            kernel = FastGONKernel.from_model(model, dtype=dtype)
+            self._kernels[key] = kernel
+        return kernel
 
     # ------------------------------------------------------------------
     def _dispatch(self, pending: Sequence) -> set:
@@ -431,15 +539,56 @@ class GONScoringService:
             _ELEMENTS.add(message.n_elements)
 
         with _DISPATCH_SPAN.time():
+            if self.scorer_backend != "exact" and self.merge_requests:
+                # Cross-request fusing concatenates stacks, and BLAS
+                # results vary in the last ulp with the leading
+                # dimension -- so fusing lives behind the same
+                # ``merge_requests`` knob that already waives the
+                # bitwise record guarantee for the exact policy.
+                buckets = self._fuse_ascent_buckets(buckets)
             for bucket_key, requests in buckets.items():
                 kind = bucket_key[0]
                 _BUCKET_OCCUPANCY.observe(len(requests))
-                if self.merge_requests and len(requests) > 1:
+                if kind == "fused":
+                    self._run_fused(requests)
+                elif self.merge_requests and len(requests) > 1:
                     self._run_merged(kind, requests)
+                elif self.scorer_backend != "exact" and kind == "ascent":
+                    # Fast backend, no merging: one kernel call per
+                    # request keeps batch shapes identical to the
+                    # exact policy, so the bitwise tier holds.
+                    for request in requests:
+                        self._run_fused([request])
                 else:
                     for request in requests:
                         self._run_exact(kind, request)
         return signed_off
+
+    def _fuse_ascent_buckets(self, buckets: "Dict[tuple, List]") -> "Dict[tuple, List]":
+        """Regroup ascent buckets for fast backends + ``merge_requests``.
+
+        The fast kernel takes per-element gamma/max_steps vectors, so
+        requests that differ *only* in those hyper-parameters can share
+        one fused ascent: the bucket key collapses from ``(model, n,
+        gamma, steps, generation, owner)`` to ``(model, n, generation,
+        owner)``.  Only called when ``merge_requests`` is on -- fusing
+        concatenates stacks, which moves scores by ~1 ulp (BLAS leading
+        dimension), the exact trade-off that knob opts into.  Confidence
+        buckets pass through untouched (they stay on the exact model
+        path).
+        """
+        fused: "Dict[tuple, List]" = {}
+        for bucket_key, requests in buckets.items():
+            if bucket_key[0] != "ascent":
+                fused.setdefault(bucket_key, []).extend(requests)
+                continue
+            request = requests[0]
+            key = (
+                "fused", request.model_key, request.metrics.shape[1],
+                *_generation_bucket(request.client_id, request.generation),
+            )
+            fused.setdefault(key, []).extend(requests)
+        return fused
 
     def _reply(self, request, reply) -> None:
         self.reply_queues[request.client_id].put(reply)
@@ -468,6 +617,49 @@ class GONScoringService:
             self._reply(
                 request, ConfidenceReply(request.request_id, scores)
             )
+
+    # -- fast backends: one fused kernel ascent per shape group --------
+    def _run_fused(self, requests: List) -> None:
+        """Score a same-shape ascent group on the fast kernel.
+
+        Hyper-parameters ride as per-element vectors (``np.repeat``
+        over each request's stack), so one kernel call covers requests
+        that the exact policy would have scored bucket by bucket.
+        Replies chunk back out positionally, exactly like the merged
+        policy.
+        """
+        self.stats.n_batches += 1
+        model = self._resolve_model(requests[0])
+        for request in requests[1:]:
+            self.stats.overlay_elements += (
+                request.n_elements if request.generation else 0
+            )
+        kernel = self._kernel_for(requests[0], model)
+        counts = [request.n_elements for request in requests]
+        metrics = np.concatenate([r.metrics for r in requests])
+        schedules = np.concatenate([r.schedules for r in requests])
+        adjacencies = np.concatenate([r.adjacencies for r in requests])
+        gamma = np.repeat([r.gamma for r in requests], counts)
+        max_steps = np.repeat([r.max_steps for r in requests], counts)
+        total = int(metrics.shape[0])
+        self.stats.batch_sizes.append(total)
+        _BATCHES.inc()
+        _BATCH_ELEMENTS.observe(total)
+        if len(requests) > 1:
+            self.stats.fused_elements += total
+            _FUSED_ELEMENTS.add(total)
+        results = kernel.ascent(
+            schedules,
+            adjacencies,
+            init_metrics=metrics,
+            gamma=gamma,
+            max_steps=max_steps,
+        )
+        start = 0
+        for request in requests:
+            chunk = results[start:start + request.n_elements]
+            start += request.n_elements
+            self._reply(request, _ascent_reply(request.request_id, chunk))
 
     # -- merged policy: one evaluation per bucket ----------------------
     def _run_merged(self, kind: str, requests: List) -> None:
@@ -649,6 +841,10 @@ class FleetScorer:
     replica falls back to worker-local scoring instead; every such
     ascent increments ``diagnostics["local_fallbacks"]``, the counter
     campaigns assert to be zero once overlays are on.
+
+    ``backend`` mirrors :class:`repro.core.scoring.LocalScorer`: it
+    selects the ascent engine for the *worker-local fallback* path
+    (the service's own backend is chosen service-side at construction).
     """
 
     def __init__(
@@ -656,10 +852,13 @@ class FleetScorer:
         client: ScoringClient,
         model: GONDiscriminator,
         overlays: bool = True,
+        backend: str = "exact",
     ) -> None:
         self.client = client
         self.model = model
         self.overlays = overlays
+        self.backend = validate_backend(backend)
+        self._local: Optional[object] = None
         self.generation = 0
         #: Per-instance registry backing :attr:`diagnostics` (always
         #: enabled -- these are deterministic record diagnostics, not
@@ -693,14 +892,23 @@ class FleetScorer:
         # Pre-overlay degradation path: a diverged replica can only
         # score on its private weights.  Counted, never silent.
         self._fallbacks.inc()
-        return generate_metrics_batch(
-            self.model,
-            schedules,
-            adjacencies,
-            init_metrics=metrics,
-            gamma=gamma,
-            max_steps=max_steps,
+        return self._local_scorer().ascent(
+            metrics, schedules, adjacencies, gamma, max_steps
         )
+
+    def _local_scorer(self):
+        """Lazy in-process scorer for the fallback path.
+
+        Shares :attr:`model` and tracks :attr:`generation`, so its
+        fast kernel (if ``backend`` selects one) re-exports after every
+        fine-tune.
+        """
+        from ..core.scoring import LocalScorer
+
+        if self._local is None:
+            self._local = LocalScorer(self.model, backend=self.backend)
+        self._local.generation = self.generation
+        return self._local
 
     def confidence(self, sample: GONInput) -> float:
         return self.model.score(sample)

@@ -11,8 +11,12 @@ A stdlib :mod:`http.server` bound next to the scoring socket
     view, and the full merged telemetry snapshot.
 
 ``/metrics``
-    The merged snapshot flattened to ``name value`` text lines
-    (:func:`repro.telemetry.render_metrics_text`), scrape-friendly.
+    The merged snapshot in Prometheus text exposition format
+    (:func:`repro.telemetry.render_prometheus_text`): ``# HELP`` /
+    ``# TYPE`` metadata and ``le``-labelled histogram buckets, so a
+    stock Prometheus scrape job ingests it directly.  The legacy flat
+    ``name value`` lines remain available as ``/metrics?format=flat``
+    (:func:`repro.telemetry.render_metrics_text`).
 
 The server runs on a daemon thread and only ever *reads* -- the
 provider must be safe to call from another thread mid-``serve()``
@@ -27,8 +31,9 @@ import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
+from urllib.parse import parse_qs, urlsplit
 
-from ..telemetry import render_metrics_text
+from ..telemetry import render_metrics_text, render_prometheus_text
 
 __all__ = ["StatusServer"]
 
@@ -37,7 +42,9 @@ class _StatusHandler(BaseHTTPRequestHandler):
     server: "_StatusHTTPServer"
 
     def do_GET(self) -> None:  # noqa: N802 - http.server API
-        path = self.path.split("?", 1)[0].rstrip("/") or "/status"
+        parts = urlsplit(self.path)
+        path = parts.path.rstrip("/") or "/status"
+        query = parse_qs(parts.query)
         try:
             if path == "/status":
                 payload = json.dumps(
@@ -46,9 +53,17 @@ class _StatusHandler(BaseHTTPRequestHandler):
                 content_type = "application/json"
             elif path == "/metrics":
                 status = self.server.provider()
-                payload = render_metrics_text(
-                    status.get("telemetry", {})
-                ).encode("utf-8")
+                snap = status.get("telemetry", {})
+                fmt = query.get("format", ["prometheus"])[0]
+                if fmt == "flat":
+                    payload = render_metrics_text(snap).encode("utf-8")
+                elif fmt == "prometheus":
+                    payload = render_prometheus_text(snap).encode("utf-8")
+                else:
+                    self.send_error(
+                        400, "unknown ?format (try prometheus or flat)"
+                    )
+                    return
                 content_type = "text/plain; charset=utf-8"
             else:
                 self.send_error(404, "unknown route (try /status or /metrics)")

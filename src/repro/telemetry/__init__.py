@@ -55,7 +55,7 @@ from .registry import (
     flatten_snapshot,
     merge_snapshots,
 )
-from .render import render_metrics_text, render_summary
+from .render import render_metrics_text, render_prometheus_text, render_summary
 
 __all__ = [
     "Counter",
@@ -66,6 +66,7 @@ __all__ = [
     "merge_snapshots",
     "flatten_snapshot",
     "render_metrics_text",
+    "render_prometheus_text",
     "render_summary",
     "DURATION_EDGES_S",
     "SIZE_EDGES",

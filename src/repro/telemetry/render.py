@@ -1,27 +1,90 @@
 """Text renderings of telemetry snapshots.
 
-Two audiences:
+Three audiences:
 
-* :func:`render_metrics_text` -- the flat ``name value`` exposition
-  served by the status endpoint's ``/metrics`` route (one metric per
-  line, scrape-friendly, deterministic order).
+* :func:`render_prometheus_text` -- Prometheus exposition format
+  (``# HELP`` / ``# TYPE`` metadata, ``le``-labelled histogram
+  buckets), the default body of the status endpoint's ``/metrics``
+  route so stock scrapers ingest it without a relabelling shim.
+* :func:`render_metrics_text` -- the legacy flat ``name value``
+  exposition (one metric per line, deterministic order), still served
+  under ``/metrics?format=flat``.
 * :func:`render_summary` -- a human-oriented table for the ``repro
   telemetry`` CLI subcommand and :mod:`examples.failure_drill`.
 """
 
 from __future__ import annotations
 
+import re
 from typing import List
 
 from .registry import flatten_snapshot
 
-__all__ = ["render_metrics_text", "render_summary"]
+__all__ = ["render_metrics_text", "render_prometheus_text", "render_summary"]
 
 
 def render_metrics_text(snap: dict) -> str:
     """Flat ``name value`` lines (trailing newline included)."""
     lines = [f"{name} {_fmt(value)}" for name, value in flatten_snapshot(snap)]
     return "\n".join(lines) + "\n" if lines else ""
+
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Dotted registry name -> Prometheus metric name."""
+    sanitized = _PROM_BAD.sub("_", name)
+    if sanitized and sanitized[0].isdigit():
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def render_prometheus_text(snap: dict) -> str:
+    """Prometheus text exposition (format version 0.0.4) of a snapshot.
+
+    Mapping from the registry's metric families:
+
+    * counters  -> ``counter`` samples with the ``_total`` suffix;
+    * gauges    -> ``gauge`` samples;
+    * histograms-> ``histogram`` families: cumulative ``_bucket``
+      samples labelled ``le="<edge>"`` (plus the mandatory ``+Inf``
+      bucket), then ``_sum`` and ``_count``;
+    * spans     -> ``summary`` families named ``<name>_seconds``
+      carrying ``_sum`` (total seconds) and ``_count`` (timings).
+
+    Dots in registry names become underscores; the ``# HELP`` line
+    keeps the original dotted name so the mapping stays recoverable.
+    """
+    out: List[str] = []
+    for name, value in sorted(snap.get("counters", {}).items()):
+        prom = _prom_name(name) + "_total"
+        out.append(f"# HELP {prom} repro counter {name}")
+        out.append(f"# TYPE {prom} counter")
+        out.append(f"{prom} {_fmt(value)}")
+    for name, value in sorted(snap.get("gauges", {}).items()):
+        prom = _prom_name(name)
+        out.append(f"# HELP {prom} repro gauge {name}")
+        out.append(f"# TYPE {prom} gauge")
+        out.append(f"{prom} {_fmt(value)}")
+    for name, h in sorted(snap.get("histograms", {}).items()):
+        prom = _prom_name(name)
+        out.append(f"# HELP {prom} repro histogram {name}")
+        out.append(f"# TYPE {prom} histogram")
+        cumulative = 0
+        for edge, count in zip(h["edges"], h["counts"]):
+            cumulative += count
+            out.append(f'{prom}_bucket{{le="{edge:g}"}} {cumulative}')
+        out.append(f'{prom}_bucket{{le="+Inf"}} {h["count"]}')
+        out.append(f"{prom}_sum {_fmt(h['sum'])}")
+        out.append(f"{prom}_count {h['count']}")
+    for name, s in sorted(snap.get("spans", {}).items()):
+        prom = _prom_name(name) + "_seconds"
+        out.append(f"# HELP {prom} repro span {name}")
+        out.append(f"# TYPE {prom} summary")
+        out.append(f"{prom}_sum {_fmt(s['total_s'])}")
+        out.append(f"{prom}_count {s['count']}")
+    return "\n".join(out) + "\n" if out else ""
 
 
 def _fmt(value) -> str:

@@ -1,0 +1,592 @@
+"""Fast inference backend: export, kernels, backends, parity tiers.
+
+Pins the PR-7 contract end to end:
+
+* ``nn/serialization`` inference export -- pack/unpack round-trip
+  equality and loud refusal on architecture or shape mismatches;
+* ``core/fastscore.FastGONKernel`` -- the graph-free fused forward and
+  closed-form input gradient must reproduce the autodiff oracle
+  *bit for bit* in float64 (the kernel mirrors the exact op order),
+  and within rtol=1e-5 in float32;
+* ``core/scoring.LocalScorer`` backend selection and post-fine-tune
+  kernel re-export;
+* the scoring service's fast-backend features: cross-bucket fused
+  ascents and the adaptive micro-batch window;
+* the scenario-catalog parity sweep: for every registered scenario the
+  ``fast`` backend must produce bit-identical campaign records and
+  identical decision digests, and ``fast32`` must agree on decisions
+  (trained surrogates separate candidates well beyond float32 noise);
+* ``benchmarks/compare_records.py --decisions``.
+"""
+
+from __future__ import annotations
+
+import queue
+import sys
+import threading
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.core import GONDiscriminator
+from repro.core.fastscore import FastGONKernel, gon_inference_meta
+from repro.core.scoring import BACKENDS, LocalScorer, validate_backend
+from repro.core.surrogate import generate_metrics_batch
+from repro.core.training import TrainingConfig
+from repro.experiments import (
+    CampaignConfig,
+    prepare_campaign_assets,
+    run_campaign,
+)
+from repro.nn.serialization import (
+    InferencePack,
+    export_inference,
+    verify_inference_pack,
+)
+from repro.scenarios import all_scenarios
+from repro.serving import GONScoringService, ScoringClient
+
+
+def _stacks(samples, count=None):
+    chosen = samples if count is None else samples[:count]
+    return (
+        np.stack([np.asarray(s.metrics, dtype=float) for s in chosen]),
+        np.stack([np.asarray(s.schedule, dtype=float) for s in chosen]),
+        np.stack([np.asarray(s.adjacency, dtype=float) for s in chosen]),
+    )
+
+
+def _assert_results_bitwise(fast_results, oracle_results):
+    assert len(fast_results) == len(oracle_results)
+    for fast, oracle in zip(fast_results, oracle_results):
+        assert np.array_equal(fast.metrics, oracle.metrics)
+        assert fast.confidence == oracle.confidence
+        assert fast.n_steps == oracle.n_steps
+        assert fast.converged == oracle.converged
+
+
+# ----------------------------------------------------------------------
+# Inference export
+# ----------------------------------------------------------------------
+class TestInferenceExport:
+    def test_roundtrip_forward_equality(self, trained_gon, session_samples):
+        pack = export_inference(
+            trained_gon, meta=gon_inference_meta(trained_gon)
+        )
+        verify_inference_pack(pack, trained_gon)
+        kernel = FastGONKernel(pack)
+        metrics, schedules, adjacencies = _stacks(session_samples, 6)
+        scores = kernel.score_stack(metrics, schedules, adjacencies)
+        oracle = trained_gon.forward_batch(metrics, schedules, adjacencies).data
+        assert np.array_equal(scores, np.asarray(oracle).reshape(-1))
+
+    def test_export_is_a_frozen_snapshot(self, trained_gon):
+        pack = export_inference(trained_gon)
+        for array in pack.arrays.values():
+            assert not array.flags.writeable
+            with pytest.raises(ValueError):
+                array[...] = 0.0
+
+    def test_verify_refuses_missing_and_unexpected_names(self, trained_gon):
+        pack = export_inference(trained_gon)
+        arrays = dict(pack.arrays)
+        (dropped, extra_value), *_ = arrays.items()
+        del arrays[dropped]
+        with pytest.raises(KeyError):
+            verify_inference_pack(
+                InferencePack(arrays=arrays, meta=pack.meta), trained_gon
+            )
+        arrays[dropped] = extra_value
+        arrays["not.a.parameter"] = extra_value
+        with pytest.raises(KeyError):
+            verify_inference_pack(
+                InferencePack(arrays=arrays, meta=pack.meta), trained_gon
+            )
+
+    def test_verify_refuses_shape_mismatch(self, trained_gon):
+        pack = export_inference(trained_gon)
+        arrays = dict(pack.arrays)
+        name = "head.blocks.1.bias"
+        arrays[name] = np.zeros(7)
+        with pytest.raises(ValueError):
+            verify_inference_pack(
+                InferencePack(arrays=arrays, meta=pack.meta), trained_gon
+            )
+
+    def test_export_rejects_unknown_dtype(self, trained_gon):
+        with pytest.raises(ValueError):
+            export_inference(trained_gon, dtype="int8")
+
+    def test_kernel_refuses_foreign_pack(self, trained_gon):
+        pack = export_inference(trained_gon, meta={"arch": "mlp"})
+        with pytest.raises(ValueError):
+            FastGONKernel(pack)
+
+    def test_kernel_refuses_wrong_architecture_shape(self, trained_gon):
+        # Claim a different hidden width than the arrays carry.
+        meta = gon_inference_meta(trained_gon)
+        meta["hidden"] = int(meta["hidden"]) * 2
+        pack = export_inference(trained_gon, meta=meta)
+        with pytest.raises((KeyError, ValueError)):
+            FastGONKernel(pack)
+
+
+# ----------------------------------------------------------------------
+# Kernel parity vs the autodiff oracle
+# ----------------------------------------------------------------------
+class TestFastKernelParity:
+    def test_forward_bitwise_equal(self, trained_gon, session_samples):
+        kernel = FastGONKernel.from_model(trained_gon)
+        metrics, schedules, adjacencies = _stacks(session_samples, 8)
+        scores = kernel.score_stack(metrics, schedules, adjacencies)
+        oracle = trained_gon.forward_batch(metrics, schedules, adjacencies).data
+        assert np.array_equal(scores, np.asarray(oracle).reshape(-1))
+
+    def test_ascent_bitwise_equal(self, trained_gon, session_samples):
+        kernel = FastGONKernel.from_model(trained_gon)
+        metrics, schedules, adjacencies = _stacks(session_samples, 6)
+        fast = kernel.ascent(
+            schedules, adjacencies, init_metrics=metrics,
+            gamma=1e-2, max_steps=5,
+        )
+        oracle = generate_metrics_batch(
+            trained_gon, schedules, adjacencies, init_metrics=metrics,
+            gamma=1e-2, max_steps=5,
+        )
+        _assert_results_bitwise(fast, oracle)
+
+    def test_long_ascent_with_narrowing_bitwise_equal(
+        self, trained_gon, session_samples
+    ):
+        # 40 steps with a small gamma: elements converge at different
+        # times, exercising the oracle's narrowed-batch path.
+        kernel = FastGONKernel.from_model(trained_gon)
+        metrics, schedules, adjacencies = _stacks(session_samples, 6)
+        fast = kernel.ascent(
+            schedules, adjacencies, init_metrics=metrics,
+            gamma=1e-3, max_steps=40,
+        )
+        oracle = generate_metrics_batch(
+            trained_gon, schedules, adjacencies, init_metrics=metrics,
+            gamma=1e-3, max_steps=40,
+        )
+        _assert_results_bitwise(fast, oracle)
+
+    def test_fast32_within_rtol(self, trained_gon, session_samples):
+        kernel = FastGONKernel.from_model(trained_gon, dtype="float32")
+        metrics, schedules, adjacencies = _stacks(session_samples, 6)
+        fast = kernel.ascent(
+            schedules, adjacencies, init_metrics=metrics,
+            gamma=1e-2, max_steps=5,
+        )
+        oracle = generate_metrics_batch(
+            trained_gon, schedules, adjacencies, init_metrics=metrics,
+            gamma=1e-2, max_steps=5,
+        )
+        np.testing.assert_allclose(
+            [r.confidence for r in fast],
+            [r.confidence for r in oracle],
+            rtol=1e-5,
+            atol=1e-7,
+        )
+
+    def test_per_element_parameters_match_split_calls(
+        self, trained_gon, session_samples
+    ):
+        # The property service-side fusing (merge_requests + fast)
+        # rests on: one kernel call with per-element gamma / step caps
+        # matches the separate per-request calls element for element.
+        # NOT bitwise -- concatenation changes the BLAS leading
+        # dimension, the documented ~1-ulp merge waiver -- so the
+        # comparison is allclose at merged-policy tightness.
+        kernel = FastGONKernel.from_model(trained_gon)
+        metrics, schedules, adjacencies = _stacks(session_samples, 6)
+        first = kernel.ascent(
+            schedules[:3], adjacencies[:3], init_metrics=metrics[:3],
+            gamma=1e-2, max_steps=5,
+        )
+        second = kernel.ascent(
+            schedules[3:], adjacencies[3:], init_metrics=metrics[3:],
+            gamma=2e-3, max_steps=8,
+        )
+        fused = kernel.ascent(
+            schedules, adjacencies, init_metrics=metrics,
+            gamma=np.array([1e-2] * 3 + [2e-3] * 3),
+            max_steps=np.array([5] * 3 + [8] * 3),
+        )
+        split = first + second
+        np.testing.assert_allclose(
+            [r.confidence for r in fused],
+            [r.confidence for r in split],
+            rtol=1e-12,
+        )
+        np.testing.assert_allclose(
+            np.stack([r.metrics for r in fused]),
+            np.stack([r.metrics for r in split]),
+            atol=1e-9,
+        )
+
+    def test_ascent_rejects_bad_parameters(self, trained_gon, session_samples):
+        kernel = FastGONKernel.from_model(trained_gon)
+        metrics, schedules, adjacencies = _stacks(session_samples, 2)
+        with pytest.raises(ValueError):
+            kernel.ascent(
+                schedules, adjacencies, init_metrics=metrics,
+                gamma=0.0, max_steps=3,
+            )
+        with pytest.raises(ValueError):
+            kernel.ascent(
+                schedules, adjacencies, init_metrics=metrics,
+                gamma=1e-2, max_steps=-1,
+            )
+
+
+# ----------------------------------------------------------------------
+# LocalScorer backend selection
+# ----------------------------------------------------------------------
+class TestLocalScorerBackends:
+    def test_validate_backend(self):
+        for backend in BACKENDS:
+            assert validate_backend(backend) == backend
+        with pytest.raises(ValueError):
+            validate_backend("onnx")
+
+    def test_constructor_rejects_unknown_backend(self, trained_gon):
+        with pytest.raises(ValueError):
+            LocalScorer(trained_gon, backend="slow")
+
+    def test_fast_backend_matches_exact(self, trained_gon, session_samples):
+        exact = LocalScorer(trained_gon)
+        fast = LocalScorer(trained_gon, backend="fast")
+        metrics, schedules, adjacencies = _stacks(session_samples, 5)
+        _assert_results_bitwise(
+            fast.ascent(metrics, schedules, adjacencies, 1e-2, 4),
+            exact.ascent(metrics, schedules, adjacencies, 1e-2, 4),
+        )
+
+    def test_fine_tune_re_exports_the_kernel(self, session_samples):
+        # A private model instance: fine-tuning mutates weights.
+        model = GONDiscriminator(np.random.default_rng(0), hidden=16,
+                                 n_layers=2)
+        scorer = LocalScorer(model, backend="fast")
+        metrics, schedules, adjacencies = _stacks(session_samples, 4)
+        scorer.ascent(metrics, schedules, adjacencies, 1e-2, 3)
+        stale_kernel = scorer._fast_kernel()
+        scorer.fine_tune(
+            session_samples[:8],
+            config=TrainingConfig(epochs=1, batch_size=4, seed=0),
+            iterations=1,
+            rng=np.random.default_rng(1),
+        )
+        assert scorer.generation == 1
+        assert scorer._fast_kernel() is not stale_kernel
+        _assert_results_bitwise(
+            scorer.ascent(metrics, schedules, adjacencies, 1e-2, 3),
+            generate_metrics_batch(
+                model, schedules, adjacencies, init_metrics=metrics,
+                gamma=1e-2, max_steps=3,
+            ),
+        )
+
+
+# ----------------------------------------------------------------------
+# Scoring service: fused buckets + adaptive window
+# ----------------------------------------------------------------------
+class TestServiceFastBackend:
+    def _serve(self, trained_gon, n_clients=1, **kwargs):
+        request_queue = queue.Queue()
+        replies = {i: queue.Queue() for i in range(n_clients)}
+        service = GONScoringService(
+            {"scenario": trained_gon}, request_queue, replies, **kwargs
+        )
+        thread = threading.Thread(target=service.serve, daemon=True)
+        thread.start()
+        clients = [
+            ScoringClient(i, "scenario", request_queue, replies[i])
+            for i in range(n_clients)
+        ]
+        return service, thread, clients
+
+    def test_fast_backend_replies_bitwise_equal(
+        self, trained_gon, session_samples
+    ):
+        service, thread, (client,) = self._serve(
+            trained_gon, scorer_backend="fast"
+        )
+        metrics, schedules, adjacencies = _stacks(session_samples, 5)
+        remote = client.ascent(metrics, schedules, adjacencies,
+                               gamma=1e-2, max_steps=4)
+        oracle = generate_metrics_batch(
+            trained_gon, schedules, adjacencies, init_metrics=metrics,
+            gamma=1e-2, max_steps=4,
+        )
+        _assert_results_bitwise(remote, oracle)
+        client.close()
+        thread.join(timeout=10)
+        assert not thread.is_alive()
+
+    def test_concurrent_requests_stay_bitwise_without_merging(
+        self, trained_gon, session_samples
+    ):
+        # Two clients with *different* ascent parameters on the default
+        # (merge_requests=False) fast service: every request gets its
+        # own kernel call, so replies equal the per-request oracle bit
+        # for bit and nothing is ever fused.
+        service, thread, clients = self._serve(
+            trained_gon, n_clients=2, scorer_backend="fast"
+        )
+        metrics, schedules, adjacencies = _stacks(session_samples, 4)
+        results = {}
+
+        def ask(index, client, gamma, steps):
+            results[index] = client.ascent(
+                metrics, schedules, adjacencies, gamma=gamma, max_steps=steps
+            )
+
+        threads = [
+            threading.Thread(
+                target=ask, args=(i, clients[i], gamma, steps), daemon=True
+            )
+            for i, (gamma, steps) in enumerate(((1e-2, 4), (3e-3, 6)))
+        ]
+        for worker in threads:
+            worker.start()
+        for worker in threads:
+            worker.join(timeout=10)
+        assert sorted(results) == [0, 1]
+        for index, (gamma, steps) in enumerate(((1e-2, 4), (3e-3, 6))):
+            oracle = generate_metrics_batch(
+                trained_gon, schedules, adjacencies, init_metrics=metrics,
+                gamma=gamma, max_steps=steps,
+            )
+            _assert_results_bitwise(results[index], oracle)
+        for client in clients:
+            client.close()
+        thread.join(timeout=10)
+        assert service.stats.fused_elements == 0
+        assert service.stats.n_elements == 8
+
+    def test_fused_batch_deterministic_when_queued_together(
+        self, trained_gon, session_samples
+    ):
+        # Deterministic fusing (merge_requests + fast): enqueue both
+        # requests *before* serve() drains, so they are guaranteed to
+        # share a batch, and the differing gamma / step caps fuse into
+        # one kernel call.  Merged replies carry the ~1-ulp waiver, so
+        # the oracle comparison is allclose, not bitwise.
+        request_queue = queue.Queue()
+        replies = {0: queue.Queue(), 1: queue.Queue()}
+        service = GONScoringService(
+            {"scenario": trained_gon}, request_queue, replies,
+            scorer_backend="fast", merge_requests=True,
+        )
+        metrics, schedules, adjacencies = _stacks(session_samples, 3)
+        from repro.serving import AscentRequest, ClientDone
+
+        for client_id, (gamma, steps) in ((0, (1e-2, 3)), (1, (4e-3, 5))):
+            request_queue.put(
+                AscentRequest(
+                    client_id=client_id,
+                    request_id=1,
+                    model_key="scenario",
+                    metrics=metrics,
+                    schedules=schedules,
+                    adjacencies=adjacencies,
+                    gamma=gamma,
+                    max_steps=steps,
+                )
+            )
+        request_queue.put(ClientDone(client_id=0))
+        request_queue.put(ClientDone(client_id=1))
+        service.serve()
+        assert service.stats.fused_elements == 6
+        for client_id, (gamma, steps) in ((0, (1e-2, 3)), (1, (4e-3, 5))):
+            reply = replies[client_id].get_nowait()
+            oracle = generate_metrics_batch(
+                trained_gon, schedules, adjacencies, init_metrics=metrics,
+                gamma=gamma, max_steps=steps,
+            )
+            np.testing.assert_allclose(
+                reply.confidences,
+                [r.confidence for r in oracle],
+                rtol=1e-12,
+            )
+            np.testing.assert_allclose(
+                reply.metrics,
+                np.stack([r.metrics for r in oracle]),
+                atol=1e-9,
+            )
+
+    def test_adaptive_window_stays_clamped(self, trained_gon, session_samples):
+        window = 0.002
+        service, thread, (client,) = self._serve(
+            trained_gon, window_seconds=window
+        )
+        metrics, schedules, adjacencies = _stacks(session_samples, 2)
+        for _ in range(4):
+            client.ascent(metrics, schedules, adjacencies,
+                          gamma=1e-2, max_steps=2)
+        client.close()
+        thread.join(timeout=10)
+        floor = window * GONScoringService._WINDOW_FLOOR
+        assert floor <= service.stats.window_seconds <= window
+
+    def test_adaptive_window_off_keeps_configured_window(
+        self, trained_gon, session_samples
+    ):
+        window = 0.002
+        service, thread, (client,) = self._serve(
+            trained_gon, window_seconds=window, adaptive_window=False
+        )
+        metrics, schedules, adjacencies = _stacks(session_samples, 2)
+        client.ascent(metrics, schedules, adjacencies, gamma=1e-2, max_steps=2)
+        client.close()
+        thread.join(timeout=10)
+        assert service.stats.window_seconds == window
+
+
+# ----------------------------------------------------------------------
+# Scenario-catalog parity sweep
+# ----------------------------------------------------------------------
+def _catalog_config(name: str) -> CampaignConfig:
+    # CI-scale offline training (the CampaignConfig defaults): the
+    # fast32 decision-agreement tier is a property of *trained*
+    # surrogates -- undertrained GONs score candidates within float32
+    # noise and tie-breaks legitimately flip (see the fast32 caveat in
+    # repro.core.scoring).  Only the evaluation length is shortened.
+    return CampaignConfig(
+        scenarios=(name,),
+        models=("CAROL",),
+        n_seeds=1,
+        workers=1,
+        seed=0,
+        n_intervals=3,
+        shared_assets=True,
+    )
+
+
+@pytest.fixture(scope="module")
+def catalog_sweep():
+    """Per-scenario campaign results for every backend (shared assets)."""
+    sweep = {}
+    for spec in all_scenarios():
+        config = _catalog_config(spec.name)
+        assets = prepare_campaign_assets(config)
+        sweep[spec.name] = {
+            backend: run_campaign(
+                replace(config, scorer_backend=backend),
+                prepared_assets=assets,
+            )
+            for backend in BACKENDS
+        }
+    return sweep
+
+
+class TestCatalogParity:
+    def test_catalog_covers_all_scenarios(self, catalog_sweep):
+        assert len(catalog_sweep) >= 9
+
+    def test_fast_records_bit_identical_across_catalog(self, catalog_sweep):
+        for name, results in catalog_sweep.items():
+            assert results["fast"].rows() == results["exact"].rows(), name
+
+    def test_fast_decisions_identical_across_catalog(self, catalog_sweep):
+        for name, results in catalog_sweep.items():
+            fast = [
+                r.diagnostics["decision_digest"]
+                for r in results["fast"].records
+            ]
+            exact = [
+                r.diagnostics["decision_digest"]
+                for r in results["exact"].records
+            ]
+            assert fast == exact, name
+
+    def test_fast32_decisions_agree_across_most_of_catalog(
+        self, catalog_sweep
+    ):
+        # fast32 decisions can legitimately flip where candidate scores
+        # tie within float32 noise (one known instance on this catalog:
+        # correlated-rack).  A kernel regression flips decisions
+        # *systematically*, so the canary asserts strong-majority
+        # agreement rather than universality -- the rtol tier below is
+        # the per-score correctness gate.
+        divergent = []
+        for name, results in catalog_sweep.items():
+            fast32 = [
+                r.diagnostics["decision_digest"]
+                for r in results["fast32"].records
+            ]
+            exact = [
+                r.diagnostics["decision_digest"]
+                for r in results["exact"].records
+            ]
+            if fast32 != exact:
+                divergent.append(name)
+        assert len(divergent) <= 2, divergent
+
+    def test_fast32_scores_within_rtol_across_catalog(self, catalog_sweep):
+        # Scorer-level tier: confidences of one warm-start ascent over
+        # each scenario's trained surrogate, fast32 vs exact.
+        for name in catalog_sweep:
+            config = _catalog_config(name)
+            assets = prepare_campaign_assets(config)[name]
+            gon = assets.fresh_gon()
+            samples = assets.samples[:6]
+            metrics, schedules, adjacencies = _stacks(samples)
+            exact = LocalScorer(gon).ascent(
+                metrics, schedules, adjacencies, 1e-2, 4
+            )
+            fast32 = LocalScorer(gon, backend="fast32").ascent(
+                metrics, schedules, adjacencies, 1e-2, 4
+            )
+            np.testing.assert_allclose(
+                [r.confidence for r in fast32],
+                [r.confidence for r in exact],
+                rtol=1e-5,
+                atol=1e-7,
+                err_msg=name,
+            )
+
+
+# ----------------------------------------------------------------------
+# compare_records --decisions
+# ----------------------------------------------------------------------
+class TestCompareRecordsDecisions:
+    def _dump(self, path, digest):
+        import json
+
+        payload = {
+            "records": [
+                {
+                    "run_index": 0,
+                    "scenario": "paper-default",
+                    "qos": 0.5,
+                    "diagnostics": {
+                        "n_fine_tunes": 1,
+                        "decision_digest": digest,
+                    },
+                    "telemetry": {"counters": {"x": 1}},
+                }
+            ]
+        }
+        path.write_text(json.dumps(payload))
+
+    def test_decisions_flag_catches_digest_divergence(self, tmp_path, capsys):
+        sys.path.insert(0, "benchmarks")
+        try:
+            from compare_records import main as compare_main
+        finally:
+            sys.path.pop(0)
+        left, right = tmp_path / "a.json", tmp_path / "b.json"
+        self._dump(left, "aaaa")
+        self._dump(right, "bbbb")
+        # Without --decisions, diagnostics are execution-only: equal.
+        assert compare_main([str(left), str(right)]) == 0
+        # With --decisions the digests must match.
+        assert compare_main([str(left), str(right), "--decisions"]) == 1
+        out = capsys.readouterr().out
+        assert "decision_digest" in out
+        self._dump(right, "aaaa")
+        assert compare_main([str(left), str(right), "--decisions"]) == 0

@@ -28,6 +28,7 @@ from repro.telemetry import (
     flatten_snapshot,
     merge_snapshots,
     render_metrics_text,
+    render_prometheus_text,
     render_summary,
 )
 from repro.telemetry.registry import _NULL_TIMER
@@ -304,6 +305,63 @@ class TestRendering:
         assert isinstance(render_summary({}, title="x"), str)
 
 
+class TestPrometheusRendering:
+    def test_counter_family_with_total_suffix(self):
+        text = render_prometheus_text(make_registry().snapshot())
+        assert "# HELP events_total repro counter events" in text
+        assert "# TYPE events_total counter" in text
+        assert "\nevents_total 3\n" in "\n" + text
+
+    def test_gauge_family(self):
+        text = render_prometheus_text(make_registry().snapshot())
+        assert "# TYPE depth gauge" in text
+        assert "\ndepth 2\n" in "\n" + text
+
+    def test_histogram_buckets_are_cumulative(self):
+        snap = make_registry().snapshot()
+        text = render_prometheus_text(snap)
+        assert "# TYPE sizes histogram" in text
+        lines = text.splitlines()
+        buckets = [
+            int(line.rsplit(" ", 1)[1])
+            for line in lines
+            if line.startswith("sizes_bucket")
+        ]
+        # Cumulative counts are monotone and end at the +Inf bucket,
+        # which must equal the observation count.
+        assert buckets == sorted(buckets)
+        assert 'sizes_bucket{le="+Inf"} 3' in lines
+        assert "sizes_count 3" in lines
+        assert any(line.startswith("sizes_sum ") for line in lines)
+
+    def test_span_renders_as_summary_in_seconds(self):
+        text = render_prometheus_text(make_registry().snapshot())
+        assert "# TYPE work_seconds summary" in text
+        assert "work_seconds_count 2" in text
+        parsed = dict(
+            line.rsplit(" ", 1)
+            for line in text.splitlines()
+            if not line.startswith("#")
+        )
+        assert float(parsed["work_seconds_sum"]) == pytest.approx(0.75)
+
+    def test_dotted_names_sanitized_help_keeps_original(self):
+        registry = MetricsRegistry()
+        registry.counter("service.fused_elements").add(7)
+        text = render_prometheus_text(registry.snapshot())
+        assert "service_fused_elements_total 7" in text
+        # The HELP line preserves the registry's dotted name so the
+        # mapping back to `repro telemetry` output stays recoverable.
+        assert (
+            "# HELP service_fused_elements_total repro counter "
+            "service.fused_elements" in text
+        )
+        assert "service.fused_elements_total" not in text
+
+    def test_empty_snapshot_renders_empty(self):
+        assert render_prometheus_text({}) == ""
+
+
 # ----------------------------------------------------------------------
 # STATS frames on the wire
 # ----------------------------------------------------------------------
@@ -375,9 +433,20 @@ class TestStatusServer:
             assert decoded["workers"]["connected"] == 2
             assert decoded["telemetry"]["counters"]["events"] == 3
 
+            # /metrics defaults to Prometheus exposition...
             status, body = self._get(server, "/metrics")
             assert status == 200
+            assert "# TYPE events_total counter" in body
+            assert "events_total 3" in body
+
+            # ...with the legacy flat dialect behind ?format=flat.
+            status, body = self._get(server, "/metrics?format=flat")
+            assert status == 200
             assert "events 3" in body
+
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self._get(server, "/metrics?format=xml")
+            assert excinfo.value.code == 400
         finally:
             server.close()
 
