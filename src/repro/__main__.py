@@ -45,6 +45,20 @@ Multi-node fleets split the two halves across commands::
 ephemeral localhost port (single-box TCP mode); both sides must be
 launched with the same grid flags so the asset catalogs agree.
 
+The service is *elastic* (see :mod:`repro.serving`): cells are leased
+one at a time from a coordinator-held queue, late workers may join a
+running campaign, dead workers' cells are re-queued with a bounded
+retry budget (``--retry-budget``), liveness rides on heartbeats
+(``--heartbeat-timeout``), and ``--auth-token`` (or the
+``REPRO_FLEET_TOKEN`` environment variable) gates handshakes with a
+pre-shared token.  ``serve --status-port N`` additionally exposes the
+``POST /inject`` chaos control plane (kill_worker / delay_client /
+drop_next_reply / requeue_cell) next to ``GET /status``.
+
+``python -m repro export-gon model.npz`` trains a scenario's GON
+offline and dumps a standalone, verified inference pack for external
+graph-free tooling.
+
 Observability (:mod:`repro.telemetry`): every ``--record-json`` dump
 carries the campaign's merged telemetry snapshot under ``"telemetry"``;
 ``python -m repro telemetry dump.json`` pretty-prints it (``--json``
@@ -57,8 +71,16 @@ telemetry) and ``GET /metrics`` flat ``name value`` text.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from dataclasses import replace
+
+
+def _resolve_auth_token(args) -> str:
+    """--auth-token wins; else the REPRO_FLEET_TOKEN environment."""
+    if args.auth_token is not None:
+        return args.auth_token
+    return os.environ.get("REPRO_FLEET_TOKEN", "")
 
 
 def _base_config(args):
@@ -193,6 +215,9 @@ def _cmd_campaign(args) -> int:
             overrides["service_addr"] = args.connect
         if args.scorer_backend != "exact":
             overrides["scorer_backend"] = args.scorer_backend
+        auth_token = _resolve_auth_token(args)
+        if auth_token:
+            overrides["auth_token"] = auth_token
         if overrides:
             try:
                 config = replace(config, **overrides)
@@ -223,6 +248,7 @@ def _cmd_campaign(args) -> int:
                 service_addr=args.connect,
                 shared_assets=args.shared_assets or args.fleet,
                 scorer_backend=args.scorer_backend,
+                auth_token=_resolve_auth_token(args),
             )
         except ValueError as error:
             print(error, file=sys.stderr)
@@ -260,8 +286,18 @@ def _cmd_serve(args) -> int:
     from .experiments.fleet import serve_fleet_service
     from .serving import TransportError
 
+    # --min-workers / --max-idle are the elastic-era spellings;
+    # --expect-workers / --idle-timeout remain as aliases.
+    expect_workers = (
+        args.min_workers if args.min_workers is not None
+        else args.expect_workers
+    )
+    idle_timeout = (
+        args.max_idle if args.max_idle is not None else args.idle_timeout
+    )
+    auth_token = _resolve_auth_token(args)
     if args.ci:
-        config = fleet_ci_campaign_config(workers=args.expect_workers)
+        config = fleet_ci_campaign_config(workers=expect_workers)
     else:
         if not args.scenarios:
             print("serve requires --scenarios (or --ci)", file=sys.stderr)
@@ -275,7 +311,7 @@ def _cmd_serve(args) -> int:
                     m for m in (args.models or "carol").split(",") if m.strip()
                 ),
                 n_seeds=args.seeds,
-                workers=args.expect_workers,
+                workers=expect_workers,
                 seed=args.seed,
                 n_intervals=args.intervals or None,
                 mode="fleet",
@@ -284,7 +320,18 @@ def _cmd_serve(args) -> int:
         except ValueError as error:
             print(error, file=sys.stderr)
             return 2
-    config = replace(config, transport="tcp", workers=args.expect_workers)
+    try:
+        config = replace(
+            config,
+            transport="tcp",
+            workers=expect_workers,
+            heartbeat_timeout=args.heartbeat_timeout,
+            cell_retry_budget=args.retry_budget,
+            auth_token=auth_token,
+        )
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
     if args.scorer_backend != "exact":
         config = replace(config, scorer_backend=args.scorer_backend)
 
@@ -303,9 +350,9 @@ def _cmd_serve(args) -> int:
     def ready(host: str, port: int) -> None:
         print(
             f"fleet scoring service listening on {host}:{port} "
-            f"(expecting {args.expect_workers} workers; connect with "
-            f"`python -m repro campaign ... --fleet --transport tcp "
-            f"--connect {host}:{port}`)",
+            f"(expecting {expect_workers} workers, late joiners welcome; "
+            f"connect with `python -m repro campaign ... --fleet "
+            f"--transport tcp --connect {host}:{port}`)",
             flush=True,
         )
 
@@ -316,11 +363,12 @@ def _cmd_serve(args) -> int:
             assets,
             host=args.host,
             port=args.port,
-            n_clients=args.expect_workers,
-            idle_timeout=args.idle_timeout,
+            n_clients=expect_workers,
+            idle_timeout=idle_timeout,
             on_ready=ready,
             status_port=args.status_port if args.status_port >= 0 else None,
             telemetry_sink=telemetry_sink,
+            auth_token=auth_token,
         )
     except (TransportError, RuntimeError) as error:
         print(f"scoring service failed: {error}", file=sys.stderr)
@@ -337,6 +385,83 @@ def _cmd_serve(args) -> int:
         with open(args.telemetry_json, "w") as sink:
             json.dump(telemetry_sink[0], sink, indent=2, sort_keys=True)
         print(f"wrote merged fleet telemetry to {args.telemetry_json}")
+    return 0
+
+
+def _cmd_export_gon(args) -> int:
+    """Train a scenario's GON offline and dump a standalone inference pack.
+
+    The ``.npz`` holds the verified :class:`~repro.nn.serialization.
+    InferencePack` arrays plus a ``__meta__`` JSON blob (architecture
+    + provenance), so external tooling can run graph-free inference
+    without importing the training stack.
+    """
+    import json
+
+    import numpy as np
+
+    from .experiments import CampaignConfig, prepare_campaign_assets
+    from .experiments.fleet import _mount_gon
+    from .nn.serialization import export_inference, verify_inference_pack
+
+    try:
+        config = CampaignConfig(
+            scenarios=(args.scenario,),
+            models=("CAROL",),
+            seed=args.seed,
+            trace_intervals=args.trace_intervals,
+            gon_hidden=args.gon_hidden,
+            gon_layers=args.gon_layers,
+            gon_epochs=args.gon_epochs,
+            shared_assets=True,
+        )
+        assets = prepare_campaign_assets(config)[args.scenario]
+    except (KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(message, file=sys.stderr)
+        return 2
+    model = _mount_gon(
+        assets.gon_state, assets.gon_hidden, assets.gon_layers, assets.seed
+    )
+    meta = {
+        "scenario": args.scenario,
+        "seed": args.seed,
+        "asset_seed": assets.seed,
+        "gan_seed": assets.gan_seed,
+        "gon_hidden": assets.gon_hidden,
+        "gon_layers": assets.gon_layers,
+        "trace_intervals": args.trace_intervals,
+        "gon_epochs": args.gon_epochs,
+        "dtype": args.dtype,
+    }
+    pack = export_inference(model, meta=meta, dtype=args.dtype)
+    if args.dtype == "float64":
+        # The float32 cast is deliberately lossy; only float64 packs
+        # can promise the bit-exact round-trip verify checks.
+        verify_inference_pack(pack, model)
+    header = dict(meta, arrays=sorted(pack.arrays))
+    np.savez(
+        args.output,
+        __meta__=np.frombuffer(
+            json.dumps(header, sort_keys=True).encode("utf-8"), dtype=np.uint8
+        ),
+        **pack.arrays,
+    )
+    with np.load(args.output) as reloaded:
+        for name, array in pack.arrays.items():
+            if not np.array_equal(reloaded[name], array):
+                print(
+                    f"export verification failed: {name} did not "
+                    "round-trip bit-exactly through the npz",
+                    file=sys.stderr,
+                )
+                return 1
+    n_params = sum(int(a.size) for a in pack.arrays.values())
+    print(
+        f"wrote {args.output}: {len(pack.arrays)} arrays / {n_params} "
+        f"parameters ({args.dtype}), scenario {args.scenario!r} "
+        f"seed {args.seed}"
+    )
     return 0
 
 
@@ -451,6 +576,10 @@ def main(argv=None) -> int:
                                "default), 'fast' (graph-free fused "
                                "float64 kernels), or 'fast32' (same "
                                "kernels in float32)")
+    campaign.add_argument("--auth-token", type=str, default=None,
+                          help="pre-shared fleet auth token for TCP "
+                               "transports (default: the "
+                               "REPRO_FLEET_TOKEN environment variable)")
 
     serve = subparsers.add_parser(
         "serve",
@@ -476,14 +605,30 @@ def main(argv=None) -> int:
                        help="bind port (0 picks an ephemeral port, "
                             "printed on startup)")
     serve.add_argument("--expect-workers", type=int, default=2,
-                       help="total worker connections across all "
-                            "connecting campaigns; the service exits "
-                            "after this many sign-offs.  Must equal the "
-                            "connecting side's effective worker count, "
-                            "min(--workers, number of grid cells)")
+                       help="expected fleet size (status display + "
+                            "asset sizing); the elastic service "
+                            "accepts late joiners beyond it and exits "
+                            "when the cell queue is drained")
+    serve.add_argument("--min-workers", type=int, default=None,
+                       help="elastic-era alias for --expect-workers")
     serve.add_argument("--idle-timeout", type=float, default=600.0,
                        help="abort (exit nonzero) after this many "
-                            "seconds without traffic; 0 waits forever")
+                            "seconds without non-heartbeat traffic; "
+                            "0 waits forever")
+    serve.add_argument("--max-idle", type=float, default=None,
+                       help="elastic-era alias for --idle-timeout")
+    serve.add_argument("--heartbeat-timeout", type=float, default=30.0,
+                       help="declare a worker lost (and re-queue its "
+                            "leased cell) when its last frame is older "
+                            "than this many seconds; 0 disables")
+    serve.add_argument("--retry-budget", type=int, default=3,
+                       help="failed attempts a cell gets before it is "
+                            "quarantined as poisoned")
+    serve.add_argument("--auth-token", type=str, default=None,
+                       help="pre-shared fleet auth token; workers must "
+                            "present it in their handshake (default: "
+                            "the REPRO_FLEET_TOKEN environment "
+                            "variable)")
     serve.add_argument("--status-port", type=int, default=-1,
                        help="bind a read-only HTTP status endpoint on "
                             "this port (/status JSON + /metrics text; "
@@ -498,6 +643,31 @@ def main(argv=None) -> int:
                             "campaign --scorer-backend); fast backends "
                             "additionally fuse same-shape ascent "
                             "buckets across clients")
+
+    export_gon = subparsers.add_parser(
+        "export-gon",
+        help="train a scenario's GON offline and dump a standalone "
+             "inference pack as .npz",
+    )
+    export_gon.add_argument("output",
+                            help="output path, e.g. model.npz")
+    export_gon.add_argument("--scenario", type=str, default="paper-default",
+                            help="scenario whose trace trains the GON")
+    export_gon.add_argument("--seed", type=int, default=0,
+                            help="campaign root seed (drives training)")
+    export_gon.add_argument("--dtype", type=str, default="float64",
+                            choices=["float64", "float32"],
+                            help="exported parameter dtype (float64 is "
+                                 "verified bit-exact against the live "
+                                 "model)")
+    export_gon.add_argument("--trace-intervals", type=int, default=40,
+                            help="offline DeFog trace length")
+    export_gon.add_argument("--gon-hidden", type=int, default=24,
+                            help="GON hidden width")
+    export_gon.add_argument("--gon-layers", type=int, default=2,
+                            help="GON layer count")
+    export_gon.add_argument("--gon-epochs", type=int, default=6,
+                            help="GON training epochs")
 
     telemetry = subparsers.add_parser(
         "telemetry",
@@ -527,6 +697,8 @@ def main(argv=None) -> int:
         return _cmd_serve(args)
     if args.command == "telemetry":
         return _cmd_telemetry(args)
+    if args.command == "export-gon":
+        return _cmd_export_gon(args)
     return _cmd_campaign(args)
 
 

@@ -173,6 +173,21 @@ class CampaignConfig:
     #: float32), CI-gated to identical repair decisions.  In fleet
     #: mode the scoring service adopts the same backend.
     scorer_backend: str = "exact"
+    #: Elastic-fleet liveness: a worker whose last frame (heartbeat
+    #: ``Ping`` included) is older than this many seconds is declared
+    #: lost and its leased cells re-queued.  0 disables the age check
+    #: (reader EOFs and the queue-mode process watchdog still fire).
+    heartbeat_timeout: float = 30.0
+    #: Distinct failed attempts a cell gets before it is quarantined
+    #: as *poisoned* -- reported, never retried again.  A poison cell
+    #: that kept killing workers must not sink the whole campaign.
+    cell_retry_budget: int = 3
+    #: Pre-shared fleet auth token (TCP transports): workers send it
+    #: in their ``Hello`` and the service rejects mismatches before
+    #: ``Welcome``.  Empty disables the check.  Deliberately excluded
+    #: from :meth:`CampaignResult.to_payload` -- secrets never enter
+    #: record dumps.
+    auth_token: str = ""
 
     def __post_init__(self) -> None:
         if not self.scenarios:
@@ -187,6 +202,10 @@ class CampaignConfig:
             raise ValueError("n_intervals override must be >= 1")
         if self.trace_intervals < 1:
             raise ValueError("trace_intervals must be >= 1")
+        if self.heartbeat_timeout < 0:
+            raise ValueError("heartbeat_timeout must be >= 0 (0 disables)")
+        if self.cell_retry_budget < 1:
+            raise ValueError("cell_retry_budget must be >= 1")
         if self.mode not in ("process", "fleet"):
             raise ValueError(
                 f"unknown campaign mode {self.mode!r}; "
@@ -542,6 +561,10 @@ class CampaignResult:
                 "shared_assets": self.config.shared_assets,
                 "fleet_merge": self.config.fleet_merge,
                 "scorer_backend": self.config.scorer_backend,
+                "heartbeat_timeout": self.config.heartbeat_timeout,
+                "cell_retry_budget": self.config.cell_retry_budget,
+                # auth_token is intentionally absent: record dumps are
+                # shared artifacts and must never carry credentials.
                 "carol_overrides": [list(p) for p in self.config.carol_overrides],
             },
             "records": [

@@ -1,4 +1,4 @@
-"""Fleet-mode campaign execution: shared assets + one batched scorer.
+"""Fleet-mode campaign execution: an elastic, lease-based work queue.
 
 The process-pool path runs ``N`` full replicas: every worker pickles
 its own copy of the offline assets and executes its own GON inference
@@ -14,7 +14,28 @@ stream.  Fleet mode splits the run differently (see
   requests by ``(scenario, host count)`` and answers them with batched
   eq.-1 ascents on the single resident weight replica.
 
-Two transports carry that traffic (``CampaignConfig.transport``):
+Cells are no longer pre-sharded across workers.  The coordinator side
+holds the whole ``(scenario, model, seed)`` grid as a lease-based
+queue (:class:`~repro.serving.CellCoordinator`); every worker pulls
+one cell at a time (``LeaseRequest`` -> ``LeaseGrant``), runs it,
+ships the record, acknowledges with ``CellDone`` and pulls the next.
+Because :func:`campaign.run_cell` derives every RNG stream from the
+cell's own ``SeedSequence.spawn`` child, *which worker* runs a cell --
+or how often it is retried after a worker dies -- never changes the
+record.  That independence is what makes work stealing, crash
+re-queue and duplicate suppression safe:
+
+* a worker that dies mid-cell (socket EOF, missed heartbeats, or a
+  dead process noticed by the queue-mode watchdog) has its leases
+  revoked and re-queued for the survivors;
+* a cell that keeps killing workers exhausts its bounded retry budget
+  and is quarantined as *poisoned* -- reported, not retried forever;
+* late workers may join a running TCP campaign (handshake assigns ids
+  in accept order) and immediately start pulling queued cells;
+* duplicate records from zombie workers (a cell revoked and re-run
+  elsewhere) are deduplicated first-wins on collection.
+
+Two transports carry the traffic (``CampaignConfig.transport``):
 
 * ``"queue"`` -- ``multiprocessing`` queues and shared-memory asset
   segments; the fleet lives on one machine (the historical path,
@@ -41,9 +62,12 @@ from __future__ import annotations
 import multiprocessing
 import queue as queue_module
 import sys
+import threading
 import time
-from dataclasses import asdict, dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import traceback
+from dataclasses import asdict, dataclass, field
+from itertools import count as _count
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -68,6 +92,9 @@ from ..serving import (
     fetch_array_pack,
     serve_transport,
 )
+from ..serving.chaos import ChaosControl
+from ..serving.coordinator import CellCoordinator
+from ..serving.service import CellDone, LeaseGrant, LeaseRequest, Ping, WorkerLost
 from ..telemetry import merge_snapshots
 from .calibration import PROACTIVE_NAME, TrainedAssets, build_model
 from .campaign import (
@@ -75,10 +102,11 @@ from .campaign import (
     RunTask,
     _CAROL_FAMILY,
     cell_carol_config,
+    plan_tasks,
     run_cell,
 )
 
-__all__ = ["run_fleet_campaign", "serve_fleet_service"]
+__all__ = ["run_fleet_campaign", "serve_fleet_service", "FleetChaosHandle"]
 
 #: CAROL-family models whose GON evaluations route through the service.
 #: ProactiveCAROL fine-tunes aggressively, so its fleet presence leans
@@ -94,19 +122,34 @@ _GON_CAROL_CLASSES = {
 #: Seconds to wait for a straggler record/worker before giving up.
 _COLLECT_TIMEOUT = 120.0
 
+#: Worker-side backoff between lease polls when the queue is empty but
+#: not drained (cells still leased elsewhere might come back).
+_LEASE_POLL_SECONDS = 0.1
+
+#: Seconds of post-mortem queue drain once every worker has exited.
+_DRAIN_GRACE_SECONDS = 10.0
+
+#: Records arriving for a cell that already delivered (zombie workers
+#: finishing a revoked lease) -- deduplicated first-wins on collection.
+_DUPLICATE_RECORDS = _telemetry.counter("fleet.duplicate_records")
+
 
 @dataclass(frozen=True)
-class _WorkerTelemetry:
-    """A worker's final registry delta, shipped on the results queue.
+class _WorkerDone:
+    """A worker's final frame on the results queue.
 
-    Separate from the per-cell :class:`~repro.serving.StatsUpdate`
-    frames (which feed the service's live ``/status`` view): this one
-    travels to the *parent* so the campaign's merged telemetry is
-    complete even when the scoring service is remote.
+    Carries the registry delta for the campaign's merged telemetry
+    (separate from the per-cell :class:`~repro.serving.StatsUpdate`
+    frames, which feed the service's live ``/status`` view and never
+    reach a remote campaign parent) plus the poisoned-cell ids the
+    drained :class:`~repro.serving.LeaseGrant` reported, so even a
+    parent without local coordinator access (``service_addr`` mode)
+    learns which cells were quarantined.
     """
 
     worker_id: int
     snapshot: Dict[str, dict]
+    poisoned: Tuple[int, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -119,6 +162,27 @@ class _ScenarioHandles:
     gon_layers: int
     seed: int
     gan_seed: int
+
+
+@dataclass
+class FleetChaosHandle:
+    """Live fleet internals handed to a ``chaos=`` hook.
+
+    ``run_fleet_campaign(..., chaos=fn)`` runs ``fn(handle)`` on a
+    daemon thread once the workers have started -- the failure-matrix
+    tests use it to SIGKILL workers mid-cell, revoke leases, or spawn
+    late joiners against a *real* running campaign.  ``coordinator``,
+    ``service`` and ``transport`` are ``None`` when the scoring
+    service is remote; ``spawn_worker`` is only available on the TCP
+    paths (queue transports have a fixed reply-queue roster).
+    """
+
+    workers: List = field(default_factory=list)
+    coordinator: Optional[CellCoordinator] = None
+    service: Optional[GONScoringService] = None
+    transport: Optional[object] = None
+    address: Optional[str] = None
+    spawn_worker: Optional[Callable[[], object]] = None
 
 
 def _trace_arrays(assets: TrainedAssets) -> Dict[str, np.ndarray]:
@@ -244,6 +308,89 @@ def _execute_fleet_run(
     return run_cell(task, build)
 
 
+def _heartbeat_interval(heartbeat_timeout: float) -> float:
+    """Worker ping cadence: several beats per liveness window."""
+    if heartbeat_timeout > 0:
+        return max(0.2, min(5.0, heartbeat_timeout / 4.0))
+    return 5.0
+
+
+def _start_heartbeat(
+    client_id: int, put: Callable, interval: float
+) -> threading.Event:
+    """Send ``Ping`` frames on a daemon thread until the event is set.
+
+    Pings prove the worker *process* is alive even while its main
+    thread is deep in a long numpy cell; they deliberately do not
+    count as transport activity (``--max-idle`` must still fire on a
+    fleet that pings but never computes).
+    """
+    stop = threading.Event()
+
+    def beat() -> None:
+        while not stop.wait(interval):
+            try:
+                put(Ping(client_id))
+            except Exception:
+                return  # channel gone; the main thread will notice
+
+    threading.Thread(
+        target=beat, name=f"fleet-heartbeat-{client_id}", daemon=True
+    ).start()
+    return stop
+
+
+def _run_lease_loop(
+    client_id: int,
+    tasks_by_cell: Dict[int, RunTask],
+    assets_by_scenario: Dict[str, TrainedAssets],
+    request_endpoint,
+    reply_endpoint,
+    results_queue,
+    base: dict,
+) -> Tuple[int, ...]:
+    """Pull-run-acknowledge until the coordinator reports the grid drained.
+
+    ``request_endpoint`` / ``reply_endpoint`` are queue-likes (the
+    worker's mp queues, or the :class:`TcpWorkerChannel` twice).
+    Returns the poisoned cell ids the drained grant carried.  Raises
+    on protocol violations (the reply to a ``LeaseRequest`` must be
+    the matching ``LeaseGrant`` -- anything else means the service and
+    worker disagree about the conversation state).
+    """
+    request_ids = _count(1)
+    while True:
+        request_id = next(request_ids)
+        request_endpoint.put(
+            LeaseRequest(client_id=client_id, request_id=request_id)
+        )
+        grant = reply_endpoint.get()
+        if not isinstance(grant, LeaseGrant) or grant.request_id != request_id:
+            raise RuntimeError(
+                f"worker {client_id} lease request {request_id} answered "
+                f"with {type(grant).__name__}: fleet protocol violated"
+            )
+        if grant.drained:
+            return tuple(int(cell) for cell in grant.poisoned)
+        if grant.cell_id < 0:
+            # Queue momentarily empty but not drained: cells leased
+            # elsewhere may yet be revoked and re-queued.
+            time.sleep(_LEASE_POLL_SECONDS)
+            continue
+        task = tasks_by_cell[grant.cell_id]
+        client = ScoringClient(
+            client_id, task.scenario, request_endpoint, reply_endpoint
+        )
+        record = _execute_fleet_run(
+            task, assets_by_scenario.get(task.scenario), client
+        )
+        results_queue.put(record)
+        request_endpoint.put(CellDone(client_id=client_id, cell_id=grant.cell_id))
+        # Cumulative-so-far snapshot for the service's live /status
+        # view (latest per client replaces earlier ones).
+        request_endpoint.put(StatsUpdate(client_id, _telemetry.delta(base)))
+
+
 def _fleet_worker_main(
     worker_id: int,
     tasks: Sequence[RunTask],
@@ -251,35 +398,44 @@ def _fleet_worker_main(
     request_queue,
     reply_queue,
     results_queue,
+    heartbeat_interval: float = 5.0,
 ) -> None:
-    """Worker process: mount shared assets, run cells, stream records."""
+    """Worker process: mount shared assets, lease cells, stream records.
+
+    Every worker receives the *full* task list -- which cells it
+    actually runs is decided lease by lease at runtime.
+    """
     opened: List[AttachedArrayPack] = []
     # Everything below is reported relative to this base so the
     # fork-inherited parent registry state never double-counts.
     base = _telemetry.snapshot()
+    stop_heartbeat = threading.Event()
     try:
         assets_by_scenario: Dict[str, TrainedAssets] = {}
         for scenario, scenario_handles in handles.items():
             assets, packs = _attach_assets(scenario_handles)
             assets_by_scenario[scenario] = assets
             opened.extend(packs)
-        for task in tasks:
-            client = ScoringClient(
-                worker_id, task.scenario, request_queue, reply_queue
-            )
-            record = _execute_fleet_run(
-                task, assets_by_scenario.get(task.scenario), client
-            )
-            results_queue.put(record)
-            # Cumulative-so-far snapshot for the service's live
-            # /status view (latest per client replaces earlier ones).
-            request_queue.put(
-                StatsUpdate(worker_id, _telemetry.delta(base))
-            )
-        results_queue.put(_WorkerTelemetry(worker_id, _telemetry.delta(base)))
+        tasks_by_cell = {task.run_index: task for task in tasks}
+        stop_heartbeat = _start_heartbeat(
+            worker_id, request_queue.put, heartbeat_interval
+        )
+        poisoned = _run_lease_loop(
+            worker_id,
+            tasks_by_cell,
+            assets_by_scenario,
+            request_queue,
+            reply_queue,
+            results_queue,
+            base,
+        )
+        results_queue.put(
+            _WorkerDone(worker_id, _telemetry.delta(base), poisoned)
+        )
     finally:
-        # Sign off even on failure so the scorer loop can wind down
-        # (the parent notices missing records and the exit code).
+        # Sign off even on failure so the scorer loop can revoke this
+        # worker's lease and hand the cell to a survivor.
+        stop_heartbeat.set()
         request_queue.put(ClientDone(worker_id))
         for pack in opened:
             pack.close()
@@ -290,18 +446,22 @@ def _tcp_fleet_worker_main(
     tasks: Sequence[RunTask],
     address: str,
     results_queue,
+    heartbeat_interval: float = 5.0,
+    auth_token: str = "",
 ) -> None:
-    """TCP worker: connect, fetch assets over the socket, run cells.
+    """TCP worker: connect, fetch assets over the socket, lease cells.
 
     Mirrors :func:`_fleet_worker_main` with the network asset path:
     each needed scenario's weight and trace packs are fetched once
     (cached per process by :func:`repro.serving.fetch_array_pack`)
     instead of attaching ``multiprocessing.shared_memory``.  The
-    client id is assigned by the service at handshake; ``worker_id``
-    only names the task partition.
+    client id is assigned by the service at handshake -- late joiners
+    simply connect and start leasing; ``worker_id`` only names the
+    local process.
     """
-    channel = TcpWorkerChannel(address)
+    channel = TcpWorkerChannel(address, auth_token=auth_token)
     base = _telemetry.snapshot()
+    stop_heartbeat = threading.Event()
     try:
         index = channel.fetch_index()
         assets_by_scenario: Dict[str, TrainedAssets] = {}
@@ -322,19 +482,24 @@ def _tcp_fleet_worker_main(
                 int(meta["seed"]),
                 int(meta["gan_seed"]),
             )
-        for task in tasks:
-            client = ScoringClient(
-                channel.client_id, task.scenario, channel, channel
-            )
-            record = _execute_fleet_run(
-                task, assets_by_scenario.get(task.scenario), client
-            )
-            results_queue.put(record)
-            channel.put(StatsUpdate(channel.client_id, _telemetry.delta(base)))
+        tasks_by_cell = {task.run_index: task for task in tasks}
+        stop_heartbeat = _start_heartbeat(
+            channel.client_id, channel.put, heartbeat_interval
+        )
+        poisoned = _run_lease_loop(
+            channel.client_id,
+            tasks_by_cell,
+            assets_by_scenario,
+            channel,
+            channel,
+            results_queue,
+            base,
+        )
         results_queue.put(
-            _WorkerTelemetry(worker_id, _telemetry.delta(base))
+            _WorkerDone(worker_id, _telemetry.delta(base), poisoned)
         )
     finally:
+        stop_heartbeat.set()
         try:
             channel.put(ClientDone(channel.client_id))
         except Exception:
@@ -375,66 +540,137 @@ def _pack_campaign_assets(
     return packs, index, models
 
 
-def _collect_records(
-    results_queue,
-    n_expected: int,
-    n_workers: int,
-    worker_crashed: Callable[[], bool],
-    workers_alive: Callable[[], bool],
-) -> Tuple[List[RunRecord], List[dict]]:
-    """Drain worker records; fail fast when a worker can't deliver.
+def _start_chaos(
+    chaos: Optional[Callable[[FleetChaosHandle], None]],
+    handle: FleetChaosHandle,
+) -> Optional[threading.Thread]:
+    """Run the chaos hook on a daemon thread (failures printed, not raised).
 
-    Liveness, not a wall-clock budget, decides when to give up: as
-    long as workers are alive and healthy we keep waiting (remote-mode
-    collection starts while cells are still executing, and a single
-    long cell must not trip an arbitrary deadline -- process-pool
-    campaigns wait indefinitely too).  A crashed worker fails fast; a
-    clean universal exit with records still missing gets one short
-    drain grace period, then fails loudly.
-
-    Besides the ``n_expected`` records, every worker ships one final
-    :class:`_WorkerTelemetry` after its last record -- collection waits
-    for all ``n_workers`` of those too (same loud failure paths), and
-    returns ``(records, telemetry_snapshots)``.
+    A broken hook must not wedge the campaign -- the failure surfaces
+    through the assertions the hook was meant to enable.
     """
-    records: List[RunRecord] = []
+    if chaos is None:
+        return None
+
+    def run() -> None:
+        try:
+            chaos(handle)
+        except Exception:
+            print("fleet chaos hook failed:", file=sys.stderr)
+            traceback.print_exc()
+
+    thread = threading.Thread(target=run, name="fleet-chaos", daemon=True)
+    thread.start()
+    return thread
+
+
+def _start_worker_watchdog(
+    workers: List, request_queue, service: GONScoringService
+) -> threading.Event:
+    """Queue-mode liveness: dead worker processes become ``WorkerLost``.
+
+    TCP readers see an EOF when a worker dies; multiprocessing queues
+    report nothing, so the parent polls ``Process.is_alive`` and
+    injects the loss frame itself.  A worker whose ``ClientDone`` is
+    already queued wins the race harmlessly -- the service ignores
+    losses for signed-off clients.
+    """
+    stop = threading.Event()
+
+    def watch() -> None:
+        notified: Set[int] = set()
+        while not stop.wait(0.5):
+            for client_id, worker in enumerate(list(workers)):
+                if client_id in notified or worker.is_alive():
+                    continue
+                notified.add(client_id)
+                if client_id in service.signed_off:
+                    continue
+                request_queue.put(
+                    WorkerLost(
+                        client_id,
+                        reason=(
+                            "worker process exited with code "
+                            f"{worker.exitcode}"
+                        ),
+                    )
+                )
+
+    threading.Thread(target=watch, name="fleet-watchdog", daemon=True).start()
+    return stop
+
+
+def _collect_elastic(
+    results_queue,
+    expected: Set[int],
+    workers: List,
+) -> Tuple[Dict[int, RunRecord], Set[int], List[dict]]:
+    """Drain worker records until every expected cell is accounted for.
+
+    A cell is accounted for when its record arrived *or* a drained
+    worker reported it poisoned.  Duplicate records (zombie workers
+    finishing a revoked lease) are dropped first-wins and counted in
+    ``fleet.duplicate_records``.  Liveness, not a wall-clock budget,
+    decides when to give up: while any worker is alive we keep
+    waiting; once every worker has exited, whatever is coming is
+    already in the queue's pipe buffer, so a short drain grace period
+    bounds the wait before failing loudly.
+    """
+    records: Dict[int, RunRecord] = {}
+    poisoned: Set[int] = set()
     snapshots: List[dict] = []
 
-    def missing() -> bool:
-        return len(records) < n_expected or len(snapshots) < n_workers
-
     def take(item) -> None:
-        if isinstance(item, _WorkerTelemetry):
+        if isinstance(item, _WorkerDone):
             snapshots.append(item.snapshot)
+            poisoned.update(item.poisoned)
+        elif item.run_index in records:
+            _DUPLICATE_RECORDS.inc()
         else:
-            records.append(item)
+            records[item.run_index] = item
 
-    while missing():
+    grace_deadline: Optional[float] = None
+    while True:
+        outstanding = expected - set(records) - poisoned
+        alive = any(worker.is_alive() for worker in list(workers))
+        if not outstanding and not alive:
+            break
         try:
-            take(results_queue.get(timeout=1.0))
+            take(results_queue.get(timeout=0.5))
             continue
         except queue_module.Empty:
             pass
-        if worker_crashed():
+        if alive:
+            grace_deadline = None
+            continue
+        if not outstanding:
+            continue  # workers draining their exit; loop re-checks
+        if grace_deadline is None:
+            grace_deadline = time.monotonic() + _DRAIN_GRACE_SECONDS
+        if time.monotonic() >= grace_deadline:
             raise RuntimeError(
-                f"fleet campaign lost records: got {len(records)} "
-                f"of {n_expected} (a worker crashed -- check stderr "
-                "above)"
-            ) from None
-        if not workers_alive():
-            # Every worker exited cleanly: whatever is coming is
-            # already in the queue's pipe buffer.
-            try:
-                take(results_queue.get(timeout=5.0))
-                continue
-            except queue_module.Empty:
-                raise RuntimeError(
-                    f"fleet campaign lost records: got {len(records)} of "
-                    f"{n_expected} and {len(snapshots)} of {n_workers} "
-                    "telemetry snapshots although every worker exited "
-                    "cleanly -- results were dropped in transit"
-                ) from None
-    return records, snapshots
+                "fleet campaign lost records for cells "
+                f"{sorted(outstanding)}: every worker exited but the "
+                "results never arrived -- check worker stderr above"
+            )
+    # Final sweep for already-buffered straggler frames (a zombie's
+    # duplicate record, a late _WorkerDone) so accounting is complete.
+    while True:
+        try:
+            take(results_queue.get(timeout=0.2))
+        except queue_module.Empty:
+            break
+    return records, poisoned, snapshots
+
+
+def _warn_poisoned(poisoned: Set[int], retry_budget: int) -> None:
+    if poisoned:
+        print(
+            f"warning: fleet campaign quarantined {len(poisoned)} poisoned "
+            f"cell(s) {sorted(poisoned)} after {retry_budget} failed "
+            "attempt(s) each; their records are omitted",
+            file=sys.stderr,
+        )
 
 
 def run_fleet_campaign(
@@ -443,8 +679,9 @@ def run_fleet_campaign(
     shared_assets: Dict[str, TrainedAssets],
     stats_sink: Optional[List[ServiceStats]] = None,
     telemetry_sink: Optional[List[dict]] = None,
+    chaos: Optional[Callable[[FleetChaosHandle], None]] = None,
 ) -> List[RunRecord]:
-    """Execute ``tasks`` with fleet workers against one scoring service.
+    """Execute ``tasks`` with an elastic fleet against one scoring service.
 
     ``shared_assets`` maps scenario name -> offline assets (from
     :func:`~repro.experiments.campaign.prepare_campaign_assets`).
@@ -453,8 +690,11 @@ def run_fleet_campaign(
     service is remote -- its stats live in the serving process).
     ``telemetry_sink``, when given, receives one merged registry
     snapshot covering the parent (service included when self-hosted)
-    and every worker's final delta.  ``config.transport`` selects
-    queue or TCP plumbing.
+    and every surviving worker's final delta (a killed worker's
+    in-flight telemetry dies with it; its cells' records do not).
+    ``config.transport`` selects queue or TCP plumbing; ``chaos``
+    (tests only) receives a :class:`FleetChaosHandle` on a daemon
+    thread once the fleet is running.
     """
     tasks = list(tasks)
     if not tasks:
@@ -463,17 +703,23 @@ def run_fleet_campaign(
         return []
     if getattr(config, "transport", "queue") == "tcp":
         return _run_tcp_fleet_campaign(
-            config, tasks, shared_assets, stats_sink, telemetry_sink
+            config, tasks, shared_assets, stats_sink, telemetry_sink, chaos
         )
     base = _telemetry.snapshot()
     ctx = multiprocessing.get_context()
     n_workers = max(1, min(config.workers, len(tasks)))
-    partitions = [tasks[i::n_workers] for i in range(n_workers)]
+    retry_budget = int(getattr(config, "cell_retry_budget", 3))
+    heartbeat_timeout = float(getattr(config, "heartbeat_timeout", 30.0))
+    interval = _heartbeat_interval(heartbeat_timeout)
+    coordinator = CellCoordinator(
+        [task.run_index for task in tasks], retry_budget=retry_budget
+    )
 
     packs: List[SharedArrayPack] = []
     handles: Dict[str, _ScenarioHandles] = {}
     models: Dict[str, GONDiscriminator] = {}
     workers: List = []
+    watchdog_stop: Optional[threading.Event] = None
     try:
         for scenario, assets in shared_assets.items():
             weight_pack, trace_pack, scenario_handles = _publish_assets(assets)
@@ -492,8 +738,8 @@ def run_fleet_campaign(
             ctx.Process(
                 target=_fleet_worker_main,
                 args=(
-                    i, partitions[i], handles,
-                    *transport.worker_endpoints(i), results_queue,
+                    i, tasks, handles,
+                    *transport.worker_endpoints(i), results_queue, interval,
                 ),
                 daemon=True,
             )
@@ -502,42 +748,63 @@ def run_fleet_campaign(
         for worker in workers:
             worker.start()
 
-        def worker_crashed() -> bool:
-            return any(
-                not worker.is_alive() and worker.exitcode not in (0, None)
-                for worker in workers
-            )
-
-        def workers_alive() -> bool:
-            return any(worker.is_alive() for worker in workers)
-
         service = GONScoringService(
             models,
             transport.request_queue,
             transport.reply_queues,
             merge_requests=bool(getattr(config, "fleet_merge", False)),
             scorer_backend=getattr(config, "scorer_backend", "exact"),
+            coordinator=coordinator,
+            heartbeat_timeout=heartbeat_timeout,
         )
-        stats = serve_transport(service, transport, abort=worker_crashed)
+        watchdog_stop = _start_worker_watchdog(
+            workers, transport.request_queue, service
+        )
+        _start_chaos(
+            chaos,
+            FleetChaosHandle(
+                workers=workers,
+                coordinator=coordinator,
+                service=service,
+                transport=transport,
+            ),
+        )
+
+        def abort() -> bool:
+            if coordinator.finished:
+                return False
+            if any(worker.is_alive() for worker in list(workers)):
+                return False
+            raise RuntimeError(
+                "fleet campaign stalled: every worker exited (a worker "
+                "crashed -- check stderr above) with cells "
+                f"{sorted(set(coordinator.lease_view()))} leased and "
+                f"{coordinator.status()['pending']} still queued"
+            )
+
+        stats = serve_transport(service, transport, abort=abort)
         if stats_sink is not None:
             stats_sink.append(stats)
 
-        records, worker_snapshots = _collect_records(
-            results_queue, len(tasks), n_workers, worker_crashed,
-            workers_alive,
+        records, poisoned, worker_snapshots = _collect_elastic(
+            results_queue, {task.run_index for task in tasks}, workers
         )
+        poisoned |= set(coordinator.poisoned)
+        _warn_poisoned(poisoned, retry_budget)
         if telemetry_sink is not None:
             # The parent delta carries the service-side registry
-            # (service.*, gon.* from batched ascents); each worker
-            # delta carries its sim/campaign/carol side.
+            # (service.*, gon.*, fleet.*); each worker delta carries
+            # its sim/campaign/carol side.
             telemetry_sink.append(
                 merge_snapshots(_telemetry.delta(base), *worker_snapshots)
             )
         for worker in workers:
             worker.join(timeout=_COLLECT_TIMEOUT)
-        return sorted(records, key=lambda record: record.run_index)
+        return sorted(records.values(), key=lambda record: record.run_index)
     finally:
-        # On failure paths (worker crash, lost records) the survivors
+        if watchdog_stop is not None:
+            watchdog_stop.set()
+        # On failure paths (stalled fleet, lost records) the survivors
         # are still blocked on their reply queues: tear them down so a
         # long-lived host process never accumulates stuck children.
         for worker in workers:
@@ -555,67 +822,69 @@ def _run_tcp_fleet_campaign(
     shared_assets: Dict[str, TrainedAssets],
     stats_sink: Optional[List[ServiceStats]] = None,
     telemetry_sink: Optional[List[dict]] = None,
+    chaos: Optional[Callable[[FleetChaosHandle], None]] = None,
 ) -> List[RunRecord]:
     """Fleet execution over sockets: self-hosted or external service.
 
     Without ``config.service_addr`` the parent binds an ephemeral
-    localhost port, serves the scoring loop itself and spawns local
-    workers that connect to it (the single-box TCP mode CI smokes).
-    With ``service_addr`` the workers connect to an externally hosted
-    service (``python -m repro serve``) and fetch assets from it --
-    this process never trains or publishes anything.
+    localhost port, serves the scoring loop itself (elastic: late
+    joiners welcome, reader EOFs become lease revocations) and spawns
+    local workers that connect to it.  With ``service_addr`` the
+    workers connect to an externally hosted service
+    (``python -m repro serve``) and fetch assets from it -- this
+    process never trains or publishes anything, and lease accounting
+    lives entirely in the serving process.
     """
     base = _telemetry.snapshot()
     ctx = multiprocessing.get_context()
     n_workers = max(1, min(config.workers, len(tasks)))
-    partitions = [tasks[i::n_workers] for i in range(n_workers)]
+    retry_budget = int(getattr(config, "cell_retry_budget", 3))
+    heartbeat_timeout = float(getattr(config, "heartbeat_timeout", 30.0))
+    interval = _heartbeat_interval(heartbeat_timeout)
+    auth_token = str(getattr(config, "auth_token", "") or "")
     service_addr = str(getattr(config, "service_addr", "") or "")
-    if service_addr and n_workers != config.workers:
-        # The external service winds down after exactly
-        # --expect-workers sign-offs; a silently clamped worker count
-        # would leave it waiting for clients that never come.
-        print(
-            f"note: fleet worker count clamped to {n_workers} (the grid "
-            f"has only {len(tasks)} tasks); the service at "
-            f"{service_addr} must have been started with "
-            f"--expect-workers {n_workers}",
-            file=sys.stderr,
-        )
 
     transport: Optional[TcpTransport] = None
+    coordinator: Optional[CellCoordinator] = None
+    service: Optional[GONScoringService] = None
     workers: List = []
     try:
         if service_addr:
             address = service_addr
             models: Dict[str, GONDiscriminator] = {}
         else:
+            coordinator = CellCoordinator(
+                [task.run_index for task in tasks], retry_budget=retry_budget
+            )
             asset_packs, asset_index, models = _pack_campaign_assets(shared_assets)
             transport = TcpTransport(
-                n_workers, asset_packs=asset_packs, asset_index=asset_index
+                n_workers,
+                asset_packs=asset_packs,
+                asset_index=asset_index,
+                auth_token=auth_token,
+                elastic=True,
             )
             transport.start()
             address = transport.address
 
         results_queue = ctx.Queue()
-        workers.extend(
-            ctx.Process(
+        worker_ids = _count()
+
+        def spawn_worker():
+            worker = ctx.Process(
                 target=_tcp_fleet_worker_main,
-                args=(i, partitions[i], address, results_queue),
+                args=(
+                    next(worker_ids), tasks, address, results_queue,
+                    interval, auth_token,
+                ),
                 daemon=True,
             )
-            for i in range(n_workers)
-        )
-        for worker in workers:
             worker.start()
+            workers.append(worker)
+            return worker
 
-        def worker_crashed() -> bool:
-            return any(
-                not worker.is_alive() and worker.exitcode not in (0, None)
-                for worker in workers
-            )
-
-        def workers_alive() -> bool:
-            return any(worker.is_alive() for worker in workers)
+        for _ in range(n_workers):
+            spawn_worker()
 
         if transport is not None:
             service = GONScoringService(
@@ -624,22 +893,54 @@ def _run_tcp_fleet_campaign(
                 transport.reply_queues,
                 merge_requests=bool(getattr(config, "fleet_merge", False)),
                 scorer_backend=getattr(config, "scorer_backend", "exact"),
+                coordinator=coordinator,
+                heartbeat_timeout=heartbeat_timeout,
             )
-            stats = serve_transport(service, transport, abort=worker_crashed)
+            service.on_worker_lost = transport.close_client
+
+        _start_chaos(
+            chaos,
+            FleetChaosHandle(
+                workers=workers,
+                coordinator=coordinator,
+                service=service,
+                transport=transport,
+                address=address,
+                spawn_worker=spawn_worker,
+            ),
+        )
+
+        if service is not None:
+
+            def abort() -> bool:
+                if coordinator.finished:
+                    return False
+                if any(worker.is_alive() for worker in list(workers)):
+                    return False
+                raise RuntimeError(
+                    "fleet campaign stalled: every worker exited (a "
+                    "worker crashed -- check stderr above) with cells "
+                    f"{sorted(set(coordinator.lease_view()))} leased and "
+                    f"{coordinator.status()['pending']} still queued"
+                )
+
+            stats = serve_transport(service, transport, abort=abort)
             if stats_sink is not None:
                 stats_sink.append(stats)
 
-        records, worker_snapshots = _collect_records(
-            results_queue, len(tasks), n_workers, worker_crashed,
-            workers_alive,
+        records, poisoned, worker_snapshots = _collect_elastic(
+            results_queue, {task.run_index for task in tasks}, workers
         )
+        if coordinator is not None:
+            poisoned |= set(coordinator.poisoned)
+        _warn_poisoned(poisoned, retry_budget)
         if telemetry_sink is not None:
             telemetry_sink.append(
                 merge_snapshots(_telemetry.delta(base), *worker_snapshots)
             )
         for worker in workers:
             worker.join(timeout=_COLLECT_TIMEOUT)
-        return sorted(records, key=lambda record: record.run_index)
+        return sorted(records.values(), key=lambda record: record.run_index)
     finally:
         for worker in workers:
             if worker.is_alive():
@@ -650,15 +951,21 @@ def _run_tcp_fleet_campaign(
 
 
 def _status_provider(
-    service: GONScoringService, transport: TcpTransport, n_clients: int
+    service: GONScoringService,
+    transport: TcpTransport,
+    n_clients: int,
+    coordinator: Optional[CellCoordinator] = None,
+    chaos_control: Optional[ChaosControl] = None,
 ) -> Callable[[], dict]:
     """Build the ``/status`` JSON assembler for a hosted service.
 
     Pure observation: merges the service-process registry with the
     latest STATS frame from every worker, derives the cell progress
-    view from the merged ``campaign.cells_*`` counters, and reports
-    connection/sign-off state.  Safe to call from the status server's
-    threads mid-``serve()``.
+    view from the merged ``campaign.cells_*`` counters, reports
+    connection/sign-off/loss state, and (elastic services) surfaces
+    the coordinator's lease/requeue/poison accounting plus the chaos
+    injection log under ``"fleet"``.  Safe to call from the status
+    server's threads mid-``serve()``.
     """
 
     def provider() -> dict:
@@ -666,11 +973,12 @@ def _status_provider(
         counters = merged.get("counters", {})
         started = int(counters.get("campaign.cells_started", 0))
         completed = int(counters.get("campaign.cells_completed", 0))
-        return {
+        status = {
             "workers": {
                 "connected": transport.n_connected,
                 "expected": n_clients,
                 "signed_off": len(service.signed_off),
+                "lost": len(service.lost),
             },
             "cells": {
                 "started": started,
@@ -680,6 +988,20 @@ def _status_provider(
             "service": asdict(service.stats),
             "telemetry": merged,
         }
+        if coordinator is not None:
+            fleet = coordinator.status()
+            fleet["workers_lost"] = len(service.lost)
+            fleet["heartbeat_ages"] = {
+                str(client_id): round(age, 3)
+                for client_id, age in sorted(service.heartbeat_ages().items())
+            }
+            fleet["replies_dropped"] = service.replies_dropped
+            fleet["auth_rejections"] = getattr(transport, "auth_rejections", 0)
+            fleet["injections"] = (
+                chaos_control.log() if chaos_control is not None else []
+            )
+            status["fleet"] = fleet
+        return status
 
     return provider
 
@@ -695,25 +1017,41 @@ def serve_fleet_service(
     status_port: Optional[int] = None,
     status_host: str = "127.0.0.1",
     telemetry_sink: Optional[List[dict]] = None,
+    auth_token: str = "",
 ) -> ServiceStats:
-    """Host one scoring service for remote campaign workers.
+    """Host one elastic scoring service for remote campaign workers.
 
-    The backbone of ``python -m repro serve``: publishes
-    ``shared_assets`` on a :class:`TcpTransport`, calls ``on_ready``
-    with the bound ``(host, port)``, then scores until ``n_clients``
-    workers have signed off.  ``idle_timeout > 0`` aborts loudly when
-    no frame has arrived for that many seconds (covers workers that
-    never connect as well as ones that silently die).
+    The backbone of ``python -m repro serve``: plans ``config``'s grid
+    into a lease queue, publishes ``shared_assets`` on an elastic
+    :class:`TcpTransport`, calls ``on_ready`` with the bound
+    ``(host, port)``, then scores until the grid is drained and every
+    connected worker has signed off or been declared lost.
+    ``n_clients`` is the *expected* fleet size for the status view --
+    workers may come and go freely (``--min-workers``), and the
+    campaign survives any churn the retry budget absorbs.
+    ``idle_timeout > 0`` (``--max-idle``) aborts loudly when no
+    non-heartbeat frame has arrived for that many seconds (covers
+    fleets that never connect as well as fleets that ping but stopped
+    computing).
 
-    ``status_port`` (0 = ephemeral) additionally binds a read-only
-    HTTP :class:`~repro.serving.StatusServer` next to the scoring
-    socket serving ``/status`` and ``/metrics`` from the live merged
-    telemetry; ``None`` (the default) serves no HTTP.
-    ``telemetry_sink``, when given, receives the final merged snapshot
-    after the scoring loop winds down.
+    ``status_port`` (0 = ephemeral) additionally binds an HTTP
+    :class:`~repro.serving.StatusServer` next to the scoring socket
+    serving ``/status`` + ``/metrics`` from the live merged telemetry
+    and the ``POST /inject`` chaos control plane
+    (:class:`~repro.serving.ChaosControl`); ``None`` (the default)
+    serves no HTTP.  ``auth_token`` (or ``config.auth_token``) gates
+    handshakes: a ``Hello`` with the wrong token is rejected before
+    ``Welcome``.  ``telemetry_sink``, when given, receives the final
+    merged snapshot after the scoring loop winds down.
     """
     from ..serving.transports import TransportError
 
+    tasks = plan_tasks(config)
+    retry_budget = int(getattr(config, "cell_retry_budget", 3))
+    coordinator = CellCoordinator(
+        [task.run_index for task in tasks], retry_budget=retry_budget
+    )
+    auth_token = auth_token or str(getattr(config, "auth_token", "") or "")
     asset_packs, asset_index, models = _pack_campaign_assets(shared_assets)
     transport = TcpTransport(
         n_clients,
@@ -721,6 +1059,8 @@ def serve_fleet_service(
         port=port,
         asset_packs=asset_packs,
         asset_index=asset_index,
+        auth_token=auth_token,
+        elastic=True,
     )
     transport.start()
     status_server: Optional[StatusServer] = None
@@ -731,12 +1071,19 @@ def serve_fleet_service(
             transport.reply_queues,
             merge_requests=bool(getattr(config, "fleet_merge", False)),
             scorer_backend=getattr(config, "scorer_backend", "exact"),
+            coordinator=coordinator,
+            heartbeat_timeout=float(getattr(config, "heartbeat_timeout", 30.0)),
         )
+        service.on_worker_lost = transport.close_client
+        chaos_control = ChaosControl(service, coordinator, transport)
         if status_port is not None:
             status_server = StatusServer(
-                _status_provider(service, transport, n_clients),
+                _status_provider(
+                    service, transport, n_clients, coordinator, chaos_control
+                ),
                 host=status_host,
                 port=status_port,
+                inject_handler=chaos_control.inject,
             ).start()
             print(
                 f"status endpoint on http://{status_server.address}/status",
@@ -759,6 +1106,7 @@ def serve_fleet_service(
                 return False
 
         stats = serve_transport(service, transport, abort=abort)
+        _warn_poisoned(set(coordinator.poisoned), retry_budget)
         if telemetry_sink is not None:
             telemetry_sink.append(service.merged_telemetry())
         return stats

@@ -108,6 +108,63 @@ Transport guarantees, in the same spirit as the overlay invariants:
    are bounded, so a corrupt length prefix cannot trigger unbounded
    allocation.
 
+The elastic fleet protocol
+--------------------------
+Fleet campaigns are no longer pre-sharded batch jobs: the service side
+holds the whole ``(scenario, model, seed)`` grid as a lease-based cell
+queue (:class:`CellCoordinator`) and workers *pull* work::
+
+    worker                        service (coordinator attached)
+    ──────                        ──────────────────────────────
+    LeaseRequest(request_id) ──>  lease next queued cell
+                             <──  LeaseGrant(cell_id, attempt)
+    ... run the cell, ship the record on the results path ...
+    CellDone(cell_id)        ──>  mark completed (first-wins)
+    LeaseRequest             ──>  ...
+                             <──  LeaseGrant(drained=True, poisoned=(...))
+    ClientDone               ──>  sign off
+
+Because every cell derives its RNG streams from its own
+``SeedSequence.spawn`` child, *which* worker runs a cell -- or how
+many times it is retried -- never changes the record; that is what
+makes the elasticity below safe:
+
+1. **Liveness** -- workers ping (:class:`Ping`, a daemon heartbeat
+   thread) so the service can tell "busy in a long numpy cell" from
+   "dead".  A client whose last frame is older than
+   ``heartbeat_timeout`` -- or whose socket reader hits EOF, or whose
+   process the queue-mode watchdog finds dead -- is declared lost
+   (``fleet.workers_lost``); Pings deliberately do not count as
+   ``--max-idle`` transport activity.
+2. **Re-queue with a bounded budget** -- a lost worker's leased cells
+   go back to the *front* of the queue (``fleet.cells_requeued``); a
+   cell that has killed ``cell_retry_budget`` distinct attempts is
+   quarantined as *poisoned* (``fleet.cells_poisoned``) and reported
+   in the drained grant instead of sinking the campaign.  Duplicate
+   results from zombie workers (a revoked lease finishing anyway) are
+   deduplicated first-wins (``fleet.duplicate_completions`` service
+   side, ``fleet.duplicate_records`` at collection).
+3. **Elastic membership** -- an elastic :class:`TcpTransport` keeps
+   accepting after the expected count (HELLO/WELCOME assigns ids in
+   accept order), so late workers join a running campaign and start
+   leasing immediately; the campaign ends when the queue is drained
+   and every registered worker has signed off or been declared lost.
+4. **Authentication** -- ``serve --auth-token`` (or
+   ``REPRO_FLEET_TOKEN``) sets a pre-shared token carried in the
+   ``Hello`` frame; mismatches are loudly rejected *before* Welcome
+   (``fleet.auth_rejections``) and the token never enters record
+   dumps.
+5. **Chaos control plane** -- ``POST /inject`` on the status server
+   (:class:`ChaosControl`) perturbs a live fleet (``kill_worker``,
+   ``delay_client``, ``drop_next_reply``, ``requeue_cell``) through
+   exactly the code paths organic faults take; injections land in the
+   ``fleet.*`` counters and the ``/status`` ``fleet`` section.
+
+The legacy fixed-roster semantics (loud ``TransportError`` on any
+disconnect before ClientDone) are fully preserved when no coordinator
+is attached -- ``QueueTransport`` campaigns and roster-mode
+``TcpTransport`` tests keep their pre-elastic contracts.
+
 Telemetry: STATS frames and the status endpoint
 -----------------------------------------------
 Every layer of this subsystem is instrumented against the process-wide
@@ -168,16 +225,23 @@ window to the observed request inter-arrival EWMA (clamped to
 and the ``service.window_seconds`` gauge.
 """
 
+from .chaos import ChaosControl
+from .coordinator import CellCoordinator
 from .service import (
     AscentRequest,
+    CellDone,
     ClientDone,
     ConfidenceRequest,
     FleetScorer,
     GONScoringService,
+    LeaseGrant,
+    LeaseRequest,
     OverlayUpdate,
+    Ping,
     ScoringClient,
     ServiceStats,
     StatsUpdate,
+    WorkerLost,
 )
 from .status import StatusServer
 from .shared import (
@@ -198,15 +262,22 @@ from .transports import (
 
 __all__ = [
     "AscentRequest",
+    "CellCoordinator",
+    "CellDone",
+    "ChaosControl",
     "ClientDone",
     "ConfidenceRequest",
     "FleetScorer",
     "GONScoringService",
+    "LeaseGrant",
+    "LeaseRequest",
     "OverlayUpdate",
+    "Ping",
     "ScoringClient",
     "ServiceStats",
     "StatsUpdate",
     "StatusServer",
+    "WorkerLost",
     "AttachedArrayPack",
     "FetchedArrayPack",
     "SharedArrayPack",

@@ -61,6 +61,7 @@ evicted when their client signs off (:class:`ClientDone`).
 from __future__ import annotations
 
 import queue as queue_module
+import sys
 import threading
 import time
 from dataclasses import dataclass, field
@@ -83,6 +84,11 @@ __all__ = [
     "OverlayUpdate",
     "ClientDone",
     "StatsUpdate",
+    "LeaseRequest",
+    "LeaseGrant",
+    "CellDone",
+    "Ping",
+    "WorkerLost",
     "ServiceStats",
     "GONScoringService",
     "ScoringClient",
@@ -107,6 +113,13 @@ _BATCH_ELEMENTS = _telemetry.histogram("service.batch_elements", SIZE_EDGES)
 _BUCKET_OCCUPANCY = _telemetry.histogram("service.bucket_occupancy", SIZE_EDGES)
 _WINDOW_GAUGE = _telemetry.gauge("service.window_seconds")
 _FUSED_ELEMENTS = _telemetry.counter("service.fused_elements")
+
+# Elastic-fleet liveness telemetry (see the coordinator module for the
+# lease-queue counters ``fleet.leases`` / ``fleet.cells_requeued`` /
+# ``fleet.cells_poisoned`` / ``fleet.duplicate_completions``).
+_WORKERS_LOST = _telemetry.counter("fleet.workers_lost")
+_REPLIES_DROPPED = _telemetry.counter("fleet.replies_dropped")
+_HEARTBEAT_AGE = _telemetry.gauge("fleet.heartbeat_age_max_seconds")
 
 
 def _generation_bucket(client_id: int, generation: int) -> tuple:
@@ -223,6 +236,85 @@ class StatsUpdate:
 
 
 @dataclass(frozen=True)
+class LeaseRequest:
+    """A worker asking the coordinator for its next campaign cell."""
+
+    client_id: int
+    request_id: int
+
+    n_elements: int = 0
+
+
+@dataclass(frozen=True)
+class LeaseGrant:
+    """The coordinator's answer to a :class:`LeaseRequest`.
+
+    ``cell_id >= 0`` grants that cell (``attempt`` is 1-based; > 1
+    means a retry after a revoked lease).  ``cell_id < 0`` with
+    ``drained=False`` means "no cell right now, poll again" (the queue
+    is empty but other leases are outstanding and may yet be revoked).
+    ``drained=True`` ends the worker's campaign: every cell is either
+    completed or quarantined -- the ``poisoned`` tuple reports the
+    quarantined cell ids so workers can surface them to the campaign
+    parent.
+    """
+
+    request_id: int
+    cell_id: int
+    attempt: int = 0
+    drained: bool = False
+    poisoned: Tuple[int, ...] = ()
+
+    n_elements: int = 0
+
+
+@dataclass(frozen=True)
+class CellDone:
+    """Fire-and-forget: a worker reporting its leased cell finished.
+
+    The record itself rides the campaign results queue (it never
+    touches the scoring wire); this frame only settles the lease.
+    """
+
+    client_id: int
+    cell_id: int
+
+    n_elements: int = 0
+
+
+@dataclass(frozen=True)
+class Ping:
+    """Worker heartbeat: refreshes last-seen, otherwise a no-op.
+
+    Sent from a worker-side daemon thread between cells so that a
+    worker deep in a long simulation still proves liveness.  Pings do
+    **not** count as transport activity for ``--max-idle`` purposes --
+    a fleet that only ever pings is idle.
+    """
+
+    client_id: int
+
+    n_elements: int = 0
+
+
+@dataclass(frozen=True)
+class WorkerLost:
+    """Service-internal notice that a client died before signing off.
+
+    Enqueued by the transport layer (TCP reader threads on EOF, or the
+    campaign parent's process watchdog for queue transports) -- never
+    sent by workers and never crosses the wire.  The service revokes
+    the dead client's leases and evicts its overlays; the message is
+    idempotent and ignored for clients that already signed off.
+    """
+
+    client_id: int
+    reason: str = ""
+
+    n_elements: int = 0
+
+
+@dataclass(frozen=True)
 class AscentReply:
     request_id: int
     metrics: np.ndarray      # [B, n, F] converged M* stack
@@ -318,6 +410,8 @@ class GONScoringService:
         poll_seconds: float = 0.5,
         scorer_backend: str = "exact",
         adaptive_window: bool = True,
+        coordinator=None,
+        heartbeat_timeout: float = 30.0,
     ) -> None:
         self.models = models
         self.request_queue = request_queue
@@ -346,6 +440,31 @@ class GONScoringService:
         self._stats_lock = threading.Lock()
         #: Clients that have signed off so far (live progress view).
         self.signed_off: set = set()
+        #: Elastic mode: the :class:`~repro.serving.coordinator.
+        #: CellCoordinator` holding the campaign's lease queue.  When
+        #: None (the default) the service runs the legacy roster loop:
+        #: serve until every pre-registered reply queue signs off, and
+        #: any reply failure is loud and fatal.
+        self.coordinator = coordinator
+        #: Elastic mode: seconds without any frame from a client before
+        #: it is declared dead and its leases are revoked; 0 disables
+        #: the timeout (EOF/watchdog notices still apply).
+        self.heartbeat_timeout = float(heartbeat_timeout)
+        #: Clients declared dead (heartbeat timeout, EOF notice, or
+        #: reply-delivery failure).  Their leases were revoked and
+        #: their later messages are dropped.
+        self.lost: set = set()
+        #: ``client_id -> monotonic`` of the last frame seen (elastic).
+        self._last_seen: Dict[int, float] = {}
+        #: Optional hook called with a client id when the service marks
+        #: it lost -- fleets wire this to ``TcpTransport.close_client``
+        #: so a wedged-but-connected socket is actively torn down.
+        self.on_worker_lost: Optional[Callable[[int], None]] = None
+        #: Chaos injection state (``POST /inject``): per-client reply
+        #: delay in seconds, and one-shot reply drops.
+        self.reply_delays: Dict[int, float] = {}
+        self._drop_next_reply: set = set()
+        self.replies_dropped = 0
 
     # ------------------------------------------------------------------
     def merged_telemetry(self) -> dict:
@@ -361,16 +480,25 @@ class GONScoringService:
 
     # ------------------------------------------------------------------
     def serve(self, abort: Optional[Callable[[], bool]] = None) -> ServiceStats:
-        """Score until every registered client has signed off.
+        """Score until the campaign is over.
+
+        Legacy roster mode (``coordinator is None``): exit once every
+        pre-registered reply queue has signed off; any worker death is
+        loud and fatal.  Elastic mode (a
+        :class:`~repro.serving.coordinator.CellCoordinator` is
+        attached): exit once the cell queue is drained *and* every
+        client ever seen has either signed off or been declared lost --
+        membership is open, deaths revoke leases instead of aborting.
 
         ``abort`` is polled while the queue is idle; returning True
-        raises (used to detect dead workers instead of hanging).
+        raises (used to detect dead workers -- legacy -- or a fully
+        dead fleet -- elastic -- instead of hanging).
         """
-        done = self.signed_off
-        while len(done) < len(self.reply_queues):
+        while not self._serve_complete():
             try:
                 message = self.request_queue.get(timeout=self.poll_seconds)
             except queue_module.Empty:
+                self._check_liveness()
                 if abort is not None and abort():
                     raise RuntimeError(
                         "scoring service aborted: worker died before "
@@ -390,8 +518,88 @@ class GONScoringService:
                         self._observe_arrival()
                     except queue_module.Empty:
                         break
-            done.update(self._dispatch(pending))
+            self.signed_off.update(self._dispatch(pending))
+            self._check_liveness()
         return self.stats
+
+    def _serve_complete(self) -> bool:
+        if self.coordinator is None:
+            return len(self.signed_off) >= len(self.reply_queues)
+        unresolved = (
+            set(self._last_seen) - self.signed_off - self.lost
+        )
+        return self.coordinator.finished and not unresolved
+
+    # ------------------------------------------------------------------
+    # Elastic liveness
+    # ------------------------------------------------------------------
+    def _note_alive(self, client_id: int) -> None:
+        self._last_seen[client_id] = time.monotonic()
+
+    def _check_liveness(self) -> None:
+        """Declare clients dead after ``heartbeat_timeout`` of silence."""
+        if self.coordinator is None:
+            return
+        now = time.monotonic()
+        max_age = 0.0
+        for client_id, last in list(self._last_seen.items()):
+            if client_id in self.signed_off or client_id in self.lost:
+                continue
+            age = now - last
+            max_age = max(max_age, age)
+            if self.heartbeat_timeout > 0 and age > self.heartbeat_timeout:
+                self._mark_lost(
+                    client_id, f"no heartbeat for {age:.1f}s"
+                )
+        _HEARTBEAT_AGE.set(max_age)
+
+    def heartbeat_ages(self) -> Dict[int, float]:
+        """Seconds since each live client's last frame (status view)."""
+        now = time.monotonic()
+        return {
+            client_id: now - last
+            for client_id, last in self._last_seen.items()
+            if client_id not in self.signed_off and client_id not in self.lost
+        }
+
+    def _mark_lost(self, client_id: int, reason: str = "") -> None:
+        """Revoke a dead client's leases and evict its overlays.
+
+        Idempotent, and a no-op for clients that already signed off
+        (their work is settled; a late death notice carries no news).
+        """
+        if client_id in self.lost or client_id in self.signed_off:
+            return
+        self.lost.add(client_id)
+        _WORKERS_LOST.inc()
+        self._evict_overlays(client_id)
+        if self.coordinator is not None:
+            requeued, poisoned = self.coordinator.release_worker(client_id)
+            detail = f"worker {client_id} lost ({reason or 'unknown'})"
+            if requeued:
+                detail += f"; re-queued cells {requeued}"
+            if poisoned:
+                detail += f"; quarantined poisoned cells {poisoned}"
+            print(f"[repro.serving] {detail}", file=sys.stderr)
+        if self.on_worker_lost is not None:
+            try:
+                self.on_worker_lost(client_id)
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # Chaos injection (POST /inject)
+    # ------------------------------------------------------------------
+    def inject_delay(self, client_id: int, seconds: float) -> None:
+        """Delay every future reply to ``client_id`` by ``seconds``."""
+        if seconds <= 0:
+            self.reply_delays.pop(int(client_id), None)
+        else:
+            self.reply_delays[int(client_id)] = float(seconds)
+
+    def inject_drop_next_reply(self, client_id: int) -> None:
+        """Silently drop the next reply addressed to ``client_id``."""
+        self._drop_next_reply.add(int(client_id))
 
     # -- adaptive micro-batch window -----------------------------------
     #: EWMA smoothing for inter-arrival observations.
@@ -520,9 +728,37 @@ class GONScoringService:
         signed_off: set = set()
         buckets: "Dict[tuple, List]" = {}
         for message in pending:
+            if isinstance(message, WorkerLost):
+                self._mark_lost(message.client_id, message.reason)
+                continue
+            client_id = getattr(message, "client_id", None)
+            if client_id is not None:
+                if client_id in self.lost:
+                    # Ghost traffic from a client already declared
+                    # dead (its leases were revoked); dropping it keeps
+                    # revoked-and-rerun cells single-sourced.
+                    continue
+                self._note_alive(client_id)
             if isinstance(message, ClientDone):
                 signed_off.add(message.client_id)
                 self._evict_overlays(message.client_id)
+                if self.coordinator is not None:
+                    # Signing off while still holding a lease means the
+                    # worker errored mid-cell and cleaned up on the way
+                    # out -- treat the lease like a death so the cell
+                    # is re-queued instead of deadlocking the drain.
+                    self.coordinator.release_worker(message.client_id)
+                continue
+            if isinstance(message, LeaseRequest):
+                self._grant_lease(message)
+                continue
+            if isinstance(message, CellDone):
+                if self.coordinator is not None:
+                    self.coordinator.complete(
+                        message.cell_id, message.client_id
+                    )
+                continue
+            if isinstance(message, Ping):
                 continue
             if isinstance(message, OverlayUpdate):
                 self._install_overlay(message)
@@ -590,8 +826,55 @@ class GONScoringService:
             fused.setdefault(key, []).extend(requests)
         return fused
 
+    def _grant_lease(self, request: LeaseRequest) -> None:
+        if self.coordinator is None:
+            raise RuntimeError(
+                f"client {request.client_id} requested a cell lease but "
+                "this service has no coordinator (roster mode)"
+            )
+        cell_id, attempt, drained = self.coordinator.lease(request.client_id)
+        if drained:
+            grant = LeaseGrant(
+                request_id=request.request_id,
+                cell_id=-1,
+                drained=True,
+                poisoned=tuple(sorted(self.coordinator.poisoned)),
+            )
+        elif cell_id is None:
+            grant = LeaseGrant(request_id=request.request_id, cell_id=-1)
+        else:
+            grant = LeaseGrant(
+                request_id=request.request_id,
+                cell_id=int(cell_id),
+                attempt=int(attempt),
+            )
+        self._send_reply(request.client_id, grant)
+
     def _reply(self, request, reply) -> None:
-        self.reply_queues[request.client_id].put(reply)
+        self._send_reply(request.client_id, reply)
+
+    def _send_reply(self, client_id: int, reply) -> None:
+        """Deliver one reply, applying chaos injections.
+
+        In roster mode delivery failures propagate (loud failure, the
+        legacy contract).  In elastic mode a failed send means the
+        client is gone: it is marked lost (revoking its leases) and the
+        service keeps running for the rest of the fleet.
+        """
+        if client_id in self._drop_next_reply:
+            self._drop_next_reply.discard(client_id)
+            self.replies_dropped += 1
+            _REPLIES_DROPPED.inc()
+            return
+        delay = self.reply_delays.get(client_id, 0.0)
+        if delay > 0:
+            time.sleep(delay)
+        try:
+            self.reply_queues[client_id].put(reply)
+        except Exception as error:
+            if self.coordinator is None:
+                raise
+            self._mark_lost(client_id, f"reply delivery failed: {error}")
 
     # -- exact policy: one evaluation per request ----------------------
     def _run_exact(self, kind: str, request) -> None:

@@ -18,11 +18,22 @@ A stdlib :mod:`http.server` bound next to the scoring socket
     ``name value`` lines remain available as ``/metrics?format=flat``
     (:func:`repro.telemetry.render_metrics_text`).
 
-The server runs on a daemon thread and only ever *reads* -- the
-provider must be safe to call from another thread mid-``serve()``
+``POST /inject``
+    The chaos control plane (elastic fleets only): a JSON body like
+    ``{"action": "kill_worker"}`` or ``{"action": "requeue_cell",
+    "cell_id": 3}`` is dispatched to the configured ``inject_handler``
+    (normally :meth:`repro.serving.chaos.ChaosControl.inject`).
+    Answers 200 with the applied-injection record, 400 on a malformed
+    or rejected request, and 405 when no handler is configured (the
+    GET routes then stay strictly read-only, the pre-chaos contract).
+
+The server runs on a daemon thread; the provider and inject handler
+must be safe to call from another thread mid-``serve()``
 (:meth:`GONScoringService.merged_telemetry` takes care of its side).
-Everything here is observation: no route mutates service state, so
-the endpoint cannot perturb campaign results.
+The GET routes are observation only -- ``/inject`` is the single,
+explicit mutation point, and it perturbs *execution*, never record
+contents (cells re-run from their own ``SeedSequence.spawn`` seeds,
+so results stay bit-identical).
 """
 
 from __future__ import annotations
@@ -30,7 +41,7 @@ from __future__ import annotations
 import json
 import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Callable
+from typing import Callable, Optional
 from urllib.parse import parse_qs, urlsplit
 
 from ..telemetry import render_metrics_text, render_prometheus_text
@@ -77,6 +88,36 @@ class _StatusHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(payload)
 
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path.rstrip("/")
+        if path != "/inject":
+            self.send_error(404, "unknown POST route (try /inject)")
+            return
+        handler = self.server.inject_handler
+        if handler is None:
+            self.send_error(405, "injection is not enabled on this service")
+            return
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+            body = self.rfile.read(length) if length else b"{}"
+            request = json.loads(body.decode("utf-8") or "{}")
+            if not isinstance(request, dict) or "action" not in request:
+                raise ValueError('body must be a JSON object with an "action"')
+            action = request.pop("action")
+            result = handler(action, request)
+        except (ValueError, TypeError, KeyError, json.JSONDecodeError) as error:
+            self.send_error(400, f"bad injection: {error}")
+            return
+        except Exception as error:  # handler failed: loud 500, no hang
+            self.send_error(500, f"injection failed: {error}")
+            return
+        payload = json.dumps(result, indent=2, sort_keys=True).encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
     def log_message(self, *args) -> None:  # pragma: no cover - quiet
         pass
 
@@ -84,6 +125,7 @@ class _StatusHandler(BaseHTTPRequestHandler):
 class _StatusHTTPServer(ThreadingHTTPServer):
     daemon_threads = True
     provider: Callable[[], dict]
+    inject_handler: Optional[Callable[[str, dict], dict]]
 
 
 class StatusServer:
@@ -91,6 +133,8 @@ class StatusServer:
 
     ``provider`` returns the ``/status`` JSON dict; its ``"telemetry"``
     key (a merged registry snapshot) additionally backs ``/metrics``.
+    ``inject_handler`` (``(action, params) -> dict``) enables the
+    ``POST /inject`` chaos route; without one, POSTs answer 405.
     Port 0 picks an ephemeral port (read :attr:`port` back).
     """
 
@@ -99,9 +143,11 @@ class StatusServer:
         provider: Callable[[], dict],
         host: str = "127.0.0.1",
         port: int = 0,
+        inject_handler: Optional[Callable[[str, dict], dict]] = None,
     ) -> None:
         self._server = _StatusHTTPServer((host, port), _StatusHandler)
         self._server.provider = provider
+        self._server.inject_handler = inject_handler
         self.host, self.port = self._server.server_address[:2]
         self._thread = threading.Thread(
             target=self._server.serve_forever,

@@ -42,8 +42,9 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
+from .. import telemetry as _telemetry
 from . import wire
-from .service import ClientDone
+from .service import ClientDone, Ping, WorkerLost
 from .wire import (
     AssetIndex,
     AssetIndexRequest,
@@ -66,6 +67,10 @@ __all__ = [
 
 class TransportError(RuntimeError):
     """A fleet transport failure (always loud, never a hang)."""
+
+
+_AUTH_REJECTIONS = _telemetry.counter("fleet.auth_rejections")
+_HANDSHAKE_REJECTIONS = _telemetry.counter("fleet.handshake_rejections")
 
 
 def parse_address(address: str) -> Tuple[str, int]:
@@ -154,12 +159,32 @@ class TcpTransport:
     """Service side of the socket transport.
 
     Listens on ``host:port`` (port 0 picks an ephemeral port; read it
-    back from :attr:`address`), accepts exactly ``n_clients``
-    connections, assigns client ids in accept order via the
-    HELLO/WELCOME handshake, and runs one reader thread per client.
+    back from :attr:`address`), assigns client ids in accept order via
+    the HELLO/WELCOME handshake, and runs one reader thread per client.
     ``asset_packs`` maps pack name to a ``(buffer, manifest)`` pair
     from ``pack_state``; ``asset_index`` is the scenario metadata
     served to :class:`wire.AssetIndexRequest`.
+
+    Membership comes in two flavours:
+
+    * **roster** (``elastic=False``, the legacy default): accept
+      exactly ``n_clients`` connections, then stop listening; any
+      client death or protocol violation is fatal to the service.
+    * **elastic** (``elastic=True``): keep accepting for the lifetime
+      of the transport -- late workers join a running campaign and get
+      the next id in accept order; ``n_clients`` is only the initially
+      expected head-count (status display).  A client that disconnects
+      before signing off, spoofs another id, or sends a malformed
+      frame is *dropped* -- its socket is closed and a
+      :class:`~repro.serving.service.WorkerLost` notice is enqueued so
+      the service can revoke its leases -- instead of killing the
+      whole fleet.
+
+    ``auth_token`` is the pre-shared fleet secret: a HELLO carrying a
+    different token is answered with a :class:`wire.ServiceError` and
+    closed *before* WELCOME, without consuming a client id and without
+    disturbing the rest of the fleet (counted in
+    ``fleet.auth_rejections``).
     """
 
     def __init__(
@@ -169,8 +194,12 @@ class TcpTransport:
         port: int = 0,
         asset_packs: Optional[Dict[str, Tuple[np.ndarray, list]]] = None,
         asset_index: Optional[Dict[str, Dict[str, int]]] = None,
+        auth_token: str = "",
+        elastic: bool = False,
     ) -> None:
         self.n_clients = n_clients
+        self.elastic = bool(elastic)
+        self._auth_token = str(auth_token)
         self._asset_packs = dict(asset_packs or {})
         self._asset_index = {
             name: dict(meta) for name, meta in (asset_index or {}).items()
@@ -185,8 +214,12 @@ class TcpTransport:
         self._send_locks: Dict[int, threading.Lock] = {}
         self._threads: list = []
         self._closed = threading.Event()
+        self.auth_rejections = 0
         #: Monotonic timestamp of the last frame received from any
-        #: client (idle-timeout watchdogs key off this).
+        #: client (idle-timeout watchdogs key off this).  Heartbeat
+        #: :class:`Ping` frames deliberately do *not* refresh it: a
+        #: fleet that only ever pings is idle, and ``--max-idle``
+        #: should still fire on a wedged worker.
         self.last_activity = time.monotonic()
 
     @property
@@ -206,33 +239,34 @@ class TcpTransport:
         thread.start()
 
     def _accept_loop(self) -> None:
+        client_id = 0
         try:
-            for client_id in range(self.n_clients):
-                conn, _addr = self._listener.accept()
-                conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-                hello = wire.recv_message(conn)
-                if not isinstance(hello, Hello):
-                    raise TransportError(
-                        f"connection {client_id} opened with "
-                        f"{type(hello).__name__} instead of Hello"
-                    )
-                if hello.protocol != wire.PROTOCOL_VERSION:
-                    raise TransportError(
-                        f"client speaks wire protocol {hello.protocol}, "
-                        f"service speaks {wire.PROTOCOL_VERSION}"
-                    )
-                self._send_locks[client_id] = threading.Lock()
-                self._sockets[client_id] = conn
-                self.last_activity = time.monotonic()
-                wire.send_message(conn, Welcome(client_id=client_id))
-                reader = threading.Thread(
-                    target=self._reader_loop,
-                    args=(client_id, conn),
-                    name=f"fleet-tcp-reader-{client_id}",
-                    daemon=True,
-                )
-                self._threads.append(reader)
-                reader.start()
+            while not self._closed.is_set():
+                if not self.elastic and client_id >= self.n_clients:
+                    return
+                try:
+                    conn, _addr = self._listener.accept()
+                except OSError:
+                    if self._closed.is_set():
+                        return
+                    raise
+                try:
+                    accepted = self._handshake(conn, client_id)
+                except Exception:
+                    if self.elastic:
+                        # One garbage connection must not take down a
+                        # long-running fleet; reject it and keep
+                        # accepting.  Roster mode keeps the legacy
+                        # loud-failure contract below.
+                        _HANDSHAKE_REJECTIONS.inc()
+                        try:
+                            conn.close()
+                        except OSError:
+                            pass
+                        continue
+                    raise
+                if accepted:
+                    client_id += 1
         except Exception as error:
             # Any escape here would strand serve() polling an empty
             # queue forever; fault it instead -- loudness over hangs.
@@ -240,6 +274,60 @@ class TcpTransport:
                 self.request_queue.fail(
                     TransportError(f"fleet transport handshake failed: {error}")
                 )
+
+    def _handshake(self, conn: socket.socket, client_id: int) -> bool:
+        """Run HELLO/WELCOME on one accepted connection.
+
+        Returns True when the connection became client ``client_id``;
+        False when it was rejected (bad auth token) without consuming
+        the id.  Malformed handshakes raise (the accept loop decides
+        whether that is fatal).
+        """
+        conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        hello = wire.recv_message(conn)
+        if not isinstance(hello, Hello):
+            raise TransportError(
+                f"connection {client_id} opened with "
+                f"{type(hello).__name__} instead of Hello"
+            )
+        if hello.protocol != wire.PROTOCOL_VERSION:
+            raise TransportError(
+                f"client speaks wire protocol {hello.protocol}, "
+                f"service speaks {wire.PROTOCOL_VERSION}"
+            )
+        if hello.token != self._auth_token:
+            # Loud rejection BEFORE Welcome: the client gets a
+            # ServiceError naming the problem and the connection
+            # closes without a client id.  Never fatal to the fleet.
+            self.auth_rejections += 1
+            _AUTH_REJECTIONS.inc()
+            try:
+                wire.send_message(conn, ServiceError(
+                    message="authentication failed: fleet auth token "
+                    "mismatch (serve --auth-token / REPRO_FLEET_TOKEN)"
+                ))
+            except wire.WireError:
+                pass
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            return False
+        self._send_locks[client_id] = threading.Lock()
+        self._sockets[client_id] = conn
+        self.reply_queues.setdefault(client_id, _TcpReplyWriter(self, client_id))
+        self.last_activity = time.monotonic()
+        wire.send_message(conn, Welcome(client_id=client_id))
+        reader = threading.Thread(
+            target=self._reader_loop,
+            args=(client_id, conn),
+            name=f"fleet-tcp-reader-{client_id}",
+            daemon=True,
+        )
+        self._threads.append(reader)
+        reader.start()
+        return True
 
     def _reader_loop(self, client_id: int, conn: socket.socket) -> None:
         try:
@@ -251,7 +339,8 @@ class TcpTransport:
                         f"client {client_id} disconnected before signing off "
                         "(worker crashed or was killed mid-campaign)"
                     ) from None
-                self.last_activity = time.monotonic()
+                if not isinstance(message, Ping):
+                    self.last_activity = time.monotonic()
                 if isinstance(message, AssetIndexRequest):
                     self.send_to_client(client_id, AssetIndex(index=self._asset_index))
                     continue
@@ -282,15 +371,31 @@ class TcpTransport:
                 if isinstance(message, ClientDone):
                     return
         except TransportError as error:
-            if not self._closed.is_set():
-                self.request_queue.fail(error)
+            self._reader_failed(client_id, error)
         except Exception as error:
             # Catch-all for the same reason as the accept loop: a
             # dead reader with no fault enqueued is a silent hang.
-            if not self._closed.is_set():
-                self.request_queue.fail(
-                    TransportError(f"client {client_id} protocol error: {error}")
-                )
+            self._reader_failed(
+                client_id,
+                TransportError(f"client {client_id} protocol error: {error}"),
+            )
+
+    def _reader_failed(self, client_id: int, error: TransportError) -> None:
+        """A client's reader died: fatal (roster) or a lost worker.
+
+        Roster mode keeps the legacy contract -- the fault propagates
+        out of ``serve()``.  Elastic mode converts any single-client
+        failure (EOF before sign-off, spoofed id, malformed frame)
+        into a :class:`WorkerLost` notice: the service revokes the
+        dead client's leases and the campaign keeps running.
+        """
+        if self._closed.is_set():
+            return
+        if not self.elastic:
+            self.request_queue.fail(error)
+            return
+        self.close_client(client_id)
+        self.request_queue.put(WorkerLost(client_id, reason=str(error)))
 
     # ------------------------------------------------------------------
     def send_to_client(self, client_id: int, message) -> None:
@@ -306,6 +411,26 @@ class TcpTransport:
                 f"sending {type(message).__name__} to client {client_id} "
                 f"failed: {error}"
             ) from None
+
+    def close_client(self, client_id: int) -> None:
+        """Tear down one client's socket (idempotent).
+
+        Used by the chaos control plane (``kill_worker``) and by the
+        service when it declares a client dead: the reader thread wakes
+        with an EOF/OSError and, in elastic mode, enqueues the
+        :class:`WorkerLost` notice.
+        """
+        conn = self._sockets.pop(client_id, None)
+        if conn is None:
+            return
+        try:
+            conn.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - double close
+            pass
 
     def broadcast_error(self, message: str) -> None:
         """Best-effort fatal-error notice so no client blocks forever."""
@@ -340,7 +465,17 @@ class TcpWorkerChannel:
     replies are read back off it.  The client id is assigned by the
     service during the HELLO/WELCOME handshake (:attr:`client_id`).
     Connection attempts retry until ``connect_timeout`` so workers may
-    start before the service finishes binding.
+    start before the service finishes binding; each attempt's socket
+    timeout is derived from the remaining connect budget (never a
+    hidden hard-coded constant).
+
+    ``read_timeout`` bounds every post-handshake blocking read: 0 (the
+    default) waits forever, the historical behaviour; a positive value
+    turns a reply that never arrives (dead service, dropped frame)
+    into a loud :class:`TransportError` after that many seconds --
+    the client-side half of heartbeat-based liveness.  Sends are
+    serialized with an internal lock so a heartbeat thread can share
+    the socket with the scoring loop.
     """
 
     def __init__(
@@ -348,13 +483,20 @@ class TcpWorkerChannel:
         address: str,
         connect_timeout: float = 30.0,
         retry_interval: float = 0.2,
+        read_timeout: float = 0.0,
+        auth_token: str = "",
     ) -> None:
         self.address = address
+        self.read_timeout = float(read_timeout)
+        self._send_lock = threading.Lock()
         host, port = parse_address(address)
         deadline = time.monotonic() + connect_timeout
         while True:
+            remaining = max(deadline - time.monotonic(), 0.05)
             try:
-                self._sock = socket.create_connection((host, port), timeout=30.0)
+                self._sock = socket.create_connection(
+                    (host, port), timeout=remaining
+                )
                 break
             except OSError as error:
                 if time.monotonic() >= deadline:
@@ -364,13 +506,13 @@ class TcpWorkerChannel:
                     ) from None
                 time.sleep(retry_interval)
         # Keep the timeout through the handshake: a connection sitting
-        # unaccepted in the listen backlog (e.g. more workers than the
-        # service's --expect-workers) must fail loudly here rather
+        # unaccepted in the listen backlog (e.g. more workers than a
+        # roster-mode service expects) must fail loudly here rather
         # than block on the Welcome forever.
         self._sock.settimeout(connect_timeout)
         self._sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         try:
-            wire.send_message(self._sock, Hello())
+            wire.send_message(self._sock, Hello(token=auth_token))
             welcome = self._recv()
         except wire.WireError as error:
             raise TransportError(f"handshake with {address} failed: {error}") from None
@@ -385,11 +527,16 @@ class TcpWorkerChannel:
                 f"{type(welcome).__name__}"
             )
         self.client_id: int = welcome.client_id
-        self._sock.settimeout(None)
+        self._sock.settimeout(self.read_timeout if self.read_timeout > 0 else None)
 
     def _recv(self):
         try:
             message = wire.recv_message(self._sock)
+        except socket.timeout:
+            raise TransportError(
+                f"no frame from the scoring service at {self.address} "
+                f"within the {self.read_timeout:.1f}s read timeout"
+            ) from None
         except wire.ConnectionClosed:
             raise TransportError(
                 f"scoring service at {self.address} closed the connection "
@@ -406,7 +553,7 @@ class TcpWorkerChannel:
     # -- queue surface used by ScoringClient ---------------------------
     def put(self, message) -> None:
         try:
-            wire.send_message(self._sock, message)
+            wire.send_message(self._sock, message, lock=self._send_lock)
         except wire.WireError as error:
             raise TransportError(
                 f"sending {type(message).__name__} to {self.address} "

@@ -39,10 +39,14 @@ from ..nn.serialization import pack_state, unpack_state
 from .service import (
     AscentReply,
     AscentRequest,
+    CellDone,
     ClientDone,
     ConfidenceReply,
     ConfidenceRequest,
+    LeaseGrant,
+    LeaseRequest,
     OverlayUpdate,
+    Ping,
     StatsUpdate,
 )
 
@@ -65,7 +69,11 @@ __all__ = [
 ]
 
 MAGIC = b"CRL1"
-PROTOCOL_VERSION = 1
+#: Version 2 added the elastic-fleet frames (LEASE/CELL_DONE/PING) and
+#: the pre-shared auth token field in HELLO.  The handshake rejects
+#: mismatched versions loudly, so mixed deployments fail fast instead
+#: of mis-decoding.
+PROTOCOL_VERSION = 2
 
 #: magic, message type code, header length, body length.
 _PREFIX = struct.Struct("!4sBII")
@@ -95,9 +103,16 @@ class ConnectionClosed(WireError):
 # ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class Hello:
-    """Client greeting; the server answers with :class:`Welcome`."""
+    """Client greeting; the server answers with :class:`Welcome`.
+
+    ``token`` is the pre-shared fleet auth token (``serve
+    --auth-token`` / ``REPRO_FLEET_TOKEN``).  A mismatch is rejected
+    loudly *before* WELCOME assigns a client id; the empty default
+    keeps tokenless deployments working unchanged.
+    """
 
     protocol: int = PROTOCOL_VERSION
+    token: str = ""
 
 
 @dataclass(frozen=True)
@@ -163,9 +178,18 @@ _ARRAY_FIELDS = {
     ConfidenceReply: ("confidences",),
     # STATS frame: the telemetry snapshot dict rides in the JSON
     # header (it is JSON-safe by construction), no packed body.
-    # Appended last -- message type codes come from insertion order,
-    # so new messages must never reorder the existing entries.
+    # Message type codes come from insertion order, so new messages
+    # must never reorder the existing entries.
     StatsUpdate: (),
+    # Elastic-fleet frames (protocol 2): the lease queue and the
+    # heartbeat.  Scalar-only payloads, appended after every protocol-1
+    # frame.  (The service-internal WorkerLost notice deliberately has
+    # no wire code: it is enqueued locally by transports/watchdogs and
+    # must never arrive from a client.)
+    LeaseRequest: (),
+    LeaseGrant: (),
+    CellDone: (),
+    Ping: (),
 }
 
 #: Replies are consumed by clients that may mutate result arrays (the
@@ -176,6 +200,10 @@ _COPY_ON_DECODE = (AscentReply, ConfidenceReply)
 #: Fields holding a ``pack_state`` manifest: JSON turns the nested
 #: tuples into lists, so decoding restores the tuple shape.
 _MANIFEST_FIELDS = {OverlayUpdate: ("manifest",), AssetReply: ("manifest",)}
+
+#: Scalar-tuple fields (JSON round-trips them as lists; decoding
+#: restores the frozen-dataclass tuple shape).
+_INT_TUPLE_FIELDS = {LeaseGrant: ("poisoned",)}
 
 _CODE_BY_CLASS = {cls: code for code, cls in enumerate(_ARRAY_FIELDS, start=1)}
 _CLASS_BY_CODE = {code: cls for cls, code in _CODE_BY_CLASS.items()}
@@ -245,6 +273,13 @@ def decode_payload(code: int, header_bytes: bytes, body: bytes):
     kwargs.update(header)
     for name in _MANIFEST_FIELDS.get(cls, ()):
         kwargs[name] = _as_manifest(kwargs[name])
+    for name in _INT_TUPLE_FIELDS.get(cls, ()):
+        try:
+            kwargs[name] = tuple(int(value) for value in kwargs[name])
+        except (TypeError, ValueError) as error:
+            raise WireError(
+                f"malformed {cls.__name__}.{name} in header: {error}"
+            ) from None
 
     array_names = _ARRAY_FIELDS[cls]
     if array_names:
@@ -296,6 +331,11 @@ def _read_exact(sock, n: int, at_boundary: bool) -> bytes:
     while remaining:
         try:
             chunk = sock.recv(min(remaining, 1 << 20))
+        except TimeoutError:
+            # A socket read timeout is a liveness signal, not a frame
+            # corruption: let it propagate so the caller can name the
+            # configured read timeout in its error.
+            raise
         except OSError as error:
             raise WireError(f"socket read failed: {error}") from None
         if not chunk:

@@ -385,12 +385,16 @@ class TestStatsWire:
 
     def test_stats_code_appended_after_existing_messages(self):
         # Wire codes come from _ARRAY_FIELDS insertion order; the STATS
-        # frame must never displace a pre-existing code.
-        from repro.serving import ClientDone, StatsUpdate
+        # frame must never displace a pre-existing code, and later
+        # protocol extensions (the elastic lease frames) must append
+        # after it rather than renumbering it.
+        from repro.serving import ClientDone, LeaseRequest, Ping, StatsUpdate
         from repro.serving.wire import _CODE_BY_CLASS
 
-        assert _CODE_BY_CLASS[StatsUpdate] == max(_CODE_BY_CLASS.values())
+        assert _CODE_BY_CLASS[StatsUpdate] == 14
         assert _CODE_BY_CLASS[ClientDone] < _CODE_BY_CLASS[StatsUpdate]
+        assert _CODE_BY_CLASS[LeaseRequest] > _CODE_BY_CLASS[StatsUpdate]
+        assert _CODE_BY_CLASS[Ping] == max(_CODE_BY_CLASS.values())
 
     def test_service_keeps_latest_snapshot_per_client(self):
         from repro.serving import GONScoringService, StatsUpdate
