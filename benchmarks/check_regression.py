@@ -102,6 +102,18 @@ def extract(payload) -> Dict[str, Dict[str, object]]:
 
 
 def _load(path: str):
+    """One result tree: a JSON file, or a campaign store database.
+
+    Store files reuse ``compare_records.load_payload`` (same directory,
+    stdlib-only) so the gate can walk a ``--store sqlite`` campaign's
+    telemetry/records exactly like a ``--record-json`` dump.
+    """
+    with open(path, "rb") as probe:
+        if probe.read(16) == b"SQLite format 3\x00":
+            sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+            from compare_records import load_payload
+
+            return load_payload(path)
     with open(path) as source:
         return json.load(source)
 

@@ -66,6 +66,23 @@ re-extracts it for CI artifacts).  ``serve --status-port N`` binds a
 read-only HTTP endpoint next to the scoring socket -- ``GET /status``
 answers live JSON (workers connected, cells in flight, merged
 telemetry) and ``GET /metrics`` flat ``name value`` text.
+
+Durable campaigns (:mod:`repro.storage`): ``campaign --store sqlite
+--store-path runs.db`` persists every finished cell as it lands, so a
+killed campaign re-run with the same flags restores completed cells
+from the store instead of re-executing them (``fleet.cells_resumed``
+in the telemetry counts the skips).  ``serve --store sqlite
+--store-path runs.db`` does the same on the service side -- stored
+cells are never leased to workers.  The ``store`` family inspects a
+database::
+
+    python -m repro store list runs.db
+    python -m repro store show runs.db [--campaign HASH]
+    python -m repro store export runs.db dump.json
+
+``export`` writes a ``--record-json``-shaped dump; ``repro telemetry``
+and ``benchmarks/compare_records.py`` also accept a store file
+directly anywhere they accept a records JSON.
 """
 
 from __future__ import annotations
@@ -215,6 +232,9 @@ def _cmd_campaign(args) -> int:
             overrides["service_addr"] = args.connect
         if args.scorer_backend != "exact":
             overrides["scorer_backend"] = args.scorer_backend
+        if args.store != "memory" or args.store_path:
+            overrides["store"] = args.store
+            overrides["store_path"] = args.store_path
         auth_token = _resolve_auth_token(args)
         if auth_token:
             overrides["auth_token"] = auth_token
@@ -249,11 +269,14 @@ def _cmd_campaign(args) -> int:
                 shared_assets=args.shared_assets or args.fleet,
                 scorer_backend=args.scorer_backend,
                 auth_token=_resolve_auth_token(args),
+                store=args.store,
+                store_path=args.store_path,
             )
         except ValueError as error:
             print(error, file=sys.stderr)
             return 2
     from .serving import TransportError
+    from .storage import StoreError
 
     try:
         result = run_campaign(config)
@@ -262,6 +285,9 @@ def _cmd_campaign(args) -> int:
         # full catalog in the message; surface it without a traceback.
         message = error.args[0] if error.args else str(error)
         print(message, file=sys.stderr)
+        return 2
+    except StoreError as error:
+        print(f"campaign store refused: {error}", file=sys.stderr)
         return 2
     except TransportError as error:
         print(f"fleet transport failed: {error}", file=sys.stderr)
@@ -328,6 +354,8 @@ def _cmd_serve(args) -> int:
             heartbeat_timeout=args.heartbeat_timeout,
             cell_retry_budget=args.retry_budget,
             auth_token=auth_token,
+            store=args.store,
+            store_path=args.store_path,
         )
     except ValueError as error:
         print(error, file=sys.stderr)
@@ -466,17 +494,33 @@ def _cmd_export_gon(args) -> int:
 
 
 def _cmd_telemetry(args) -> int:
-    """Pretty-print (or re-extract) a record dump's telemetry section."""
+    """Pretty-print (or re-extract) a record dump's telemetry section.
+
+    ``records`` may be a ``campaign --record-json`` dump *or* a
+    ``--store sqlite`` database (sniffed by magic bytes); for a store
+    the accumulated telemetry of the selected campaign is shown.
+    """
     import json
 
+    from .storage import StoreError, is_sqlite_store, open_store
     from .telemetry import render_summary
 
-    try:
-        with open(args.records) as source:
-            payload = json.load(source)
-    except (OSError, json.JSONDecodeError) as error:
-        print(f"cannot read {args.records}: {error}", file=sys.stderr)
-        return 2
+    if is_sqlite_store(args.records):
+        try:
+            with open_store("sqlite", args.records) as store:
+                payload = store.export_payload(
+                    store.resolve_campaign(getattr(args, "campaign", ""))
+                )
+        except StoreError as error:
+            print(f"cannot read {args.records}: {error}", file=sys.stderr)
+            return 2
+    else:
+        try:
+            with open(args.records) as source:
+                payload = json.load(source)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"cannot read {args.records}: {error}", file=sys.stderr)
+            return 2
     snapshot = payload.get("telemetry") if isinstance(payload, dict) else None
     if not snapshot:
         print(
@@ -492,6 +536,93 @@ def _cmd_telemetry(args) -> int:
         return 0
     print(render_summary(snapshot, title=f"-- telemetry: {args.records} --"))
     return 0
+
+
+def _cmd_store(args) -> int:
+    """Inspect a campaign store: ``store list | show | export``."""
+    import json
+
+    from .storage import (
+        StoreError,
+        is_sqlite_store,
+        open_store,
+        short_hash,
+    )
+
+    if not is_sqlite_store(args.path):
+        print(
+            f"{args.path} is not a campaign store (sqlite database)",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        with open_store("sqlite", args.path) as store:
+            if args.action == "list":
+                rows = store.campaigns()
+                if args.json:
+                    print(json.dumps(
+                        [
+                            {
+                                "config_hash": row.config_hash,
+                                "cells_completed": row.cells_completed,
+                                "cells_total": row.cells_total,
+                                "grid": row.grid,
+                            }
+                            for row in rows
+                        ],
+                        indent=2, sort_keys=True,
+                    ))
+                    return 0
+                print(f"{len(rows)} campaign(s) in {args.path}:\n")
+                for row in rows:
+                    grid = row.grid
+                    print(
+                        f"  {short_hash(row.config_hash)}  "
+                        f"{row.cells_completed}/{row.cells_total} cells  "
+                        f"scenarios={','.join(grid.get('scenarios', ()))}  "
+                        f"models={','.join(grid.get('models', ()))}  "
+                        f"seeds={grid.get('n_seeds')}"
+                    )
+                return 0
+            config_hash = store.resolve_campaign(args.campaign)
+            payload = store.export_payload(config_hash)
+            if args.action == "export":
+                with open(args.output, "w") as sink:
+                    json.dump(payload, sink, indent=2)
+                print(
+                    f"exported campaign {short_hash(config_hash)} "
+                    f"({len(payload['records'])} records) to {args.output}"
+                )
+                return 0
+            # show
+            if args.json:
+                print(json.dumps(payload, indent=2, sort_keys=True))
+                return 0
+            grid = payload["config"]
+            total = (
+                len(grid.get("scenarios", ()))
+                * len(grid.get("models", ()))
+                * int(grid.get("n_seeds", 0))
+            )
+            print(f"campaign {config_hash}")
+            print(f"  scenarios: {', '.join(grid.get('scenarios', ()))}")
+            print(f"  models:    {', '.join(grid.get('models', ()))}")
+            print(
+                f"  seeds:     {grid.get('n_seeds')}  "
+                f"(seed {grid.get('seed')}, "
+                f"{grid.get('n_intervals')} intervals)"
+            )
+            print(f"  records:   {len(payload['records'])}/{total} cells")
+            for record in payload["records"]:
+                print(
+                    f"    [{record['run_index']:>3}] "
+                    f"{record['scenario']} / {record['model']} "
+                    f"/ seed {record['seed_index']}"
+                )
+            return 0
+    except (StoreError, OSError) as error:
+        print(f"store command failed: {error}", file=sys.stderr)
+        return 2
 
 
 def _add_artifact_options(parser) -> None:
@@ -580,6 +711,16 @@ def main(argv=None) -> int:
                           help="pre-shared fleet auth token for TCP "
                                "transports (default: the "
                                "REPRO_FLEET_TOKEN environment variable)")
+    campaign.add_argument("--store", type=str, default="memory",
+                          choices=["memory", "sqlite"],
+                          help="campaign record store: 'memory' "
+                               "(default; nothing persists) or 'sqlite' "
+                               "(persist each finished cell; re-running "
+                               "the same campaign resumes, skipping "
+                               "stored cells)")
+    campaign.add_argument("--store-path", type=str, default="",
+                          help="sqlite store database file (required "
+                               "with --store sqlite)")
 
     serve = subparsers.add_parser(
         "serve",
@@ -643,6 +784,15 @@ def main(argv=None) -> int:
                             "campaign --scorer-backend); fast backends "
                             "additionally fuse same-shape ascent "
                             "buckets across clients")
+    serve.add_argument("--store", type=str, default="memory",
+                       choices=["memory", "sqlite"],
+                       help="campaign record store; with 'sqlite', "
+                            "cells already stored are never leased to "
+                            "workers (the connecting campaign must use "
+                            "the same store)")
+    serve.add_argument("--store-path", type=str, default="",
+                       help="sqlite store database file (required with "
+                            "--store sqlite)")
 
     export_gon = subparsers.add_parser(
         "export-gon",
@@ -671,13 +821,34 @@ def main(argv=None) -> int:
 
     telemetry = subparsers.add_parser(
         "telemetry",
-        help="pretty-print the telemetry section of a --record-json dump",
+        help="pretty-print the telemetry section of a --record-json "
+             "dump or a campaign store database",
     )
     telemetry.add_argument("records",
-                           help="path of a `campaign --record-json` dump")
+                           help="path of a `campaign --record-json` dump "
+                                "or a `--store sqlite` database")
+    telemetry.add_argument("--campaign", type=str, default="",
+                           help="campaign config-hash prefix (store "
+                                "files holding several campaigns)")
     telemetry.add_argument("--json", type=str, default="",
                            help="instead of pretty-printing, write the "
                                 "raw telemetry snapshot to this file")
+
+    store = subparsers.add_parser(
+        "store",
+        help="inspect a durable campaign store (list / show / export)",
+    )
+    store.add_argument("action", choices=["list", "show", "export"],
+                       help="list campaigns, show one campaign's cells, "
+                            "or export one campaign as a records JSON")
+    store.add_argument("path", help="campaign store database file")
+    store.add_argument("output", nargs="?", default="",
+                       help="output JSON path (export)")
+    store.add_argument("--campaign", type=str, default="",
+                       help="campaign config-hash prefix (defaults to "
+                            "the store's only campaign)")
+    store.add_argument("--json", action="store_true",
+                       help="machine-readable output (list / show)")
 
     args = parser.parse_args(argv)
 
@@ -697,6 +868,11 @@ def main(argv=None) -> int:
         return _cmd_serve(args)
     if args.command == "telemetry":
         return _cmd_telemetry(args)
+    if args.command == "store":
+        if args.action == "export" and not args.output:
+            print("store export requires an output path", file=sys.stderr)
+            return 2
+        return _cmd_store(args)
     if args.command == "export-gon":
         return _cmd_export_gon(args)
     return _cmd_campaign(args)

@@ -17,13 +17,18 @@ from .campaign import (
     CampaignConfig,
     CampaignResult,
     DETERMINISTIC_METRICS,
+    GRID_IDENTITY_FIELDS,
     RunRecord,
     RunTask,
+    campaign_config_hash,
+    campaign_grid_identity,
     canonical_model_name,
     ci_campaign_config,
     fleet_ci_campaign_config,
     plan_tasks,
     prepare_campaign_assets,
+    record_from_payload,
+    record_to_payload,
     run_campaign,
 )
 from .fig2_confidence import Fig2Config, Fig2Result, format_fig2, run_fig2
@@ -66,6 +71,11 @@ __all__ = [
     "RunRecord",
     "DETERMINISTIC_METRICS",
     "canonical_model_name",
+    "GRID_IDENTITY_FIELDS",
+    "campaign_config_hash",
+    "campaign_grid_identity",
+    "record_from_payload",
+    "record_to_payload",
     "plan_tasks",
     "prepare_campaign_assets",
     "run_campaign",

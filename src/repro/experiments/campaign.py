@@ -16,6 +16,30 @@ simulation) and only deterministic metrics enter the records; the
 wall-clock cost metrics of Fig. 5 remain the business of
 :mod:`repro.experiments.fig5_comparison`.
 
+Cell identity and the config hash
+---------------------------------
+Every cell has a canonical id: ``(config_hash, scenario, model,
+seed_index)``.  The within-campaign half, ``(scenario, model,
+seed_index)``, names a grid position -- :func:`plan_tasks` derives the
+cell's run seed from the campaign root ``SeedSequence`` and the cell's
+fixed position, so the id fully determines the record.  The campaign
+half, :func:`campaign_config_hash`, is the SHA-256 of
+:func:`campaign_grid_identity`: exactly the
+:class:`CampaignConfig` fields that can change record *content*
+(:data:`GRID_IDENTITY_FIELDS` -- grid axes, root seed, interval and
+offline-training sizes, ``shared_assets``, ``fleet_merge``,
+``carol_overrides``, ``scorer_backend``) and **deliberately not** the
+execution-topology fields (``workers``, ``mode``, ``transport``,
+``service_addr``, timeouts, retry budget, credentials, the store
+settings themselves), because the cross-mode bit-identity contract
+guarantees those cannot change a record.  Two configs with equal
+hashes therefore produce byte-identical records -- which is what lets
+a :mod:`repro.storage` store substitute a stored record for a re-run
+(*resume*), and why any change to the identity fields (or to this
+hashing scheme itself) starts a fresh campaign instead of resuming:
+the old records no longer describe the new grid.
+
+
 Execution modes
 ---------------
 ``mode="process"`` (the classic path) fans cells across a
@@ -57,14 +81,19 @@ from .runner import run_experiment
 
 __all__ = [
     "DETERMINISTIC_METRICS",
+    "GRID_IDENTITY_FIELDS",
     "CampaignConfig",
     "RunTask",
     "RunRecord",
     "CampaignResult",
+    "campaign_config_hash",
+    "campaign_grid_identity",
     "canonical_model_name",
     "cell_carol_config",
     "plan_tasks",
     "prepare_campaign_assets",
+    "record_from_payload",
+    "record_to_payload",
     "run_campaign",
     "ci_campaign_config",
     "fleet_ci_campaign_config",
@@ -90,6 +119,11 @@ _CAROL_FAMILY = ("CAROL", PROACTIVE_NAME, *ABLATION_NAMES)
 _CELL_SPAN = _telemetry.span("campaign.cell")
 _CELLS_STARTED = _telemetry.counter("campaign.cells_started")
 _CELLS_COMPLETED = _telemetry.counter("campaign.cells_completed")
+#: Cells restored from a campaign store instead of re-executed.  Same
+#: name as the coordinator-side counter: the serve process counts
+#: cells it never leases, a campaign parent counts records it never
+#: re-runs -- both are "work the store saved us".
+_CELLS_RESUMED = _telemetry.counter("fleet.cells_resumed")
 
 _MODEL_LOOKUP = {
     name.lower(): name
@@ -188,6 +222,17 @@ class CampaignConfig:
     #: from :meth:`CampaignResult.to_payload` -- secrets never enter
     #: record dumps.
     auth_token: str = ""
+    #: Campaign record store backend (:mod:`repro.storage`):
+    #: ``"memory"`` (default) keeps the historical in-process
+    #: semantics -- nothing persists, nothing resumes; ``"sqlite"``
+    #: persists every finished cell to ``store_path`` as it completes
+    #: and *resumes* on re-run: cells already stored under this
+    #: config's :func:`campaign_config_hash` are restored instead of
+    #: re-executed (counted in ``fleet.cells_resumed``).  Execution
+    #: detail, not grid identity: the store never changes a record.
+    store: str = "memory"
+    #: Database path for ``store="sqlite"`` (created on first use).
+    store_path: str = ""
 
     def __post_init__(self) -> None:
         if not self.scenarios:
@@ -210,6 +255,24 @@ class CampaignConfig:
             raise ValueError(
                 f"unknown campaign mode {self.mode!r}; "
                 "expected 'process' or 'fleet'"
+            )
+        # One source of truth for backend names (storage is stdlib-only
+        # and cheap to import, unlike the serving/nn stacks below).
+        from ..storage import STORE_KINDS
+
+        if self.store not in STORE_KINDS:
+            raise ValueError(
+                f"unknown campaign store {self.store!r}; "
+                f"expected one of {STORE_KINDS}"
+            )
+        if self.store == "sqlite" and not self.store_path:
+            raise ValueError(
+                "store='sqlite' requires store_path (the database file)"
+            )
+        if self.store_path and self.store != "sqlite":
+            raise ValueError(
+                "store_path requires store='sqlite' (the memory store "
+                "has nothing to point at)"
             )
         # One source of truth for backend names (lazy for symmetry with
         # the transport check below: core.scoring pulls the nn stack).
@@ -261,6 +324,74 @@ class CampaignConfig:
             # scenario; per-run training would give every run a private
             # model and nothing to share.
             object.__setattr__(self, "shared_assets", True)
+
+
+#: The :class:`CampaignConfig` fields that define a campaign's *record
+#: identity* -- everything that can change what a record contains.
+#: Execution topology (workers/mode/transport/service_addr/timeouts/
+#: retry budget/auth/store settings) is deliberately excluded: the
+#: cross-mode bit-identity contract guarantees those fields cannot
+#: change a record, so they must not invalidate a resume.  Adding a
+#: field that affects record content without listing it here would
+#: silently resume across genuinely different campaigns -- the
+#: config-hash tests in ``tests/test_storage.py`` guard the split.
+GRID_IDENTITY_FIELDS = (
+    "scenarios",
+    "models",
+    "n_seeds",
+    "seed",
+    "n_intervals",
+    "trace_intervals",
+    "gon_hidden",
+    "gon_layers",
+    "gon_epochs",
+    "shared_assets",
+    "fleet_merge",
+    "carol_overrides",
+    "scorer_backend",
+)
+
+
+def campaign_grid_identity(config: "CampaignConfig") -> Dict[str, object]:
+    """The JSON-safe grid-identity payload (the hashing surface).
+
+    Model names are canonicalized first, so ``--models carol`` and
+    ``--models CAROL`` hash (and therefore resume) identically.
+    ``scorer_backend`` is included even though ``fast`` is CI-gated
+    bit-identical to ``exact``: ``fast32`` is not, and a conservative
+    hash beats silently mixing float32 records into an exact campaign.
+    """
+    return {
+        "scenarios": list(config.scenarios),
+        "models": [canonical_model_name(m) for m in config.models],
+        "n_seeds": config.n_seeds,
+        "seed": config.seed,
+        "n_intervals": config.n_intervals,
+        "trace_intervals": config.trace_intervals,
+        "gon_hidden": config.gon_hidden,
+        "gon_layers": config.gon_layers,
+        "gon_epochs": config.gon_epochs,
+        "shared_assets": config.shared_assets,
+        "fleet_merge": config.fleet_merge,
+        "carol_overrides": [
+            [name, value] for name, value in config.carol_overrides
+        ],
+        "scorer_backend": config.scorer_backend,
+    }
+
+
+def campaign_config_hash(config: "CampaignConfig") -> str:
+    """SHA-256 over the canonical grid identity: the campaign's name in
+    every :mod:`repro.storage` store.
+
+    Changing any :data:`GRID_IDENTITY_FIELDS` value changes the hash
+    and thereby *invalidates resume on purpose*: records stored under
+    the old hash describe a different grid, so a re-run must start
+    fresh rather than restore them.
+    """
+    from ..storage import hash_payload
+
+    return hash_payload(campaign_grid_identity(config))
 
 
 @dataclass(frozen=True)
@@ -324,6 +455,54 @@ class RunRecord:
         }
         row.update(self.metrics)
         return row
+
+
+def record_to_payload(record: RunRecord) -> Dict[str, object]:
+    """One record as a JSON-safe dict, in ``--record-json`` row shape.
+
+    Exactly the shape :meth:`CampaignResult.to_payload` emits per
+    record (identity + flattened metric columns + ``run_index`` +
+    ``diagnostics``), so stored cells, record dumps and
+    ``benchmarks/compare_records.py`` all speak one format.
+    """
+    return {
+        **record.row(),
+        "run_index": record.run_index,
+        "diagnostics": dict(record.diagnostics),
+    }
+
+
+def record_from_payload(payload: Dict[str, object]) -> RunRecord:
+    """Rebuild a :class:`RunRecord` from its stored payload.
+
+    The inverse of :func:`record_to_payload`; because JSON floats
+    round-trip via ``repr``, the restored metrics are bit-identical to
+    the originals (asserted by ``tests/test_storage.py``).  A payload
+    missing a :data:`DETERMINISTIC_METRICS` column fails loudly -- it
+    was stored by an incompatible (older/newer) record schema.
+    """
+    try:
+        metrics = {
+            key: float(payload[key]) for key in DETERMINISTIC_METRICS
+        }
+    except KeyError as error:
+        raise ValueError(
+            f"stored record lacks metric column {error.args[0]!r}; it was "
+            "written by an incompatible record schema"
+        ) from None
+    diagnostics = {
+        key: value if isinstance(value, str) else int(value)
+        for key, value in (payload.get("diagnostics") or {}).items()
+    }
+    return RunRecord(
+        run_index=int(payload["run_index"]),
+        scenario=str(payload["scenario"]),
+        model=str(payload["model"]),
+        seed_index=int(payload["seed_index"]),
+        seed=int(payload["seed"]),
+        metrics=metrics,
+        diagnostics=diagnostics,
+    )
 
 
 #: Entropy constant separating shared-asset seeds from the per-cell
@@ -566,6 +745,9 @@ class CampaignResult:
                 # auth_token is intentionally absent: record dumps are
                 # shared artifacts and must never carry credentials.
                 "carol_overrides": [list(p) for p in self.config.carol_overrides],
+                "store": self.config.store,
+                "store_path": self.config.store_path,
+                "config_hash": campaign_config_hash(self.config),
             },
             "records": [
                 {
@@ -638,54 +820,119 @@ def run_campaign(
     when the campaign runs with ``shared_assets`` -- benches and tests
     use it to reuse one offline-training pass across several timed
     executions of the same grid.
+
+    Every campaign runs against a :class:`repro.storage.CampaignStore`
+    (``config.store``).  Cells already stored under this campaign's
+    config hash are *restored* instead of re-executed -- sound because
+    records are bit-identical across execution modes, so the stored
+    record is byte-for-byte the record a re-run would produce.  Fresh
+    records are persisted as they finish (serial and pool modes per
+    record, fleet mode from the record collector as workers stream
+    results), so a SIGKILLed campaign resumes from its last completed
+    cell.  The default ``memory`` store starts empty in every process
+    and therefore preserves the historical run-everything semantics
+    exactly.  Restored-cell counts land in the ``fleet.cells_resumed``
+    telemetry counter.
     """
+    from ..storage import open_store
+
     tasks = plan_tasks(config)
-    shared: Optional[Dict[str, TrainedAssets]] = None
-    if config.shared_assets:
-        if config.mode == "fleet" and config.service_addr:
-            # The external service already trained and published the
-            # assets; workers fetch them over the socket instead.
-            shared = {}
-        else:
-            shared = (
-                prepared_assets
-                if prepared_assets is not None
-                else prepare_campaign_assets(config, tasks)
-            )
-
-    if config.mode == "fleet":
-        from .fleet import run_fleet_campaign
-
-        telemetry_sink: List[dict] = []
-        records = run_fleet_campaign(
-            config, tasks, shared or {}, telemetry_sink=telemetry_sink
-        )
-        campaign_telemetry = (
-            telemetry_sink[0] if telemetry_sink else _telemetry.snapshot()
-        )
-    else:
-        per_task = [
-            shared.get(task.scenario)
-            if shared is not None and task.model in _CAROL_FAMILY
-            else None
+    config_hash = campaign_config_hash(config)
+    store = open_store(config.store, config.store_path)
+    try:
+        store.register_campaign(config_hash, campaign_grid_identity(config))
+        stored = {
+            (str(p["scenario"]), str(p["model"]), int(p["seed_index"])): p
+            for p in store.records(config_hash)
+        }
+        todo = [
+            task
             for task in tasks
+            if (task.scenario, task.model, task.seed_index) not in stored
         ]
-        if config.workers == 1:
-            outcomes = [
-                _execute_run_telemetry(task, assets)
-                for task, assets in zip(tasks, per_task)
-            ]
-        else:
-            with ProcessPoolExecutor(max_workers=config.workers) as executor:
-                outcomes = list(
-                    executor.map(
-                        _execute_run_telemetry, tasks, per_task, chunksize=1
-                    )
+        restored = [
+            record_from_payload(stored[(t.scenario, t.model, t.seed_index)])
+            for t in tasks
+            if (t.scenario, t.model, t.seed_index) in stored
+        ]
+        # Count the resumed cells *now* and capture just that increment
+        # as its own delta: fleet's internal base snapshot and the
+        # serial/pool per-cell deltas are all taken after this point,
+        # so merging the small delta at the end is the only way the
+        # counter reaches the campaign view without double counting.
+        resume_delta: dict = {}
+        if restored:
+            resume_base = _telemetry.snapshot()
+            _CELLS_RESUMED.inc(len(restored))
+            resume_delta = _telemetry.delta(resume_base)
+
+        def persist(record: RunRecord) -> None:
+            store.put_record(config_hash, record_to_payload(record))
+
+        shared: Optional[Dict[str, TrainedAssets]] = None
+        if config.shared_assets:
+            if config.mode == "fleet" and config.service_addr:
+                # The external service already trained and published the
+                # assets; workers fetch them over the socket instead.
+                shared = {}
+            else:
+                shared = (
+                    prepared_assets
+                    if prepared_assets is not None
+                    else prepare_campaign_assets(config, todo)
                 )
-        records = [record for record, _delta in outcomes]
-        campaign_telemetry = _telemetry.merge_snapshots(
-            *(delta for _record, delta in outcomes)
+
+        if config.mode == "fleet":
+            from .fleet import run_fleet_campaign
+
+            telemetry_sink: List[dict] = []
+            fresh = run_fleet_campaign(
+                config,
+                todo,
+                shared or {},
+                telemetry_sink=telemetry_sink,
+                record_sink=persist,
+            )
+            campaign_telemetry = (
+                telemetry_sink[0] if telemetry_sink else _telemetry.snapshot()
+            )
+        else:
+            per_task = [
+                shared.get(task.scenario)
+                if shared is not None and task.model in _CAROL_FAMILY
+                else None
+                for task in todo
+            ]
+            outcomes: List[Tuple[RunRecord, dict]] = []
+            if config.workers == 1:
+                for task, assets in zip(todo, per_task):
+                    outcome = _execute_run_telemetry(task, assets)
+                    persist(outcome[0])
+                    outcomes.append(outcome)
+            else:
+                with ProcessPoolExecutor(max_workers=config.workers) as executor:
+                    # map yields in submission order as cells finish;
+                    # persisting inside the loop keeps the store
+                    # current while later cells still run.
+                    for outcome in executor.map(
+                        _execute_run_telemetry, todo, per_task, chunksize=1
+                    ):
+                        persist(outcome[0])
+                        outcomes.append(outcome)
+            fresh = [record for record, _delta in outcomes]
+            campaign_telemetry = _telemetry.merge_snapshots(
+                *(delta for _record, delta in outcomes)
+            )
+        if resume_delta:
+            campaign_telemetry = _telemetry.merge_snapshots(
+                campaign_telemetry, resume_delta
+            )
+        store.merge_telemetry(config_hash, campaign_telemetry)
+        records = sorted(
+            restored + list(fresh), key=lambda record: record.run_index
         )
+    finally:
+        store.close()
     return CampaignResult(
         config=config, records=records, telemetry=campaign_telemetry
     )

@@ -101,6 +101,8 @@ from .campaign import (
     RunRecord,
     RunTask,
     _CAROL_FAMILY,
+    campaign_config_hash,
+    campaign_grid_identity,
     cell_carol_config,
     plan_tasks,
     run_cell,
@@ -600,12 +602,16 @@ def _start_worker_watchdog(
     return stop
 
 
-def _collect_elastic(
-    results_queue,
-    expected: Set[int],
-    workers: List,
-) -> Tuple[Dict[int, RunRecord], Set[int], List[dict]]:
-    """Drain worker records until every expected cell is accounted for.
+class _ElasticCollector:
+    """Drains worker records on a thread *while* the scoring loop runs.
+
+    Historically collection happened after ``serve_transport``
+    returned, which was fine when records only had to reach the
+    parent's memory -- but a store-backed campaign must persist each
+    record the moment it arrives, or a SIGKILL mid-campaign loses
+    everything workers already delivered.  The collector therefore
+    starts before the serve loop and feeds every first-seen record to
+    ``on_record`` (the campaign's store persist hook) as it lands.
 
     A cell is accounted for when its record arrived *or* a drained
     worker reported it poisoned.  Duplicate records (zombie workers
@@ -614,53 +620,88 @@ def _collect_elastic(
     decides when to give up: while any worker is alive we keep
     waiting; once every worker has exited, whatever is coming is
     already in the queue's pipe buffer, so a short drain grace period
-    bounds the wait before failing loudly.
+    bounds the wait before failing loudly.  ``result()`` joins the
+    thread and re-raises whatever the drain loop raised (lost-record
+    errors, a failing ``on_record`` persist).
     """
-    records: Dict[int, RunRecord] = {}
-    poisoned: Set[int] = set()
-    snapshots: List[dict] = []
 
-    def take(item) -> None:
+    def __init__(
+        self,
+        results_queue,
+        expected: Set[int],
+        workers: List,
+        on_record: Optional[Callable[[RunRecord], None]] = None,
+    ) -> None:
+        self._queue = results_queue
+        self._expected = set(expected)
+        self._workers = workers
+        self._on_record = on_record
+        self.records: Dict[int, RunRecord] = {}
+        self.poisoned: Set[int] = set()
+        self.snapshots: List[dict] = []
+        self._error: Optional[BaseException] = None
+        self._thread = threading.Thread(
+            target=self._drain, name="fleet-collector", daemon=True
+        )
+        self._thread.start()
+
+    def _take(self, item) -> None:
         if isinstance(item, _WorkerDone):
-            snapshots.append(item.snapshot)
-            poisoned.update(item.poisoned)
-        elif item.run_index in records:
+            self.snapshots.append(item.snapshot)
+            self.poisoned.update(item.poisoned)
+        elif item.run_index in self.records:
             _DUPLICATE_RECORDS.inc()
         else:
-            records[item.run_index] = item
+            self.records[item.run_index] = item
+            if self._on_record is not None:
+                self._on_record(item)
 
-    grace_deadline: Optional[float] = None
-    while True:
-        outstanding = expected - set(records) - poisoned
-        alive = any(worker.is_alive() for worker in list(workers))
-        if not outstanding and not alive:
-            break
+    def _drain(self) -> None:
         try:
-            take(results_queue.get(timeout=0.5))
-            continue
-        except queue_module.Empty:
-            pass
-        if alive:
-            grace_deadline = None
-            continue
-        if not outstanding:
-            continue  # workers draining their exit; loop re-checks
-        if grace_deadline is None:
-            grace_deadline = time.monotonic() + _DRAIN_GRACE_SECONDS
-        if time.monotonic() >= grace_deadline:
-            raise RuntimeError(
-                "fleet campaign lost records for cells "
-                f"{sorted(outstanding)}: every worker exited but the "
-                "results never arrived -- check worker stderr above"
-            )
-    # Final sweep for already-buffered straggler frames (a zombie's
-    # duplicate record, a late _WorkerDone) so accounting is complete.
-    while True:
-        try:
-            take(results_queue.get(timeout=0.2))
-        except queue_module.Empty:
-            break
-    return records, poisoned, snapshots
+            grace_deadline: Optional[float] = None
+            while True:
+                outstanding = (
+                    self._expected - set(self.records) - self.poisoned
+                )
+                alive = any(w.is_alive() for w in list(self._workers))
+                if not outstanding and not alive:
+                    break
+                try:
+                    self._take(self._queue.get(timeout=0.5))
+                    continue
+                except queue_module.Empty:
+                    pass
+                if alive:
+                    grace_deadline = None
+                    continue
+                if not outstanding:
+                    continue  # workers draining their exit; loop re-checks
+                if grace_deadline is None:
+                    grace_deadline = time.monotonic() + _DRAIN_GRACE_SECONDS
+                if time.monotonic() >= grace_deadline:
+                    raise RuntimeError(
+                        "fleet campaign lost records for cells "
+                        f"{sorted(outstanding)}: every worker exited but "
+                        "the results never arrived -- check worker stderr "
+                        "above"
+                    )
+            # Final sweep for already-buffered straggler frames (a
+            # zombie's duplicate record, a late _WorkerDone) so
+            # accounting is complete.
+            while True:
+                try:
+                    self._take(self._queue.get(timeout=0.2))
+                except queue_module.Empty:
+                    break
+        except BaseException as error:  # re-raised from result()
+            self._error = error
+
+    def result(self) -> Tuple[Dict[int, RunRecord], Set[int], List[dict]]:
+        """Join the drain thread; raise its error or return its haul."""
+        self._thread.join()
+        if self._error is not None:
+            raise self._error
+        return self.records, self.poisoned, self.snapshots
 
 
 def _warn_poisoned(poisoned: Set[int], retry_budget: int) -> None:
@@ -680,6 +721,7 @@ def run_fleet_campaign(
     stats_sink: Optional[List[ServiceStats]] = None,
     telemetry_sink: Optional[List[dict]] = None,
     chaos: Optional[Callable[[FleetChaosHandle], None]] = None,
+    record_sink: Optional[Callable[[RunRecord], None]] = None,
 ) -> List[RunRecord]:
     """Execute ``tasks`` with an elastic fleet against one scoring service.
 
@@ -692,9 +734,13 @@ def run_fleet_campaign(
     snapshot covering the parent (service included when self-hosted)
     and every surviving worker's final delta (a killed worker's
     in-flight telemetry dies with it; its cells' records do not).
-    ``config.transport`` selects queue or TCP plumbing; ``chaos``
-    (tests only) receives a :class:`FleetChaosHandle` on a daemon
-    thread once the fleet is running.
+    ``record_sink``, when given, receives each first-seen record the
+    moment it arrives from a worker -- ``run_campaign`` passes its
+    store persist hook here, which is what makes a SIGKILLed fleet
+    campaign resumable.  ``config.transport`` selects queue or TCP
+    plumbing; ``chaos`` (tests only) receives a
+    :class:`FleetChaosHandle` on a daemon thread once the fleet is
+    running.
     """
     tasks = list(tasks)
     if not tasks:
@@ -703,7 +749,8 @@ def run_fleet_campaign(
         return []
     if getattr(config, "transport", "queue") == "tcp":
         return _run_tcp_fleet_campaign(
-            config, tasks, shared_assets, stats_sink, telemetry_sink, chaos
+            config, tasks, shared_assets, stats_sink, telemetry_sink, chaos,
+            record_sink,
         )
     base = _telemetry.snapshot()
     ctx = multiprocessing.get_context()
@@ -782,13 +829,17 @@ def run_fleet_campaign(
                 f"{coordinator.status()['pending']} still queued"
             )
 
+        collector = _ElasticCollector(
+            results_queue,
+            {task.run_index for task in tasks},
+            workers,
+            on_record=record_sink,
+        )
         stats = serve_transport(service, transport, abort=abort)
         if stats_sink is not None:
             stats_sink.append(stats)
 
-        records, poisoned, worker_snapshots = _collect_elastic(
-            results_queue, {task.run_index for task in tasks}, workers
-        )
+        records, poisoned, worker_snapshots = collector.result()
         poisoned |= set(coordinator.poisoned)
         _warn_poisoned(poisoned, retry_budget)
         if telemetry_sink is not None:
@@ -823,6 +874,7 @@ def _run_tcp_fleet_campaign(
     stats_sink: Optional[List[ServiceStats]] = None,
     telemetry_sink: Optional[List[dict]] = None,
     chaos: Optional[Callable[[FleetChaosHandle], None]] = None,
+    record_sink: Optional[Callable[[RunRecord], None]] = None,
 ) -> List[RunRecord]:
     """Fleet execution over sockets: self-hosted or external service.
 
@@ -910,6 +962,12 @@ def _run_tcp_fleet_campaign(
             ),
         )
 
+        collector = _ElasticCollector(
+            results_queue,
+            {task.run_index for task in tasks},
+            workers,
+            on_record=record_sink,
+        )
         if service is not None:
 
             def abort() -> bool:
@@ -928,9 +986,7 @@ def _run_tcp_fleet_campaign(
             if stats_sink is not None:
                 stats_sink.append(stats)
 
-        records, poisoned, worker_snapshots = _collect_elastic(
-            results_queue, {task.run_index for task in tasks}, workers
-        )
+        records, poisoned, worker_snapshots = collector.result()
         if coordinator is not None:
             poisoned |= set(coordinator.poisoned)
         _warn_poisoned(poisoned, retry_budget)
@@ -1043,13 +1099,43 @@ def serve_fleet_service(
     handshakes: a ``Hello`` with the wrong token is rejected before
     ``Welcome``.  ``telemetry_sink``, when given, receives the final
     merged snapshot after the scoring loop winds down.
+
+    With ``config.store == "sqlite"`` the service resumes: cells whose
+    records the store already holds are born completed in the lease
+    queue (``fleet.cells_resumed``) and never handed to workers.  The
+    campaign parent that connects must use the same store -- it is the
+    side that restores those cells' records; this process only skips
+    the leases.
     """
     from ..serving.transports import TransportError
 
     tasks = plan_tasks(config)
     retry_budget = int(getattr(config, "cell_retry_budget", 3))
+    completed: List[int] = []
+    if getattr(config, "store", "memory") == "sqlite":
+        from ..storage import open_store
+
+        config_hash = campaign_config_hash(config)
+        with open_store(config.store, config.store_path) as store:
+            store.register_campaign(
+                config_hash, campaign_grid_identity(config)
+            )
+            done = store.completed_cells(config_hash)
+        completed = [
+            task.run_index
+            for task in tasks
+            if (task.scenario, task.model, task.seed_index) in done
+        ]
+        if completed:
+            print(
+                f"store: {len(completed)} of {len(tasks)} cells already "
+                "completed; they will not be leased",
+                file=sys.stderr,
+            )
     coordinator = CellCoordinator(
-        [task.run_index for task in tasks], retry_budget=retry_budget
+        [task.run_index for task in tasks],
+        retry_budget=retry_budget,
+        completed=completed,
     )
     auth_token = auth_token or str(getattr(config, "auth_token", "") or "")
     asset_packs, asset_index, models = _pack_campaign_assets(shared_assets)

@@ -25,6 +25,13 @@ fleets).  The request path::
   ``repro.core.scoring.SurrogateScorer`` backend CAROL mounts in
   fleet campaigns (see :mod:`repro.experiments.fleet`).
 
+The invariants this docstring states in protocol terms -- bit-identity
+across transports, the overlay/generation rules, the lease/poison
+lifecycle, and the cell-id/config-hash scheme that lets a
+:mod:`repro.storage` store pre-complete the coordinator on resume --
+are collected with their soundness arguments in
+``docs/architecture.md``.
+
 The overlay protocol
 --------------------
 CAROL fine-tunes its GON whenever the POT confidence gate opens, and a

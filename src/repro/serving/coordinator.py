@@ -52,29 +52,65 @@ _LEASES = _telemetry.counter("fleet.leases")
 _REQUEUED = _telemetry.counter("fleet.cells_requeued")
 _POISONED = _telemetry.counter("fleet.cells_poisoned")
 _DUPLICATES = _telemetry.counter("fleet.duplicate_completions")
+#: Cells pre-completed from a campaign store instead of leased out --
+#: same counter name the campaign parent uses for records it restores.
+_RESUMED = _telemetry.counter("fleet.cells_resumed")
 
 
 class CellCoordinator:
-    """Thread-safe lease queue over a campaign's cell ids."""
+    """Thread-safe lease queue over a campaign's cell ids.
 
-    def __init__(self, cell_ids: Iterable[int], retry_budget: int = 3):
+    Cell ids are campaign task ``run_index`` values -- the integer face
+    of the canonical cell id ``(config_hash, scenario, model,
+    seed_index)``: :func:`repro.experiments.campaign.plan_tasks`
+    enumerates the grid in fixed order, so within one campaign the two
+    forms are interchangeable (``repro.storage`` keys by the tuple,
+    the wire protocol and this queue move the integer).
+
+    ``completed`` pre-completes cells at construction -- the resume
+    path of a store-backed ``python -m repro serve``: cells whose
+    records the :class:`~repro.storage.CampaignStore` already holds
+    are born completed (owner ``-1``, nobody ran them), never enter
+    the pending queue, and are counted in ``fleet.cells_resumed``.
+    """
+
+    def __init__(
+        self,
+        cell_ids: Iterable[int],
+        retry_budget: int = 3,
+        completed: Iterable[int] = (),
+    ):
         cells = [int(cell) for cell in cell_ids]
         if len(set(cells)) != len(cells):
             raise ValueError("cell ids must be unique")
         if retry_budget < 1:
             raise ValueError(f"retry_budget must be >= 1, got {retry_budget}")
+        resumed = sorted({int(cell) for cell in completed})
+        unknown = [cell for cell in resumed if cell not in set(cells)]
+        if unknown:
+            raise ValueError(
+                f"pre-completed cells {unknown} are not in the campaign "
+                "grid; the store and the config disagree"
+            )
         self.retry_budget = int(retry_budget)
         self._lock = threading.RLock()
         self._all: Tuple[int, ...] = tuple(cells)
-        self._pending: deque = deque(cells)
+        self._pending: deque = deque(
+            cell for cell in cells if cell not in set(resumed)
+        )
         self._leases: Dict[int, int] = {}  # cell_id -> worker_id
         self._attempts: Dict[int, int] = {cell: 0 for cell in cells}
         self._failures: Dict[int, int] = {cell: 0 for cell in cells}
         self._by_worker: Dict[int, Set[int]] = {}
-        self.completed: Dict[int, int] = {}  # cell_id -> worker_id (first wins)
+        #: cell_id -> worker_id (first wins; -1 = restored from a store)
+        self.completed: Dict[int, int] = {cell: -1 for cell in resumed}
+        #: Cells that were pre-completed at construction (resume view).
+        self.resumed: Tuple[int, ...] = tuple(resumed)
         self.poisoned: Set[int] = set()
         self.requeued_total = 0
         self.duplicate_completions = 0
+        if resumed:
+            _RESUMED.inc(len(resumed))
 
     # ------------------------------------------------------------------
     # Worker-facing operations
@@ -200,6 +236,7 @@ class CellCoordinator:
                     for cell, worker in sorted(self._leases.items())
                 },
                 "poisoned": sorted(self.poisoned),
+                "cells_resumed": len(self.resumed),
                 "cells_requeued": self.requeued_total,
                 "cells_poisoned": len(self.poisoned),
                 "duplicate_completions": self.duplicate_completions,

@@ -1,0 +1,95 @@
+"""``repro.storage`` -- durable campaign records behind one seam.
+
+Campaigns used to be fire-and-forget: every
+:class:`~repro.experiments.campaign.RunRecord` lived in the parent
+process and died with it, so an interrupted million-cell campaign
+restarted from zero and results stopped being queryable the moment
+the summary printed.  This package makes records **assets**:
+
+* a :class:`~repro.storage.base.CampaignStore` interface keyed by the
+  canonical cell id ``(config_hash, scenario, model, seed_index)``;
+* two backends behind :func:`open_store` -- ``memory`` (the default;
+  preserves the historical in-process semantics exactly) and
+  ``sqlite`` (stdlib ``sqlite3`` in WAL mode, one row per cell,
+  records serialized as canonical JSON so restored metrics round-trip
+  bit-identically);
+* resume by construction: ``run_campaign`` consults
+  ``completed_cells()`` before executing, restored records stand in
+  for their cells (bit-identity across execution modes makes that
+  sound), and the skip count lands in the ``fleet.cells_resumed``
+  telemetry counter.  ``python -m repro serve`` does the same on the
+  service side, pre-completing the
+  :class:`~repro.serving.coordinator.CellCoordinator` lease queue so
+  already-stored cells are never leased to workers.
+
+See ``docs/architecture.md`` ("Cell identity and the config hash")
+for what is hashed, what is deliberately excluded, and why changing
+the identity invalidates resumes.  The CLI surface is
+``campaign --store sqlite --store-path runs.db``, ``serve --store
+...`` and the ``repro store list|show|export`` family; downstream,
+``benchmarks/compare_records.py`` and ``repro telemetry`` accept a
+store file anywhere they accept a records JSON.
+"""
+
+from __future__ import annotations
+
+from .base import (
+    CampaignStore,
+    CellKey,
+    StoredCampaign,
+    StoreError,
+    canonical_json,
+    hash_payload,
+    short_hash,
+)
+from .memory import MemoryCampaignStore
+from .sqlite import SQLITE_MAGIC, SqliteCampaignStore
+
+__all__ = [
+    "CampaignStore",
+    "CellKey",
+    "MemoryCampaignStore",
+    "SqliteCampaignStore",
+    "StoreError",
+    "StoredCampaign",
+    "STORE_KINDS",
+    "SQLITE_MAGIC",
+    "canonical_json",
+    "hash_payload",
+    "is_sqlite_store",
+    "open_store",
+    "short_hash",
+]
+
+#: Backend names accepted by :func:`open_store` and
+#: ``CampaignConfig.store`` -- one source of truth for validation.
+STORE_KINDS = ("memory", "sqlite")
+
+
+def open_store(kind: str, path: str = "") -> CampaignStore:
+    """Factory: one place maps backend names to implementations.
+
+    ``memory`` ignores ``path`` (there is nothing to point at);
+    ``sqlite`` requires one and creates the database on first open.
+    """
+    if kind == "memory":
+        return MemoryCampaignStore()
+    if kind == "sqlite":
+        return SqliteCampaignStore(path)
+    raise StoreError(
+        f"unknown campaign store {kind!r}; expected one of {STORE_KINDS}"
+    )
+
+
+def is_sqlite_store(path: str) -> bool:
+    """Sniff a file's magic: is this a SQLite database?
+
+    The detection key that lets ``repro telemetry``, ``repro store``
+    and ``benchmarks/compare_records.py`` accept either a records
+    JSON or a store file through the same argument.
+    """
+    try:
+        with open(path, "rb") as probe:
+            return probe.read(len(SQLITE_MAGIC)) == SQLITE_MAGIC
+    except OSError:
+        return False

@@ -1,0 +1,253 @@
+"""The ``CampaignStore`` contract and its serialization helpers.
+
+A campaign store is a durable map from the canonical cell id to the
+cell's finished record.  The **cell id** is::
+
+    (config_hash, scenario, model, seed_index)
+
+where ``config_hash`` is the SHA-256 of the campaign's canonical *grid
+identity* -- the :func:`repro.experiments.campaign.
+campaign_grid_identity` payload covering every
+:class:`~repro.experiments.campaign.CampaignConfig` field that can
+change record *content* (scenario/model/seed grid, interval and
+offline-training sizes, overrides, scorer backend) and deliberately
+excluding pure execution topology (worker count, mode, transport,
+timeouts, credentials, the store settings themselves).  Because
+campaign records are bit-identical across execution modes, two runs
+that agree on the grid identity produce byte-identical records -- so
+a stored record can stand in for re-running its cell, which is what
+makes resume sound.
+
+Serialization is lossless by construction: records are stored as
+canonical JSON, and Python's ``json`` emits floats via ``repr`` (the
+shortest round-tripping form), so ``float -> text -> float`` is
+bit-exact for every finite value (NaN/Infinity ride the ``json``
+module's literal spellings).  The round-trip property -- a restored
+:class:`~repro.experiments.campaign.RunRecord` compares equal, metric
+bits included, to the record that was stored -- is pinned by
+``tests/test_storage.py``.
+
+Write semantics are **first-wins and tamper-loud**:
+
+* registering a campaign whose ``config_hash`` already exists with a
+  *different* grid payload raises :class:`StoreError` (a hash
+  collision or a corrupted store -- resuming against it would mix
+  records from different grids, so the store refuses loudly);
+* re-putting an identical record is a counted no-op (fleet zombie
+  workers legitimately deliver duplicates);
+* putting a *different* record for an already-stored cell raises
+  :class:`StoreError` -- bit-identity says that can only happen when
+  the store or the run is corrupted.
+
+Only stdlib imports here: benchmarks and external tooling read stores
+without importing the nn/simulation stack.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+__all__ = [
+    "CampaignStore",
+    "StoreError",
+    "StoredCampaign",
+    "CellKey",
+    "canonical_json",
+    "hash_payload",
+    "short_hash",
+]
+
+#: (scenario, model, seed_index) -- the within-campaign half of the
+#: canonical cell id; the campaign half is the config hash.
+CellKey = Tuple[str, str, int]
+
+
+class StoreError(RuntimeError):
+    """A store invariant was violated (mismatch, corruption, misuse)."""
+
+
+def canonical_json(payload) -> str:
+    """Deterministic JSON text: sorted keys, no whitespace.
+
+    The canonical form is both the hashing surface (two configs hash
+    equal iff their grid identities are equal) and the storage format
+    (equality of stored text implies equality of restored values).
+    """
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def hash_payload(payload) -> str:
+    """SHA-256 hex digest of a payload's canonical JSON."""
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+def short_hash(config_hash: str) -> str:
+    """Display form of a config hash (12 hex chars, like git)."""
+    return config_hash[:12]
+
+
+@dataclass(frozen=True)
+class StoredCampaign:
+    """One campaign's summary row (``repro store list``)."""
+
+    config_hash: str
+    grid: Dict[str, object]
+    cells_completed: int
+
+    @property
+    def cells_total(self) -> int:
+        """Grid size implied by the identity payload."""
+        return (
+            len(self.grid.get("scenarios", ()))
+            * len(self.grid.get("models", ()))
+            * int(self.grid.get("n_seeds", 0))
+        )
+
+
+class CampaignStore(ABC):
+    """Durable (or in-memory) map from canonical cell ids to records.
+
+    Record payloads are opaque JSON-safe dicts in the shape of one
+    ``campaign --record-json`` records entry (identity columns, metric
+    columns, ``run_index``, ``diagnostics``) -- see
+    :func:`repro.experiments.campaign.record_to_payload`.  The store
+    indexes them by the cell key and never interprets the metrics.
+    """
+
+    #: Factory name of the backend ("memory" / "sqlite").
+    kind: str = ""
+
+    # -- campaign registry -------------------------------------------------
+    @abstractmethod
+    def register_campaign(
+        self, config_hash: str, grid: Dict[str, object]
+    ) -> None:
+        """Idempotently register a campaign's grid identity.
+
+        Raises :class:`StoreError` when ``config_hash`` is already
+        registered with a *different* grid payload: resuming against a
+        mismatched identity would attribute foreign records to this
+        campaign, so the store refuses loudly instead.
+        """
+
+    @abstractmethod
+    def campaigns(self) -> List[StoredCampaign]:
+        """Every registered campaign, sorted by config hash."""
+
+    @abstractmethod
+    def grid(self, config_hash: str) -> Dict[str, object]:
+        """The registered grid identity (raises :class:`StoreError`)."""
+
+    # -- cell records ------------------------------------------------------
+    @abstractmethod
+    def put_record(self, config_hash: str, payload: Dict[str, object]) -> bool:
+        """Store one finished cell's record payload, first-wins.
+
+        Returns True when the record was newly stored, False for a
+        byte-identical duplicate.  Raises :class:`StoreError` for an
+        unregistered campaign or a *conflicting* record for an
+        already-stored cell.
+        """
+
+    @abstractmethod
+    def get_record(
+        self, config_hash: str, scenario: str, model: str, seed_index: int
+    ) -> Optional[Dict[str, object]]:
+        """One cell's stored payload, or None when not yet completed."""
+
+    @abstractmethod
+    def records(self, config_hash: str) -> List[Dict[str, object]]:
+        """All stored payloads of a campaign, sorted by ``run_index``."""
+
+    @abstractmethod
+    def completed_cells(self, config_hash: str) -> Set[CellKey]:
+        """Cell keys that already hold a record (the resume skip set)."""
+
+    # -- telemetry ---------------------------------------------------------
+    @abstractmethod
+    def merge_telemetry(self, config_hash: str, snapshot: dict) -> None:
+        """Fold one execution's merged snapshot into the stored view.
+
+        Uses :func:`repro.telemetry.merge_snapshots` semantics, so the
+        stored snapshot accumulates across interrupted runs exactly as
+        worker snapshots accumulate within one run.
+        """
+
+    @abstractmethod
+    def telemetry(self, config_hash: str) -> dict:
+        """The accumulated telemetry snapshot (may be empty)."""
+
+    # -- lifecycle ---------------------------------------------------------
+    def close(self) -> None:  # pragma: no cover - trivial default
+        """Release backend resources; further use is undefined."""
+
+    def __enter__(self) -> "CampaignStore":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    # -- shared conveniences ----------------------------------------------
+    def only_campaign(self) -> str:
+        """The single registered campaign's hash (raises otherwise)."""
+        rows = self.campaigns()
+        if len(rows) == 1:
+            return rows[0].config_hash
+        if not rows:
+            raise StoreError("store holds no campaigns")
+        raise StoreError(
+            "store holds several campaigns; pick one of: "
+            + ", ".join(short_hash(row.config_hash) for row in rows)
+        )
+
+    def resolve_campaign(self, prefix: str = "") -> str:
+        """Resolve a (possibly short) hash prefix to one campaign."""
+        if not prefix:
+            return self.only_campaign()
+        matches = [
+            row.config_hash
+            for row in self.campaigns()
+            if row.config_hash.startswith(prefix)
+        ]
+        if len(matches) == 1:
+            return matches[0]
+        if not matches:
+            raise StoreError(f"no campaign matches {prefix!r}")
+        raise StoreError(
+            f"campaign prefix {prefix!r} is ambiguous: "
+            + ", ".join(short_hash(match) for match in matches)
+        )
+
+    def export_payload(self, config_hash: str) -> Dict[str, object]:
+        """A ``campaign --record-json``-shaped dump of one campaign.
+
+        ``config`` carries the grid identity (plus the hash itself),
+        ``records`` the stored cells sorted by ``run_index``, and
+        ``telemetry`` the accumulated snapshot -- the exact surface
+        ``benchmarks/compare_records.py`` and ``repro telemetry``
+        consume, so a store file substitutes for a records JSON
+        anywhere downstream.
+        """
+        return {
+            "config": dict(self.grid(config_hash), config_hash=config_hash),
+            "records": self.records(config_hash),
+            "telemetry": self.telemetry(config_hash),
+        }
+
+    @staticmethod
+    def _check_cell_payload(payload: Dict[str, object]) -> CellKey:
+        """Validate the identity columns; returns the cell key."""
+        try:
+            return (
+                str(payload["scenario"]),
+                str(payload["model"]),
+                int(payload["seed_index"]),
+            )
+        except (KeyError, TypeError, ValueError) as error:
+            raise StoreError(
+                f"record payload missing identity columns: {error!r}"
+            ) from None

@@ -1,0 +1,135 @@
+"""In-memory campaign store: today's semantics, behind the seam.
+
+The default backend.  Nothing outlives the process -- a fresh store is
+always empty, so no cell is ever skipped and ``run_campaign`` behaves
+exactly as it did before the storage seam existed.  Its value is the
+shared contract: the memory and sqlite backends pass the same parity
+suite (``tests/test_storage.py``), so "works against memory" implies
+"works against sqlite" for every put/get/list/skip path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from typing import Dict, List, Optional, Set
+
+from .base import (
+    CampaignStore,
+    CellKey,
+    StoredCampaign,
+    StoreError,
+    canonical_json,
+)
+
+__all__ = ["MemoryCampaignStore"]
+
+
+class _Campaign:
+    __slots__ = ("grid", "records", "telemetry")
+
+    def __init__(self, grid: Dict[str, object]) -> None:
+        self.grid = grid
+        self.records: Dict[CellKey, Dict[str, object]] = {}
+        self.telemetry: dict = {}
+
+
+class MemoryCampaignStore(CampaignStore):
+    """Dict-backed store; thread-safe like its sqlite sibling."""
+
+    kind = "memory"
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._campaigns: Dict[str, _Campaign] = {}
+
+    def register_campaign(
+        self, config_hash: str, grid: Dict[str, object]
+    ) -> None:
+        with self._lock:
+            existing = self._campaigns.get(config_hash)
+            if existing is None:
+                self._campaigns[config_hash] = _Campaign(dict(grid))
+            elif canonical_json(existing.grid) != canonical_json(grid):
+                raise StoreError(
+                    f"campaign {config_hash} is already registered with a "
+                    "different grid identity; refusing to resume against a "
+                    "mismatched config"
+                )
+
+    def campaigns(self) -> List[StoredCampaign]:
+        with self._lock:
+            return [
+                StoredCampaign(
+                    config_hash=config_hash,
+                    grid=dict(campaign.grid),
+                    cells_completed=len(campaign.records),
+                )
+                for config_hash, campaign in sorted(self._campaigns.items())
+            ]
+
+    def grid(self, config_hash: str) -> Dict[str, object]:
+        return dict(self._campaign(config_hash).grid)
+
+    def put_record(self, config_hash: str, payload: Dict[str, object]) -> bool:
+        key = self._check_cell_payload(payload)
+        text = canonical_json(payload)
+        with self._lock:
+            campaign = self._campaign(config_hash)
+            existing = campaign.records.get(key)
+            if existing is not None:
+                if canonical_json(existing) != text:
+                    raise StoreError(
+                        f"cell {key} of campaign {config_hash} already holds "
+                        "a different record; records are bit-identical by "
+                        "contract, so the store (or the run) is corrupted"
+                    )
+                return False
+            # Round-trip through the canonical text so memory and
+            # sqlite return indistinguishable (JSON-shaped) payloads.
+            campaign.records[key] = json.loads(text)
+            return True
+
+    def get_record(
+        self, config_hash: str, scenario: str, model: str, seed_index: int
+    ) -> Optional[Dict[str, object]]:
+        with self._lock:
+            record = self._campaign(config_hash).records.get(
+                (str(scenario), str(model), int(seed_index))
+            )
+            return dict(record) if record is not None else None
+
+    def records(self, config_hash: str) -> List[Dict[str, object]]:
+        with self._lock:
+            return sorted(
+                (dict(r) for r in self._campaign(config_hash).records.values()),
+                key=lambda payload: int(payload.get("run_index", 0)),
+            )
+
+    def completed_cells(self, config_hash: str) -> Set[CellKey]:
+        with self._lock:
+            campaign = self._campaigns.get(config_hash)
+            return set(campaign.records) if campaign is not None else set()
+
+    def merge_telemetry(self, config_hash: str, snapshot: dict) -> None:
+        if not snapshot:
+            return
+        from ..telemetry import merge_snapshots
+
+        with self._lock:
+            campaign = self._campaign(config_hash)
+            campaign.telemetry = (
+                merge_snapshots(campaign.telemetry, snapshot)
+                if campaign.telemetry
+                else dict(snapshot)
+            )
+
+    def telemetry(self, config_hash: str) -> dict:
+        with self._lock:
+            return dict(self._campaign(config_hash).telemetry)
+
+    def _campaign(self, config_hash: str) -> _Campaign:
+        campaign = self._campaigns.get(config_hash)
+        if campaign is None:
+            raise StoreError(f"unknown campaign {config_hash!r}")
+        return campaign

@@ -1,0 +1,257 @@
+"""SQLite campaign store: durable, resumable, crash-safe.
+
+Stdlib ``sqlite3`` only.  The schema mirrors the canonical cell id::
+
+    campaigns(config_hash PRIMARY KEY, grid_json, telemetry_json)
+    cells(config_hash, scenario, model, seed_index  -- the cell id
+          run_index, record_json,
+          PRIMARY KEY (config_hash, scenario, model, seed_index))
+
+Durability and concurrency choices:
+
+* **WAL journal** -- writers never block the readers that poll a live
+  campaign (``repro store list`` / the CI resume smoke watch loop),
+  and a SIGKILLed writer leaves a consistent database: whatever
+  committed before the kill is there after reopen, half-written
+  transactions are rolled back by WAL recovery on the next open.
+* **Autocommit per record** -- every ``put_record`` is its own
+  transaction, so a campaign interrupted at cell *k* resumes with
+  exactly *k* cells completed; there is no end-of-run flush to lose.
+* **One connection, one lock** -- the fleet collector thread persists
+  records while the main thread opened the store, so the connection
+  is created with ``check_same_thread=False`` and every statement
+  runs under an ``RLock`` (sqlite3 serializes internally too; the
+  lock makes read-modify-write sequences atomic).
+
+Records are stored as canonical JSON text; Python's ``json`` writes
+floats via ``repr`` so the metric bits survive the text round-trip
+exactly (see :mod:`repro.storage.base`).  ``user_version`` pins the
+schema: a future incompatible layout bumps it, and opening a store
+from the wrong era fails loudly instead of misreading it.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import threading
+from typing import Dict, List, Optional, Set
+
+from .base import (
+    CampaignStore,
+    CellKey,
+    StoredCampaign,
+    StoreError,
+    canonical_json,
+)
+
+__all__ = ["SqliteCampaignStore", "SQLITE_MAGIC"]
+
+#: First 16 bytes of every SQLite database file -- the sniffing key
+#: that lets CLIs accept "records JSON or store file" transparently.
+SQLITE_MAGIC = b"SQLite format 3\x00"
+
+#: Schema era of this module; bump on incompatible layout changes.
+SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS campaigns (
+    config_hash TEXT PRIMARY KEY,
+    grid_json TEXT NOT NULL,
+    telemetry_json TEXT NOT NULL DEFAULT '{}'
+);
+CREATE TABLE IF NOT EXISTS cells (
+    config_hash TEXT NOT NULL,
+    scenario TEXT NOT NULL,
+    model TEXT NOT NULL,
+    seed_index INTEGER NOT NULL,
+    run_index INTEGER NOT NULL,
+    record_json TEXT NOT NULL,
+    PRIMARY KEY (config_hash, scenario, model, seed_index)
+);
+"""
+
+
+class SqliteCampaignStore(CampaignStore):
+    """One-file durable store keyed by the canonical cell id."""
+
+    kind = "sqlite"
+
+    def __init__(self, path: str) -> None:
+        if not path:
+            raise StoreError("sqlite store needs a file path")
+        self.path = path
+        self._lock = threading.RLock()
+        # check_same_thread=False: the fleet record collector persists
+        # from its drain thread; the RLock serializes our access.
+        self._conn = sqlite3.connect(
+            path, check_same_thread=False, isolation_level=None
+        )
+        try:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            version = int(
+                self._conn.execute("PRAGMA user_version").fetchone()[0]
+            )
+            if version == 0:
+                self._conn.executescript(_SCHEMA)
+                self._conn.execute(f"PRAGMA user_version={SCHEMA_VERSION}")
+            elif version != SCHEMA_VERSION:
+                raise StoreError(
+                    f"{path}: campaign-store schema version {version} is "
+                    f"not the supported {SCHEMA_VERSION}; refusing to "
+                    "misread it"
+                )
+        except sqlite3.DatabaseError as error:
+            self._conn.close()
+            raise StoreError(f"{path}: not a campaign store: {error}") from None
+        except StoreError:
+            self._conn.close()
+            raise
+
+    def register_campaign(
+        self, config_hash: str, grid: Dict[str, object]
+    ) -> None:
+        text = canonical_json(grid)
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT grid_json FROM campaigns WHERE config_hash=?",
+                (config_hash,),
+            ).fetchone()
+            if row is None:
+                self._conn.execute(
+                    "INSERT INTO campaigns (config_hash, grid_json) "
+                    "VALUES (?, ?)",
+                    (config_hash, text),
+                )
+            elif canonical_json(json.loads(row[0])) != text:
+                raise StoreError(
+                    f"{self.path}: campaign {config_hash} is already "
+                    "registered with a different grid identity; refusing "
+                    "to resume against a mismatched config"
+                )
+
+    def campaigns(self) -> List[StoredCampaign]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT c.config_hash, c.grid_json, "
+                "  (SELECT COUNT(*) FROM cells WHERE config_hash=c.config_hash) "
+                "FROM campaigns c ORDER BY c.config_hash"
+            ).fetchall()
+        return [
+            StoredCampaign(
+                config_hash=config_hash,
+                grid=json.loads(grid_json),
+                cells_completed=int(n_cells),
+            )
+            for config_hash, grid_json, n_cells in rows
+        ]
+
+    def grid(self, config_hash: str) -> Dict[str, object]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT grid_json FROM campaigns WHERE config_hash=?",
+                (config_hash,),
+            ).fetchone()
+        if row is None:
+            raise StoreError(f"unknown campaign {config_hash!r}")
+        return json.loads(row[0])
+
+    def put_record(self, config_hash: str, payload: Dict[str, object]) -> bool:
+        scenario, model, seed_index = self._check_cell_payload(payload)
+        text = canonical_json(payload)
+        with self._lock:
+            self.grid(config_hash)  # loud on unregistered campaigns
+            existing = self._conn.execute(
+                "SELECT record_json FROM cells WHERE config_hash=? AND "
+                "scenario=? AND model=? AND seed_index=?",
+                (config_hash, scenario, model, seed_index),
+            ).fetchone()
+            if existing is not None:
+                if canonical_json(json.loads(existing[0])) != text:
+                    raise StoreError(
+                        f"cell {(scenario, model, seed_index)} of campaign "
+                        f"{config_hash} already holds a different record; "
+                        "records are bit-identical by contract, so the "
+                        "store (or the run) is corrupted"
+                    )
+                return False
+            self._conn.execute(
+                "INSERT INTO cells (config_hash, scenario, model, "
+                "seed_index, run_index, record_json) VALUES (?, ?, ?, ?, ?, ?)",
+                (
+                    config_hash,
+                    scenario,
+                    model,
+                    seed_index,
+                    int(payload.get("run_index", 0)),
+                    text,
+                ),
+            )
+            return True
+
+    def get_record(
+        self, config_hash: str, scenario: str, model: str, seed_index: int
+    ) -> Optional[Dict[str, object]]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT record_json FROM cells WHERE config_hash=? AND "
+                "scenario=? AND model=? AND seed_index=?",
+                (config_hash, str(scenario), str(model), int(seed_index)),
+            ).fetchone()
+        return json.loads(row[0]) if row is not None else None
+
+    def records(self, config_hash: str) -> List[Dict[str, object]]:
+        with self._lock:
+            self.grid(config_hash)
+            rows = self._conn.execute(
+                "SELECT record_json FROM cells WHERE config_hash=? "
+                "ORDER BY run_index",
+                (config_hash,),
+            ).fetchall()
+        return [json.loads(row[0]) for row in rows]
+
+    def completed_cells(self, config_hash: str) -> Set[CellKey]:
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT scenario, model, seed_index FROM cells "
+                "WHERE config_hash=?",
+                (config_hash,),
+            ).fetchall()
+        return {
+            (str(scenario), str(model), int(seed_index))
+            for scenario, model, seed_index in rows
+        }
+
+    def merge_telemetry(self, config_hash: str, snapshot: dict) -> None:
+        if not snapshot:
+            return
+        from ..telemetry import merge_snapshots
+
+        with self._lock:
+            self.grid(config_hash)
+            row = self._conn.execute(
+                "SELECT telemetry_json FROM campaigns WHERE config_hash=?",
+                (config_hash,),
+            ).fetchone()
+            stored = json.loads(row[0]) if row is not None else {}
+            merged = (
+                merge_snapshots(stored, snapshot) if stored else dict(snapshot)
+            )
+            self._conn.execute(
+                "UPDATE campaigns SET telemetry_json=? WHERE config_hash=?",
+                (canonical_json(merged), config_hash),
+            )
+
+    def telemetry(self, config_hash: str) -> dict:
+        with self._lock:
+            self.grid(config_hash)
+            row = self._conn.execute(
+                "SELECT telemetry_json FROM campaigns WHERE config_hash=?",
+                (config_hash,),
+            ).fetchone()
+        return json.loads(row[0]) if row is not None else {}
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
