@@ -59,6 +59,22 @@ drop_next_reply / requeue_cell) next to ``GET /status``.
 offline and dumps a standalone, verified inference pack for external
 graph-free tooling.
 
+Chaos fuzzing (:mod:`repro.chaos`)::
+
+    python -m repro fuzz --scenario paper-default --model DYVERSE \\
+        --budget 32 --seed 7 --report-json fuzz.json
+    python -m repro fuzz --ci --fleet --workers 2
+    python -m repro fuzz --replay benchmarks/chaos_corpus/<file>.json \\
+        --record-json replay.json
+
+``fuzz`` samples seeded random :class:`~repro.chaos.ChaosSchedule`\\ s
+over a base scenario, evaluates each as a paired-seed single-scenario
+campaign (any execution mode), scores the QoS delta against the
+unperturbed baseline and shrinks cliffs to minimal failing schedules;
+``--replay`` re-runs one schedule from a replay/corpus file so its
+records can be gated bit-identical across modes with
+``benchmarks/compare_records.py``.
+
 Observability (:mod:`repro.telemetry`): every ``--record-json`` dump
 carries the campaign's merged telemetry snapshot under ``"telemetry"``;
 ``python -m repro telemetry dump.json`` pretty-prints it (``--json``
@@ -299,6 +315,118 @@ def _cmd_campaign(args) -> int:
             json.dump(result.to_payload(), sink, indent=2)
         print(f"wrote {len(result.records)} records to {args.record_json}")
     print(result.format_summary())
+    return 0
+
+
+def _cmd_fuzz(args) -> int:
+    import json
+
+    from .chaos.fuzz import (
+        FuzzConfig,
+        evaluation_campaign_config,
+        register_fuzz_scenario,
+        run_fuzz,
+    )
+    from .chaos.report import format_fuzz_report, load_replay_file
+    from .experiments import run_campaign
+    from .scenarios import get_scenario
+    from .serving import TransportError
+    from .storage import StoreError
+
+    transport = args.transport or ("tcp" if args.connect else "queue")
+    mode = "fleet" if args.fleet else "process"
+    plumbing = dict(
+        mode=mode,
+        workers=args.workers,
+        transport=transport,
+        service_addr=args.connect,
+        scorer_backend=args.scorer_backend,
+        auth_token=_resolve_auth_token(args),
+        store=args.store,
+        store_path=args.store_path,
+    )
+
+    try:
+        if args.replay:
+            data = load_replay_file(args.replay)
+            config = FuzzConfig(
+                scenario=str(data["scenario"]),
+                model=str(data.get("model", "DYVERSE")),
+                n_seeds=int(data.get("n_seeds", 1)),
+                seed=int(data.get("seed", 0)),
+                n_intervals=(
+                    int(data["n_intervals"])
+                    if data.get("n_intervals") is not None else None
+                ),
+                **plumbing,
+            )
+            schedule = data["schedule"]
+            name = register_fuzz_scenario(
+                get_scenario(config.scenario), schedule
+            )
+            result = run_campaign(evaluation_campaign_config(config, name))
+            if args.record_json:
+                with open(args.record_json, "w") as sink:
+                    json.dump(result.to_payload(), sink, indent=2)
+                print(
+                    f"wrote {len(result.records)} records to "
+                    f"{args.record_json}"
+                )
+            print(
+                f"replayed schedule {schedule.short_id()} "
+                f"({len(schedule)} events) over {config.scenario!r}"
+            )
+            print(result.format_summary())
+            return 0
+
+        if args.ci:
+            # The seeded smoke preset: tiny budget, short horizon,
+            # asset-free model -- a full sample/evaluate/shrink pass
+            # in CI time.
+            config = FuzzConfig(
+                scenario=args.scenario,
+                model="DYVERSE",
+                budget=8,
+                n_seeds=1,
+                seed=args.seed,
+                n_intervals=12,
+                max_events=3,
+                threshold=args.threshold,
+                shrink=not args.no_shrink,
+                **plumbing,
+            )
+        else:
+            config = FuzzConfig(
+                scenario=args.scenario,
+                model=args.model,
+                budget=args.budget,
+                n_seeds=args.seeds,
+                seed=args.seed,
+                n_intervals=args.intervals or None,
+                max_events=args.max_events,
+                threshold=args.threshold,
+                shrink=not args.no_shrink,
+                **plumbing,
+            )
+        result = run_fuzz(config, progress=print)
+    except (OSError, KeyError, ValueError) as error:
+        message = error.args[0] if error.args else str(error)
+        print(message, file=sys.stderr)
+        return 2
+    except StoreError as error:
+        print(f"campaign store refused: {error}", file=sys.stderr)
+        return 2
+    except TransportError as error:
+        print(f"fleet transport failed: {error}", file=sys.stderr)
+        return 1
+    print(format_fuzz_report(result, worst=args.worst))
+    if args.report_json:
+        with open(args.report_json, "w") as sink:
+            json.dump(result.to_payload(), sink, indent=2, sort_keys=True)
+        print(
+            f"wrote fuzz report ({len(result.outcomes)} schedules, "
+            f"{len(result.cliffs)} cliffs) to {args.report_json}"
+        )
     return 0
 
 
@@ -637,6 +765,69 @@ def _add_artifact_options(parser) -> None:
                         help="16 hosts / 4 LEIs / 100 intervals (slow)")
 
 
+def _shared_parents():
+    """The flag sets shared by campaign / serve / fuzz.
+
+    One definition per flag, inherited via ``parents=[...]``, so the
+    three grid-running subcommands cannot drift apart in spelling,
+    defaults or help text.
+    """
+    grid = argparse.ArgumentParser(add_help=False)
+    grid.add_argument("--scenarios", type=str, default="",
+                      help="comma-separated scenario names")
+    grid.add_argument("--models", type=str, default="carol",
+                      help="comma-separated model names, e.g. "
+                           "carol,carol-proactive,dyverse (default: carol)")
+
+    seeds = argparse.ArgumentParser(add_help=False)
+    seeds.add_argument("--seeds", type=int, default=1,
+                       help="independent repetitions per cell")
+    seeds.add_argument("--seed", type=int, default=0,
+                       help="campaign root seed")
+    seeds.add_argument("--intervals", type=int, default=0,
+                       help="override each scenario's interval count")
+    seeds.add_argument("--ci", action="store_true",
+                       help="use this command's small CI-scale preset")
+
+    backend = argparse.ArgumentParser(add_help=False)
+    backend.add_argument("--scorer-backend", type=str, default="exact",
+                         choices=["exact", "fast", "fast32"],
+                         help="GON ascent engine for CAROL-family models: "
+                              "'exact' (autodiff oracle, default), 'fast' "
+                              "(graph-free fused float64 kernels), or "
+                              "'fast32' (same kernels in float32)")
+    backend.add_argument("--auth-token", type=str, default=None,
+                         help="pre-shared fleet auth token for TCP "
+                              "transports (default: the REPRO_FLEET_TOKEN "
+                              "environment variable)")
+    backend.add_argument("--store", type=str, default="memory",
+                         choices=["memory", "sqlite"],
+                         help="campaign record store: 'memory' (default; "
+                              "nothing persists) or 'sqlite' (persist each "
+                              "finished cell; re-running the same grid "
+                              "resumes, skipping stored cells)")
+    backend.add_argument("--store-path", type=str, default="",
+                         help="sqlite store database file (required with "
+                              "--store sqlite)")
+
+    transport = argparse.ArgumentParser(add_help=False)
+    transport.add_argument("--workers", type=int, default=1,
+                           help="worker processes (1 = serial)")
+    transport.add_argument("--fleet", action="store_true",
+                           help="fleet mode: shared assets + one batched "
+                                "GON scoring service")
+    transport.add_argument("--transport", type=str, default="",
+                           choices=["", "queue", "tcp"],
+                           help="fleet plumbing: 'queue' (single machine, "
+                                "default) or 'tcp' (sockets; multi-node "
+                                "capable)")
+    transport.add_argument("--connect", type=str, default="",
+                           help="host:port of an external scoring service "
+                                "(python -m repro serve); implies "
+                                "--transport tcp")
+    return grid, seeds, backend, transport
+
+
 ARTIFACTS = ("table1", "fig2", "fig4", "fig5", "fig6a", "fig6b", "fig6c")
 
 
@@ -663,82 +854,26 @@ def main(argv=None) -> int:
     scenarios.add_argument("name", nargs="?", default="",
                            help="scenario name (for show)")
 
-    campaign = subparsers.add_parser(
-        "campaign", help="run a scenario x model x seed grid"
+    grid_parent, seeds_parent, backend_parent, transport_parent = (
+        _shared_parents()
     )
-    campaign.add_argument("--scenarios", type=str, default="",
-                          help="comma-separated scenario names")
-    campaign.add_argument("--models", type=str, default="carol",
-                          help="comma-separated model names, e.g. "
-                               "carol,carol-proactive,dyverse "
-                               "(default: carol)")
-    campaign.add_argument("--seeds", type=int, default=1,
-                          help="independent repetitions per cell")
-    campaign.add_argument("--workers", type=int, default=1,
-                          help="worker processes (1 = serial)")
-    campaign.add_argument("--seed", type=int, default=0,
-                          help="campaign root seed")
-    campaign.add_argument("--intervals", type=int, default=0,
-                          help="override each scenario's interval count")
-    campaign.add_argument("--ci", action="store_true",
-                          help="run the tiny CI smoke grid")
-    campaign.add_argument("--fleet", action="store_true",
-                          help="fleet mode: shared assets + one "
-                               "batched GON scoring service")
-    campaign.add_argument("--transport", type=str, default="",
-                          choices=["", "queue", "tcp"],
-                          help="fleet plumbing: 'queue' (single machine, "
-                               "default) or 'tcp' (sockets; multi-node "
-                               "capable)")
-    campaign.add_argument("--connect", type=str, default="",
-                          help="host:port of an external scoring service "
-                               "(python -m repro serve); implies "
-                               "--transport tcp")
+
+    campaign = subparsers.add_parser(
+        "campaign", help="run a scenario x model x seed grid",
+        parents=[grid_parent, seeds_parent, backend_parent, transport_parent],
+    )
     campaign.add_argument("--shared-assets", action="store_true",
                           help="train CAROL-family assets once per "
                                "scenario (campaign-root seeded)")
     campaign.add_argument("--record-json", type=str, default="",
                           help="write per-run records (metrics + scorer "
                                "diagnostics) to this JSON file")
-    campaign.add_argument("--scorer-backend", type=str, default="exact",
-                          choices=["exact", "fast", "fast32"],
-                          help="GON ascent engine for CAROL-family "
-                               "models: 'exact' (autodiff oracle, "
-                               "default), 'fast' (graph-free fused "
-                               "float64 kernels), or 'fast32' (same "
-                               "kernels in float32)")
-    campaign.add_argument("--auth-token", type=str, default=None,
-                          help="pre-shared fleet auth token for TCP "
-                               "transports (default: the "
-                               "REPRO_FLEET_TOKEN environment variable)")
-    campaign.add_argument("--store", type=str, default="memory",
-                          choices=["memory", "sqlite"],
-                          help="campaign record store: 'memory' "
-                               "(default; nothing persists) or 'sqlite' "
-                               "(persist each finished cell; re-running "
-                               "the same campaign resumes, skipping "
-                               "stored cells)")
-    campaign.add_argument("--store-path", type=str, default="",
-                          help="sqlite store database file (required "
-                               "with --store sqlite)")
 
     serve = subparsers.add_parser(
         "serve",
         help="host a TCP GON scoring service for remote fleet workers",
+        parents=[grid_parent, seeds_parent, backend_parent],
     )
-    serve.add_argument("--scenarios", type=str, default="",
-                       help="comma-separated scenario names (must match "
-                            "the connecting campaign's grid)")
-    serve.add_argument("--models", type=str, default="carol",
-                       help="comma-separated model names of the grid")
-    serve.add_argument("--seeds", type=int, default=1,
-                       help="independent repetitions per cell")
-    serve.add_argument("--seed", type=int, default=0,
-                       help="campaign root seed (drives asset training)")
-    serve.add_argument("--intervals", type=int, default=0,
-                       help="override each scenario's interval count")
-    serve.add_argument("--ci", action="store_true",
-                       help="serve the tiny fleet CI smoke grid's assets")
     serve.add_argument("--host", type=str, default="127.0.0.1",
                        help="bind address (0.0.0.0 to accept remote "
                             "machines)")
@@ -765,11 +900,6 @@ def main(argv=None) -> int:
     serve.add_argument("--retry-budget", type=int, default=3,
                        help="failed attempts a cell gets before it is "
                             "quarantined as poisoned")
-    serve.add_argument("--auth-token", type=str, default=None,
-                       help="pre-shared fleet auth token; workers must "
-                            "present it in their handshake (default: "
-                            "the REPRO_FLEET_TOKEN environment "
-                            "variable)")
     serve.add_argument("--status-port", type=int, default=-1,
                        help="bind a read-only HTTP status endpoint on "
                             "this port (/status JSON + /metrics text; "
@@ -778,21 +908,39 @@ def main(argv=None) -> int:
     serve.add_argument("--telemetry-json", type=str, default="",
                        help="write the final merged fleet telemetry "
                             "snapshot to this JSON file")
-    serve.add_argument("--scorer-backend", type=str, default="exact",
-                       choices=["exact", "fast", "fast32"],
-                       help="service-side GON ascent engine (see "
-                            "campaign --scorer-backend); fast backends "
-                            "additionally fuse same-shape ascent "
-                            "buckets across clients")
-    serve.add_argument("--store", type=str, default="memory",
-                       choices=["memory", "sqlite"],
-                       help="campaign record store; with 'sqlite', "
-                            "cells already stored are never leased to "
-                            "workers (the connecting campaign must use "
-                            "the same store)")
-    serve.add_argument("--store-path", type=str, default="",
-                       help="sqlite store database file (required with "
-                            "--store sqlite)")
+
+    fuzz = subparsers.add_parser(
+        "fuzz",
+        help="fuzz a scenario with random seeded chaos schedules and "
+             "shrink any QoS cliffs found",
+        parents=[seeds_parent, backend_parent, transport_parent],
+    )
+    fuzz.add_argument("--scenario", type=str, default="paper-default",
+                      help="base catalog scenario to perturb")
+    fuzz.add_argument("--model", type=str, default="DYVERSE",
+                      help="resilience model under test (default: "
+                           "DYVERSE, a fast trained-asset-free baseline)")
+    fuzz.add_argument("--budget", type=int, default=16,
+                      help="number of random schedules to evaluate")
+    fuzz.add_argument("--max-events", type=int, default=4,
+                      help="maximum events per sampled schedule")
+    fuzz.add_argument("--threshold", type=float, default=0.05,
+                      help="QoS-delta score at which a schedule counts "
+                           "as a cliff (and gets shrunk)")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="report cliffs without shrinking them")
+    fuzz.add_argument("--worst", type=int, default=5,
+                      help="cliffs shown in the report table")
+    fuzz.add_argument("--report-json", type=str, default="",
+                      help="write the full fuzz session (schedules, "
+                           "scores, shrunk forms) to this JSON file")
+    fuzz.add_argument("--replay", type=str, default="",
+                      help="replay one schedule from a corpus/replay "
+                           "JSON file instead of fuzzing")
+    fuzz.add_argument("--record-json", type=str, default="",
+                      help="with --replay: write the replay campaign's "
+                           "per-run records to this JSON file "
+                           "(compare_records.py-compatible)")
 
     export_gon = subparsers.add_parser(
         "export-gon",
@@ -866,6 +1014,8 @@ def main(argv=None) -> int:
         return _cmd_scenarios(args)
     if args.command == "serve":
         return _cmd_serve(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     if args.command == "telemetry":
         return _cmd_telemetry(args)
     if args.command == "store":

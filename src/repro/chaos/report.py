@@ -1,0 +1,117 @@
+"""Fuzzing-session reports and replay files.
+
+``format_fuzz_report`` renders a worst-N cliff table for the terminal;
+``write_replay_file`` / ``load_replay_file`` exchange the minimal
+self-contained JSON a third party needs to reproduce one schedule's
+records bit-for-bit: the base scenario name, the schedule itself, and
+the evaluation knobs.  Replays go through the same single-scenario
+campaign oracle the fuzzer used, so a replayed record dump is
+comparable with ``benchmarks/compare_records.py`` against any
+execution mode.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from ..experiments.report import format_table
+from .fuzz import FuzzConfig, FuzzResult
+from .schedule import ChaosSchedule
+
+__all__ = [
+    "format_fuzz_report",
+    "replay_payload",
+    "write_replay_file",
+    "load_replay_file",
+]
+
+
+def format_fuzz_report(result: FuzzResult, worst: int = 5) -> str:
+    """ASCII summary: session header plus the worst-N cliff table."""
+    config = result.config
+    lines = [
+        f"fuzzed {config.budget} schedules over {config.scenario!r} "
+        f"({config.model}, seed={config.seed}, n_seeds={config.n_seeds}, "
+        f"mode={config.mode}): {len(result.cliffs)} cliffs, "
+        f"{result.evaluations} simulated evaluations",
+    ]
+    rows = []
+    for outcome in result.cliffs[:worst]:
+        shrunk_cell = (
+            f"{len(outcome.shrunk)} ev {outcome.shrunk.short_id()}"
+            if outcome.shrunk is not None else "-"
+        )
+        rows.append((
+            outcome.index,
+            outcome.schedule.short_id(),
+            len(outcome.schedule),
+            f"{outcome.score:+.4f}",
+            f"{outcome.metrics['slo_violation_rate']:.4f}",
+            f"{outcome.metrics['downtime_s']:.0f}",
+            shrunk_cell,
+        ))
+    if rows:
+        lines.append(format_table(
+            headers=(
+                "idx", "schedule", "events", "score",
+                "slo rate", "downtime (s)", "shrunk",
+            ),
+            rows=rows,
+            title=f"-- worst {min(worst, len(result.cliffs))} cliffs --",
+        ))
+    else:
+        lines.append(
+            "no cliffs found at threshold "
+            f"{config.threshold} (best score may still be positive)"
+        )
+    return "\n".join(lines)
+
+
+def replay_payload(
+    config: FuzzConfig, schedule: ChaosSchedule
+) -> Dict[str, object]:
+    """The self-contained JSON body reproducing one schedule's records."""
+    return {
+        "scenario": config.scenario,
+        "model": config.model,
+        "seed": config.seed,
+        "n_seeds": config.n_seeds,
+        "n_intervals": config.n_intervals,
+        "schedule": schedule.to_dict(),
+        "schedule_hash": schedule.content_hash(),
+    }
+
+
+def write_replay_file(
+    path: str, config: FuzzConfig, schedule: ChaosSchedule
+) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(replay_payload(config, schedule), handle,
+                  indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_replay_file(path: str) -> Dict[str, object]:
+    """Parse and structurally check a replay file.
+
+    Returns the payload with ``schedule`` already rebuilt as a
+    :class:`ChaosSchedule` (validating it) and the hash cross-checked
+    when present -- a corrupted corpus file fails loudly here, not as
+    a mysterious metric drift later.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    for key in ("scenario", "schedule"):
+        if key not in data:
+            raise ValueError(f"replay file {path!r} lacks {key!r}")
+    schedule = ChaosSchedule.from_dict(data["schedule"])
+    expected: Optional[str] = data.get("schedule_hash")
+    if expected is not None and expected != schedule.content_hash():
+        raise ValueError(
+            f"replay file {path!r}: schedule_hash {expected} does not "
+            f"match the schedule's content hash "
+            f"{schedule.content_hash()} -- the file has been edited"
+        )
+    data["schedule"] = schedule
+    return data

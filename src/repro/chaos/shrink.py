@@ -1,0 +1,92 @@
+"""Greedy schedule shrinking: minimise a cliff-triggering schedule.
+
+Given a :class:`~repro.chaos.schedule.ChaosSchedule` known to trigger
+a QoS cliff and a deterministic ``fails(schedule) -> bool`` oracle,
+:func:`shrink_schedule` searches for a smaller schedule that still
+fails, property-testing style:
+
+1. **event drop** -- try removing each event, first to last; on
+   success restart the scan from the smaller schedule;
+2. **duration halving** -- try halving each remaining event's window
+   (integer division, never below one interval);
+3. repeat both passes until neither makes progress (a fixpoint).
+
+Dropping an event or halving a window can only ever *remove* activity,
+so every candidate is a valid schedule whenever the input was (the
+same-kind overlap invariant cannot be created by shrinking).  The
+result is 1-minimal under these two operations: no single event can be
+dropped and no single window halved without the cliff disappearing.
+
+The whole search is deterministic given a deterministic oracle, which
+is what lets a fuzzer report be reproduced from ``(seed,
+schedule_json)`` alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Callable
+
+from .schedule import ChaosSchedule
+
+__all__ = ["shrink_schedule"]
+
+
+def _drop_pass(
+    schedule: ChaosSchedule, fails: Callable[[ChaosSchedule], bool]
+) -> ChaosSchedule:
+    """Drop events while the cliff survives; restart scan on success."""
+    progress = True
+    while progress and len(schedule) > 1:
+        progress = False
+        for index in range(len(schedule.events)):
+            events = (
+                schedule.events[:index] + schedule.events[index + 1:]
+            )
+            candidate = ChaosSchedule(events)
+            if fails(candidate):
+                schedule = candidate
+                progress = True
+                break
+    return schedule
+
+
+def _halve_pass(
+    schedule: ChaosSchedule, fails: Callable[[ChaosSchedule], bool]
+) -> ChaosSchedule:
+    """Halve event windows while the cliff survives."""
+    progress = True
+    while progress:
+        progress = False
+        for index, event in enumerate(schedule.events):
+            if event.duration <= 1:
+                continue
+            shorter = replace(event, duration=event.duration // 2)
+            events = (
+                schedule.events[:index] + (shorter,)
+                + schedule.events[index + 1:]
+            )
+            candidate = ChaosSchedule(events)
+            if fails(candidate):
+                schedule = candidate
+                progress = True
+                break
+    return schedule
+
+
+def shrink_schedule(
+    schedule: ChaosSchedule,
+    fails: Callable[[ChaosSchedule], bool],
+) -> ChaosSchedule:
+    """Greedy event-drop + duration-halving shrink to a fixpoint.
+
+    ``fails`` must be deterministic (the fuzzer memoises its campaign
+    oracle by schedule content hash, so repeated probes are free); the
+    input schedule is assumed to fail already.
+    """
+    while True:
+        before = schedule.content_hash()
+        schedule = _drop_pass(schedule, fails)
+        schedule = _halve_pass(schedule, fails)
+        if schedule.content_hash() == before:
+            return schedule

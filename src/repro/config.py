@@ -14,6 +14,46 @@ from typing import Tuple
 __all__ = ["FederationConfig", "WorkloadConfig", "FaultConfig", "ExperimentConfig"]
 
 
+def _normalize_chaos_rows(rows) -> Tuple[Tuple, ...]:
+    """Structurally check and freeze compiled chaos-schedule rows.
+
+    Rows are the plain-data form produced by
+    ``repro.chaos.schedule.ChaosSchedule.to_rows``:
+    ``(kind, start, duration, ((param, value), ...))``.  Only structure
+    is validated here -- this module must stay importable without
+    :mod:`repro.chaos` (which imports the simulator, which imports this
+    module); semantic validation happens when the schedule is rebuilt.
+    """
+    normalized = []
+    for row in rows:
+        row = tuple(row)
+        if len(row) != 4:
+            raise ValueError(
+                f"chaos rows must be (kind, start, duration, params), got {row!r}"
+            )
+        kind, start, duration, params = row
+        if not isinstance(kind, str) or not kind:
+            raise ValueError(f"chaos row kind must be a string, got {kind!r}")
+        for label, value in (("start", start), ("duration", duration)):
+            if isinstance(value, bool) or not isinstance(value, int) or value < 1:
+                raise ValueError(
+                    f"chaos row {label}={value!r} must be an integer >= 1"
+                )
+        frozen_params = []
+        for param in params:
+            param = tuple(param)
+            if len(param) != 2 or not isinstance(param[0], str):
+                raise ValueError(
+                    f"chaos row params must be (name, value) pairs, got {param!r}"
+                )
+            name, value = param
+            if isinstance(value, (list, tuple)):
+                value = tuple(value)
+            frozen_params.append((name, value))
+        normalized.append((kind, start, duration, tuple(frozen_params)))
+    return tuple(normalized)
+
+
 @dataclass(frozen=True)
 class FederationConfig:
     """Shape of the federated edge testbed (§IV-C of the paper)."""
@@ -135,8 +175,23 @@ class FaultConfig:
     surge_multiplier: float = 1.0
     #: Intervals a surge persists.
     surge_duration: int = 1
+    #: Declarative fault-model selection by registry name (see
+    #: ``repro.simulator.faults.FAULT_MODELS``).  Empty means *auto*:
+    #: every registered model the rate fields enable, in registry order
+    #: -- the historical behaviour.  Unknown names fail at
+    #: spec-compile time, not mid-run.
+    models: Tuple[str, ...] = ()
+    #: Compiled chaos-schedule rows
+    #: (``ChaosSchedule.to_rows()`` output); empty means no schedule.
+    #: Plain data, so the config stays hashable and picklable without
+    #: importing :mod:`repro.chaos`.
+    chaos: Tuple[Tuple, ...] = ()
 
     def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "models", tuple(str(name) for name in self.models)
+        )
+        object.__setattr__(self, "chaos", _normalize_chaos_rows(self.chaos))
         for attr in ("rate", "correlated_rate", "partition_rate", "surge_rate"):
             if getattr(self, attr) < 0:
                 raise ValueError(

@@ -31,6 +31,10 @@ Built-in catalog (``python -m repro scenarios list``):
                     12-interval period) with moderate faults.
 ``skewed-hub``      Skewed starting topology: half the workers under
                     one hub broker, so hub failures orphan the fleet.
+``chaos-drill``     Scripted :mod:`repro.chaos` schedule over a light
+                    Poisson background: zone blackout, link degrade,
+                    federation partition, arrival surge, then recovery
+                    -- all five event kinds in one deterministic run.
 ==================  ====================================================
 
 Quickstart::
@@ -56,6 +60,7 @@ from .registry import (
     get_scenario,
     register,
     scenario_names,
+    unregister,
 )
 from .spec import ScenarioSpec, TOPOLOGY_PRESETS, build_topology
 
@@ -64,6 +69,7 @@ __all__ = [
     "TOPOLOGY_PRESETS",
     "build_topology",
     "register",
+    "unregister",
     "get_scenario",
     "scenario_names",
     "all_scenarios",

@@ -18,11 +18,20 @@ from __future__ import annotations
 
 from typing import Dict, List
 
+from ..chaos.schedule import (
+    ArrivalSurge,
+    ChaosSchedule,
+    FederationPartition,
+    LinkDegrade,
+    NodeRecover,
+    ZoneBlackout,
+)
 from ..config import FaultConfig, WorkloadConfig
 from .spec import ScenarioSpec
 
 __all__ = [
     "register",
+    "unregister",
     "get_scenario",
     "scenario_names",
     "all_scenarios",
@@ -42,6 +51,16 @@ def register(spec: ScenarioSpec, overwrite: bool = False) -> ScenarioSpec:
         )
     SCENARIOS[spec.name] = spec
     return spec
+
+
+def unregister(name: str) -> bool:
+    """Drop ``name`` from the registry if present; True when removed.
+
+    Ephemeral registrants (the chaos fuzzer's content-addressed
+    ``fuzz/...`` scenarios) use this to leave the catalog as they
+    found it; absent names are a no-op, not an error.
+    """
+    return SCENARIOS.pop(name, None) is not None
 
 
 def get_scenario(name: str) -> ScenarioSpec:
@@ -192,6 +211,28 @@ register(ScenarioSpec(
     ),
     faults=FaultConfig(rate=0.3),
     tags=("diurnal", "workload"),
+))
+
+register(ScenarioSpec(
+    name="chaos-drill",
+    description=(
+        "Scripted game-day drill: a declarative chaos schedule blacks "
+        "out the second rack, degrades the first rack's links, severs a "
+        "partition, surges arrivals 3x and then repairs the blacked-out "
+        "zone -- every perturbation timed, deterministic and replayable."
+    ),
+    fleet=_PI_FLEET,
+    n_leis=2,
+    workload=WorkloadConfig(suite="aiot", arrival_rate=1.2),
+    faults=FaultConfig(rate=0.2),
+    chaos=ChaosSchedule((
+        ZoneBlackout(start=4, duration=2, zone=1, zone_size=4),
+        LinkDegrade(start=6, duration=3, hosts=(0, 1), intensity=0.6),
+        FederationPartition(start=10, duration=2, fraction=0.3),
+        ArrivalSurge(start=13, duration=2, multiplier=3.0),
+        NodeRecover(start=16, duration=1, hosts=(4, 5, 6, 7)),
+    )),
+    tags=("chaos", "faults"),
 ))
 
 register(ScenarioSpec(

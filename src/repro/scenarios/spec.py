@@ -15,12 +15,14 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field, fields, replace
 from typing import Any, Dict, Optional, Tuple
 
+from ..chaos.schedule import ChaosSchedule
 from ..config import (
     ExperimentConfig,
     FaultConfig,
     FederationConfig,
     WorkloadConfig,
 )
+from ..simulator.faults import validate_fault_model_names
 from ..simulator.host import HOST_CLASSES
 from ..simulator.topology import Topology, initial_topology
 
@@ -55,6 +57,9 @@ class ScenarioSpec:
     beta: float = 0.5
     n_intervals: int = 20
     tags: Tuple[str, ...] = ()
+    #: Optional declarative chaos schedule layered on top of ``faults``
+    #: (compiled to a deterministic fault model at ``compile`` time).
+    chaos: Optional[ChaosSchedule] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -107,6 +112,28 @@ class ScenarioSpec:
             raise ValueError(
                 f"scenario {self.name!r}: n_intervals must be >= 1"
             )
+        if self.faults.models:
+            # Fail at spec-construction time, not mid-campaign.
+            try:
+                validate_fault_model_names(self.faults.models)
+            except ValueError as exc:
+                raise ValueError(f"scenario {self.name!r}: {exc}") from None
+        if self.faults.chaos:
+            raise ValueError(
+                f"scenario {self.name!r}: set the chaos schedule on the "
+                "spec's `chaos` field, not on FaultConfig.chaos (the spec "
+                "compiles it down; two sources of truth would drift)"
+            )
+        if self.chaos is not None:
+            if not isinstance(self.chaos, ChaosSchedule):
+                raise ValueError(
+                    f"scenario {self.name!r}: chaos must be a ChaosSchedule, "
+                    f"got {type(self.chaos).__name__}"
+                )
+            try:
+                self.chaos.validate_for(n_hosts)
+            except ValueError as exc:
+                raise ValueError(f"scenario {self.name!r}: {exc}") from None
 
     # ------------------------------------------------------------------
     # Derived shape
@@ -132,6 +159,12 @@ class ScenarioSpec:
         data["faults"] = asdict(self.faults)
         data["faults"]["attack_types"] = list(self.faults.attack_types)
         data["faults"]["recovery_seconds"] = list(self.faults.recovery_seconds)
+        data["faults"]["models"] = list(self.faults.models)
+        # Specs never carry FaultConfig.chaos rows (enforced above).
+        data["faults"]["chaos"] = []
+        # asdict recursion drops the events' `kind` discriminator; use
+        # the schedule's own lossless form.
+        data["chaos"] = self.chaos.to_dict() if self.chaos is not None else None
         return data
 
     @classmethod
@@ -158,7 +191,15 @@ class ScenarioSpec:
                 faults["attack_types"] = tuple(faults["attack_types"])
             if "recovery_seconds" in faults:
                 faults["recovery_seconds"] = tuple(faults["recovery_seconds"])
+            if "models" in faults:
+                faults["models"] = tuple(faults["models"])
+            if "chaos" in faults:
+                faults["chaos"] = tuple(tuple(row) for row in faults["chaos"])
             kwargs["faults"] = FaultConfig(**faults)
+        if data.get("chaos"):
+            kwargs["chaos"] = ChaosSchedule.from_dict(data["chaos"])
+        elif "chaos" in kwargs:
+            kwargs["chaos"] = None
         return cls(**kwargs)
 
     # ------------------------------------------------------------------
@@ -187,10 +228,15 @@ class ScenarioSpec:
             link_mbps=self.link_mbps,
             fleet=self.fleet,
         )
+        faults = self.faults
+        if self.chaos is not None and len(self.chaos):
+            # The schedule travels as plain rows so the compiled config
+            # stays picklable and hashable across process/fleet workers.
+            faults = replace(faults, chaos=self.chaos.to_rows())
         return ExperimentConfig(
             federation=federation,
             workload=self.workload,
-            faults=self.faults,
+            faults=faults,
             n_intervals=self.n_intervals if n_intervals is None else n_intervals,
             alpha=self.alpha,
             beta=self.beta,

@@ -11,6 +11,7 @@ underlying scheduler, all driven in five-minute scheduling intervals.
 from .detection import DetectionProtocol, FailureReport
 from .engine import EdgeFederation, SystemView
 from .faults import (
+    FAULT_MODELS,
     ArrivalSurgeModel,
     AttackEvent,
     CascadeAttackModel,
@@ -19,7 +20,10 @@ from .faults import (
     FaultModel,
     PartitionFaultModel,
     PoissonAttackModel,
+    build_fault_models,
     default_fault_models,
+    register_fault_model,
+    validate_fault_model_names,
 )
 from .gateway import Gateway, GatewayFleet
 from .host import HOST_CLASSES, Host, HostSpec, RESOURCES, make_fleet, make_pi_cluster
@@ -74,6 +78,10 @@ __all__ = [
     "CascadeAttackModel",
     "PartitionFaultModel",
     "ArrivalSurgeModel",
+    "FAULT_MODELS",
+    "register_fault_model",
+    "validate_fault_model_names",
+    "build_fault_models",
     "default_fault_models",
     "AttackEvent",
     "Gateway",

@@ -45,11 +45,15 @@ from .topology import Topology
 __all__ = [
     "AttackEvent",
     "FaultModel",
+    "FAULT_MODELS",
+    "register_fault_model",
+    "validate_fault_model_names",
     "PoissonAttackModel",
     "CorrelatedGroupAttackModel",
     "CascadeAttackModel",
     "PartitionFaultModel",
     "ArrivalSurgeModel",
+    "build_fault_models",
     "default_fault_models",
     "FaultInjector",
 ]
@@ -92,8 +96,10 @@ class AttackEvent:
     intensity: float
     #: Number of intervals the synthetic load persists.
     duration: int
-    #: Which fault model produced the event.
-    model: str = "poisson"
+    #: Which fault model produced the event.  Required: every emitter
+    #: must attribute its events, so telemetry and fuzzer reports never
+    #: misfile a partition or surge under the Poisson baseline.
+    model: str
 
 
 class FaultModel:
@@ -105,6 +111,12 @@ class FaultModel:
     neighbours of recently failed hosts); ``decay`` ages any internal
     state once per interval; ``arrival_multiplier`` lets workload-side
     models modulate the gateway arrival process.
+
+    Registered models (see :func:`register_fault_model`) additionally
+    implement two classmethods consumed by :func:`build_fault_models`:
+    ``enabled(config)`` says whether a :class:`FaultConfig` switches
+    the model on in auto mode, and ``from_config(config, broker_bias)``
+    constructs an instance from that config unconditionally.
     """
 
     name = "fault"
@@ -125,11 +137,70 @@ class FaultModel:
         """Factor applied to the gateway arrival rate this interval."""
         return 1.0
 
+    @classmethod
+    def enabled(cls, config: FaultConfig) -> bool:
+        """Whether ``config`` switches this model on in auto mode."""
+        raise NotImplementedError(f"{cls.__name__} defines no enabled()")
+
+    @classmethod
+    def from_config(
+        cls, config: FaultConfig, broker_bias: float = 0.6
+    ) -> "FaultModel":
+        """Construct an instance from ``config`` (unconditionally)."""
+        raise NotImplementedError(f"{cls.__name__} defines no from_config()")
+
+
+#: Named fault-model registry: ``name`` -> model class.  Insertion
+#: order is sampling order in auto mode, and it deliberately mirrors
+#: the historical ``default_fault_models`` construction order
+#: (poisson, correlated, cascade, partition, surge) so existing runs
+#: keep their random streams bit-identical.
+FAULT_MODELS: Dict[str, type] = {}
+
+
+def register_fault_model(cls: type) -> type:
+    """Class decorator: add a :class:`FaultModel` subclass by name.
+
+    Specs reference these names declaratively through
+    ``FaultConfig.models``; unknown or duplicate names fail loudly at
+    registration / spec-compile time rather than mid-run.
+    """
+    name = getattr(cls, "name", "")
+    if not name or name == FaultModel.name:
+        raise ValueError(f"{cls.__name__} must declare a distinct name")
+    existing = FAULT_MODELS.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(
+            f"fault model {name!r} already registered by {existing.__name__}"
+        )
+    FAULT_MODELS[name] = cls
+    return cls
+
+
+def validate_fault_model_names(names: Sequence[str]) -> None:
+    """Reject unknown or duplicate fault-model names, loudly.
+
+    Called from ``ScenarioSpec.__post_init__`` so a typo in a spec's
+    ``faults.models`` surfaces when the spec is built, not halfway
+    through a campaign.
+    """
+    seen = set()
+    for name in names:
+        if name not in FAULT_MODELS:
+            raise ValueError(
+                f"unknown fault model {name!r}; "
+                f"registered: {sorted(FAULT_MODELS)}"
+            )
+        if name in seen:
+            raise ValueError(f"duplicate fault model {name!r}")
+        seen.add(name)
+
 
 def _live_hosts(topology: Topology, hosts: Sequence[Host]) -> List[int]:
     return [h.host_id for h in hosts if h.alive and h.host_id in topology.attached]
 
 
+@register_fault_model
 class PoissonAttackModel(FaultModel):
     """The paper's baseline process: independent uniform attacks.
 
@@ -154,6 +225,14 @@ class PoissonAttackModel(FaultModel):
         self.rate = rate
         self.attack_types = tuple(attack_types)
         self.broker_bias = broker_bias
+
+    @classmethod
+    def enabled(cls, config: FaultConfig) -> bool:
+        return config.rate > 0
+
+    @classmethod
+    def from_config(cls, config, broker_bias=0.6):
+        return cls(config.rate, config.attack_types, broker_bias)
 
     def sample(self, interval, topology, hosts, injector):
         rng = injector.rng
@@ -180,6 +259,7 @@ class PoissonAttackModel(FaultModel):
         return events
 
 
+@register_fault_model
 class CorrelatedGroupAttackModel(FaultModel):
     """Rack-level correlated attacks.
 
@@ -208,6 +288,18 @@ class CorrelatedGroupAttackModel(FaultModel):
         self.group_size = group_size
         self.attack_types = tuple(attack_types)
 
+    @classmethod
+    def enabled(cls, config: FaultConfig) -> bool:
+        return config.correlated_rate > 0
+
+    @classmethod
+    def from_config(cls, config, broker_bias=0.6):
+        return cls(
+            config.correlated_rate,
+            config.correlated_group_size,
+            config.attack_types,
+        )
+
     def sample(self, interval, topology, hosts, injector):
         rng = injector.rng
         events: List[AttackEvent] = []
@@ -235,6 +327,7 @@ class CorrelatedGroupAttackModel(FaultModel):
         return events
 
 
+@register_fault_model
 class CascadeAttackModel(FaultModel):
     """Overload cascades triggered by neighbour failure.
 
@@ -260,6 +353,14 @@ class CascadeAttackModel(FaultModel):
         self.probability = probability
         self.intensity = intensity
 
+    @classmethod
+    def enabled(cls, config: FaultConfig) -> bool:
+        return config.cascade_probability > 0
+
+    @classmethod
+    def from_config(cls, config, broker_bias=0.6):
+        return cls(config.cascade_probability, config.cascade_intensity)
+
     def sample(self, interval, topology, hosts, injector):
         rng = injector.rng
         events: List[AttackEvent] = []
@@ -281,6 +382,7 @@ class CascadeAttackModel(FaultModel):
         return events
 
 
+@register_fault_model
 class PartitionFaultModel(FaultModel):
     """Network partition events.
 
@@ -306,6 +408,18 @@ class PartitionFaultModel(FaultModel):
         self.fraction = fraction
         self.duration = duration
 
+    @classmethod
+    def enabled(cls, config: FaultConfig) -> bool:
+        return config.partition_rate > 0
+
+    @classmethod
+    def from_config(cls, config, broker_bias=0.6):
+        return cls(
+            config.partition_rate,
+            config.partition_fraction,
+            config.partition_duration,
+        )
+
     def sample(self, interval, topology, hosts, injector):
         rng = injector.rng
         events: List[AttackEvent] = []
@@ -327,6 +441,7 @@ class PartitionFaultModel(FaultModel):
         return events
 
 
+@register_fault_model
 class ArrivalSurgeModel(FaultModel):
     """Gateway-side flash crowds.
 
@@ -352,6 +467,16 @@ class ArrivalSurgeModel(FaultModel):
         self.duration = duration
         #: Active surges as ``[multiplier, remaining_intervals]``.
         self._active: List[List[float]] = []
+
+    @classmethod
+    def enabled(cls, config: FaultConfig) -> bool:
+        return config.surge_rate > 0
+
+    @classmethod
+    def from_config(cls, config, broker_bias=0.6):
+        return cls(
+            config.surge_rate, config.surge_multiplier, config.surge_duration
+        )
 
     def sample(self, interval, topology, hosts, injector):
         rng = injector.rng
@@ -379,40 +504,49 @@ class ArrivalSurgeModel(FaultModel):
         return factor
 
 
+def build_fault_models(
+    config: FaultConfig, broker_bias: float = 0.6
+) -> List[FaultModel]:
+    """Instantiate the fault models a :class:`FaultConfig` calls for.
+
+    With ``config.models`` empty (**auto mode**, the historical
+    behaviour) every registered model whose ``enabled(config)`` says so
+    is built, in registry order -- a stock config enables only the
+    paper's Poisson process, scenario configs switch on the richer
+    campaigns through their rate fields.  With ``config.models`` set,
+    exactly those models are built, in the order named, regardless of
+    rate gating; unknown names raise.
+
+    If ``config.chaos`` carries compiled schedule rows (see
+    :meth:`repro.chaos.schedule.ChaosSchedule.to_rows`), the schedule's
+    deterministic :class:`~repro.chaos.schedule.ScheduledFaultModel` is
+    appended **last** -- it consumes no RNG, so its position cannot
+    perturb the stochastic models' shared random stream.
+    """
+    models: List[FaultModel] = []
+    names = tuple(getattr(config, "models", ()) or ())
+    if names:
+        validate_fault_model_names(names)
+        for name in names:
+            models.append(FAULT_MODELS[name].from_config(config, broker_bias))
+    else:
+        for cls in FAULT_MODELS.values():
+            if cls.enabled(config):
+                models.append(cls.from_config(config, broker_bias))
+    chaos_rows = tuple(getattr(config, "chaos", ()) or ())
+    if chaos_rows:
+        # Deferred import: repro.chaos depends on this module.
+        from ..chaos.schedule import ChaosSchedule
+
+        models.append(ChaosSchedule.from_rows(chaos_rows).compile())
+    return models
+
+
 def default_fault_models(
     config: FaultConfig, broker_bias: float = 0.6
 ) -> List[FaultModel]:
-    """Instantiate the fault models a :class:`FaultConfig` enables.
-
-    A stock config enables only the paper's Poisson process; scenario
-    configs switch on the richer campaigns through their rate fields.
-    """
-    models: List[FaultModel] = []
-    if config.rate > 0:
-        models.append(
-            PoissonAttackModel(config.rate, config.attack_types, broker_bias)
-        )
-    if config.correlated_rate > 0:
-        models.append(CorrelatedGroupAttackModel(
-            config.correlated_rate,
-            config.correlated_group_size,
-            config.attack_types,
-        ))
-    if config.cascade_probability > 0:
-        models.append(CascadeAttackModel(
-            config.cascade_probability, config.cascade_intensity
-        ))
-    if config.partition_rate > 0:
-        models.append(PartitionFaultModel(
-            config.partition_rate,
-            config.partition_fraction,
-            config.partition_duration,
-        ))
-    if config.surge_rate > 0:
-        models.append(ArrivalSurgeModel(
-            config.surge_rate, config.surge_multiplier, config.surge_duration
-        ))
-    return models
+    """Back-compat alias for :func:`build_fault_models`."""
+    return build_fault_models(config, broker_bias)
 
 
 class FaultInjector:
@@ -429,7 +563,7 @@ class FaultInjector:
         Broker-targeting probability of the baseline Poisson model.
     models:
         Explicit fault-model list; defaults to
-        :func:`default_fault_models` derived from ``config``.
+        :func:`build_fault_models` derived from ``config``.
     """
 
     def __init__(
@@ -446,7 +580,7 @@ class FaultInjector:
         self.broker_bias = broker_bias
         self.models: List[FaultModel] = (
             list(models) if models is not None
-            else default_fault_models(config, broker_bias)
+            else build_fault_models(config, broker_bias)
         )
         #: Active attacks, target -> list of (axis, intensity, ttl).
         self._active: Dict[int, List[List]] = {}
